@@ -1,0 +1,30 @@
+"""Table II: FPGA resource utilisation of HEAP on the Alveo U280."""
+
+from conftest import emit
+
+from repro.analysis import format_table, table2_resources
+from repro.hardware import ResourceModel
+from repro.params import make_heap_params
+
+
+def bench_table2(benchmark):
+    headers, rows = benchmark(table2_resources)
+    emit("table2_resources", "Table II: FPGA resource utilization\n" +
+         format_table(headers, rows))
+    # Shape assertions: the paper's utilisation percentages.
+    by = {r["Resource"]: r for r in rows}
+    assert abs(by["LUTs"]["% Utilization"] - 77.61) < 0.1
+    assert abs(by["URAM blocks"]["% Utilization"] - 99.80) < 0.1
+
+
+def bench_onchip_ciphertext_capacity(benchmark):
+    params = make_heap_params().ckks
+    caps = benchmark(ResourceModel().onchip_rlwe_capacity, params)
+    emit("table2_capacity",
+         "On-chip RLWE capacity (paper Section IV-C: 80 URAM / 20 BRAM)\n"
+         f"  URAM: {caps['uram_ct_capacity']} ciphertexts "
+         f"({caps['uram_blocks_per_ct']} blocks each)\n"
+         f"  BRAM: {caps['bram_ct_capacity']} ciphertexts "
+         f"({caps['bram_blocks_per_ct']} blocks each)")
+    assert caps["uram_ct_capacity"] == 80
+    assert caps["bram_ct_capacity"] == 20

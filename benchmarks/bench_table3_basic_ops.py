@@ -1,0 +1,58 @@
+"""Table III: basic FHE operation latencies (Add/Mult/Rescale/Rotate/
+BlindRotate) — hardware-model regeneration plus *measured* functional
+micro-benchmarks of this repo's own Python implementations at toy scale
+(absolute numbers differ, the op-to-op ratios are the shape check)."""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, table3_basic_ops
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+
+PARAMS = make_toy_params(n=64, limbs=4, limb_bits=28, scale_bits=26)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(9))
+    sk = gen.secret_key()
+    keys = gen.keyset(sk, rotations=[1])
+    ev = CkksEvaluator(ctx, keys, Sampler(10))
+    z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+    return ev, ev.encrypt(z), ev.encrypt(z)
+
+
+def bench_table3_model(benchmark, fpga_model):
+    headers, rows = benchmark(table3_basic_ops, fpga_model)
+    emit("table3_basic_ops",
+         "Table III: basic op latencies and speedups (single FPGA)\n" +
+         format_table(headers, rows))
+    by = {r["Operation"]: r for r in rows}
+    # Mult is the most expensive CKKS primitive; Add the cheapest.
+    assert by["mult"]["HEAP model (ms)"] > by["rescale"]["HEAP model (ms)"]
+    assert by["add"]["HEAP model (ms)"] < by["rescale"]["HEAP model (ms)"]
+
+
+def bench_functional_add(benchmark, stack):
+    ev, a, b = stack
+    benchmark(ev.add, a, b)
+
+
+def bench_functional_mult(benchmark, stack):
+    ev, a, b = stack
+    benchmark(ev.multiply, a, b)
+
+
+def bench_functional_rescale(benchmark, stack):
+    ev, a, b = stack
+    prod = ev.multiply(a, b)
+    benchmark(ev.rescale, prod)
+
+
+def bench_functional_rotate(benchmark, stack):
+    ev, a, b = stack
+    benchmark(ev.rotate, a, 1)

@@ -1,0 +1,45 @@
+"""Table IV: NTT throughput (N = 2^13, logQ = 218) — model regeneration
+plus measured throughput of this repo's vectorised NTT engine across ring
+sizes (the series behind the paper's NTT datapath claims)."""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, table4_ntt
+from repro.math.modular import find_ntt_primes
+from repro.math.ntt import NttEngine
+
+
+def bench_table4_model(benchmark, fpga_model):
+    headers, rows = benchmark(table4_ntt, fpga_model)
+    emit("table4_ntt", "Table IV: NTT throughput\n" + format_table(headers, rows))
+    by = {r["System"]: r for r in rows}
+    assert by["HEAP"]["NTT ops/s"] > by["FAB"]["NTT ops/s"] > by["HEAX"]["NTT ops/s"]
+
+
+@pytest.mark.parametrize("n", [256, 1024, 4096])
+def bench_functional_ntt_forward(benchmark, n):
+    q = find_ntt_primes(28, n, 1)[0]
+    eng = NttEngine(n, q)
+    data = eng.mod.asarray(np.random.default_rng(0).integers(0, q, n))
+    benchmark(eng.forward, data)
+
+
+def bench_functional_ntt_paper_size(benchmark):
+    """The paper's ring size N = 2^13 with a (fast-path) 28-bit prime."""
+    n = 1 << 13
+    q = find_ntt_primes(28, n, 1)[0]
+    eng = NttEngine(n, q)
+    data = eng.mod.asarray(np.random.default_rng(1).integers(0, q, n))
+    result = benchmark(eng.forward, data)
+    assert len(result) == n
+
+
+def bench_functional_ntt_batched_two_limbs(benchmark):
+    """The Section IV-D optimisation: two limbs sharing twiddles per pass."""
+    n = 1 << 12
+    q = find_ntt_primes(28, n, 1)[0]
+    eng = NttEngine(n, q)
+    data = eng.mod.asarray(np.random.default_rng(2).integers(0, q, (2, n)))
+    benchmark(eng.forward, data)

@@ -1,0 +1,59 @@
+"""Table VI: logistic-regression training time per iteration (sparse
+256-slot packing), plus a measured encrypted LR iteration at toy scale
+and the compute-to-bootstrap ratio claim of Section VI-F1."""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, table6_lr
+from repro.apps import EncryptedLogisticRegression, lr_iteration_model
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.ckks.bootstrap import make_bootstrappable_toy_params
+from repro.hardware.baselines import BOOTSTRAP_SHARE
+from repro.math.sampling import Sampler
+
+
+def bench_table6_model(benchmark, fpga_model, cluster_model):
+    headers, rows = benchmark(table6_lr, fpga_model, cluster_model)
+    total, share = lr_iteration_model(fpga_model, cluster_model)
+    lines = ["Table VI: LR training time per iteration",
+             format_table(headers, rows),
+             f"\nbootstrap share of iteration: {share:.2%} "
+             f"(paper: ~{BOOTSTRAP_SHARE['lr_heap']:.0%}; FAB spent "
+             f"~{BOOTSTRAP_SHARE['lr_fab']:.0%})"]
+    emit("table6_lr", "\n".join(lines))
+    by = {r["Work"]: r for r in rows}
+    assert by["FAB"]["Speedup time (model)"] > 1
+    assert by["FAB-2"]["Speedup time (model)"] > 1
+    assert by["SHARP"]["Speedup time (model)"] < 1
+
+
+def bench_functional_lr_iteration(benchmark):
+    """Measured encrypted gradient step (f=4, b=4 minibatch in the slots)."""
+    params = make_bootstrappable_toy_params(n=32, levels=9, delta_bits=24,
+                                            q0_bits=30)
+    ctx = CkksContext(params, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(51))
+    sk = gen.secret_key()
+    f, b = 4, 4
+    rots = set()
+    shift = 1
+    while shift < f:
+        rots.update([shift, ctx.slots - shift])
+        shift *= 2
+    shift = f
+    while shift < f * b:
+        rots.update([shift, ctx.slots - shift])
+        shift *= 2
+    keys = gen.keyset(sk, rotations=sorted(rots))
+    ev = CkksEvaluator(ctx, keys, Sampler(52), scale_rtol=5e-2)
+    trainer = EncryptedLogisticRegression(ctx, ev, f, b, lr=0.5)
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-1, 1, (b, f))
+    y = rng.integers(0, 2, b).astype(float)
+    ct_w = ev.encrypt(trainer.pack_weights(np.zeros(f)))
+
+    out = benchmark.pedantic(trainer.iterate, args=(ct_w, x, y), rounds=1,
+                             iterations=1, warmup_rounds=0)
+    assert out.level < ct_w.level  # the iteration really consumed levels

@@ -1,0 +1,55 @@
+"""Table VII: ResNet-20 inference (1024-slot packing) via the op-sequence
+model, plus a measured encrypted convolution block (the functional
+miniature of Lee et al.'s multiplexed convolutions)."""
+
+import numpy as np
+import pytest
+from conftest import emit
+
+from repro.analysis import format_table, table7_resnet
+from repro.apps import TinyEncryptedCnn, resnet20_op_counts, resnet_inference_model
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.ckks.bootstrap import make_bootstrappable_toy_params
+from repro.hardware.baselines import BOOTSTRAP_SHARE
+from repro.math.sampling import Sampler
+
+
+def bench_table7_model(benchmark, fpga_model, cluster_model):
+    headers, rows = benchmark(table7_resnet, fpga_model, cluster_model)
+    total, share = resnet_inference_model(fpga_model, cluster_model)
+    layers = resnet20_op_counts()
+    lines = ["Table VII: ResNet-20 inference",
+             format_table(headers, rows),
+             f"\nbootstrap share: {share:.2%} "
+             f"(paper: ~{BOOTSTRAP_SHARE['resnet_heap']:.0%}); "
+             f"{sum(l.bootstraps for l in layers)} bootstraps across "
+             f"{len(layers)} homomorphic layers"]
+    emit("table7_resnet", "\n".join(lines))
+    by = {r["Work"]: r for r in rows}
+    assert by["CraterLake"]["Speedup time (model)"] > 1
+    assert by["SHARP"]["Speedup time (model)"] < 1
+
+
+def bench_functional_encrypted_conv(benchmark):
+    """Measured conv + square-activation block on an encrypted image."""
+    params = make_bootstrappable_toy_params(n=32, levels=6, delta_bits=24,
+                                            q0_bits=30)
+    ctx = CkksContext(params, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(61))
+    sk = gen.secret_key()
+    side = 4
+    kernel = np.array([[0.5, -0.25], [0.125, 0.375]])
+    rots = {di * side + dj for di in range(2) for dj in range(2)} - {0}
+    keys = gen.keyset(sk, rotations=sorted(rots))
+    ev = CkksEvaluator(ctx, keys, Sampler(62), scale_rtol=5e-2)
+    cnn = TinyEncryptedCnn(ctx, ev, side, kernel)
+    img = np.random.default_rng(2).uniform(-0.5, 0.5, (side, side))
+    ct = ev.encrypt(cnn.pack_image(img))
+
+    def block():
+        return cnn.square_activation(cnn.conv(ct))
+
+    out = benchmark.pedantic(block, rounds=1, iterations=1, warmup_rounds=0)
+    got = ev.decrypt(out, sk).real
+    want = cnn.reference(img, kernel)
+    assert abs(got[0] - want[0, 0]) < 0.05

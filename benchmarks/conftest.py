@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every ``bench_table*.py`` regenerates one table of the paper's evaluation
+section: it benchmarks the relevant computation (model evaluation and/or
+functional micro-op at toy ring size) and prints the regenerated table —
+paper value next to model/measured value — to stdout and to
+``benchmarks/out/<name>.txt``.
+"""
+
+import os
+
+import pytest
+
+from repro.hardware import ClusterBootstrapModel, SingleFpgaModel
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, text: str) -> None:
+    """Print a regenerated table and persist it under benchmarks/out/."""
+    print(f"\n{text}\n")
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+@pytest.fixture(scope="session")
+def fpga_model():
+    return SingleFpgaModel()
+
+
+@pytest.fixture(scope="session")
+def cluster_model():
+    return ClusterBootstrapModel()

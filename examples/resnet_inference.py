@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""ResNet-20 inference workload (paper Section VI-F2).
+
+Two parts, mirroring how the paper evaluates this workload:
+
+1. a functional miniature — an encrypted convolution + activation +
+   pooling block executed on CKKS ciphertexts and checked against the
+   plaintext reference (the full homomorphic ResNet-20 takes ~3 hours on
+   the paper's *CPU baseline*; nobody runs it in pure Python), and
+2. the production-scale prediction through the hardware model: the
+   op-sequence of Lee et al.'s multiplexed-convolution ResNet-20, 1024
+   slots per ciphertext, ~230 bootstraps — regenerating the paper's
+   Table VII numbers.
+"""
+
+import numpy as np
+
+from repro.apps import (
+    TinyEncryptedCnn,
+    resnet20_op_counts,
+    resnet_inference_model,
+    synthetic_cifar_batch,
+    total_bootstrap_count,
+)
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.ckks.bootstrap import make_bootstrappable_toy_params
+from repro.hardware import ClusterBootstrapModel, SingleFpgaModel
+from repro.math.sampling import Sampler
+
+
+def main() -> None:
+    # -- functional miniature ----------------------------------------------------
+    params = make_bootstrappable_toy_params(n=32, levels=6, delta_bits=24,
+                                            q0_bits=30)
+    ctx = CkksContext(params, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(71))
+    sk = gen.secret_key()
+    side = 4
+    kernel = np.array([[0.6, -0.3], [0.2, 0.5]])
+    rots = sorted({di * side + dj for di in range(2) for dj in range(2)} - {0})
+    pool_rots = []
+    shift = 1
+    while shift < ctx.slots:
+        pool_rots.append(shift)
+        shift *= 2
+    keys = gen.keyset(sk, rotations=sorted(set(rots + pool_rots)))
+    ev = CkksEvaluator(ctx, keys, Sampler(72), scale_rtol=5e-2)
+    cnn = TinyEncryptedCnn(ctx, ev, side, kernel)
+
+    img = synthetic_cifar_batch(1, seed=5)[0, 0, :side, :side]  # one channel crop
+    ct = ev.encrypt(cnn.pack_image(img))
+    conv = cnn.conv(ct)
+    act = cnn.square_activation(conv)
+    pooled = cnn.sum_pool(act)
+
+    got = ev.decrypt(act, sk).real
+    want = cnn.reference(img, kernel)
+    out_side = side - kernel.shape[0] + 1
+    err = max(abs(got[i * side + j] - want[i, j])
+              for i in range(out_side) for j in range(out_side))
+    pooled_val = ev.decrypt(pooled, sk).real[0]
+    print("functional miniature (encrypted conv + square + sum-pool):")
+    print(f"  conv+activation max error vs plaintext: {err:.4f}")
+    print(f"  pooled value: {pooled_val:.4f} "
+          f"(plaintext window sum: {float(np.sum(want)):.4f})")
+
+    # -- production-scale prediction ------------------------------------------------
+    fpga = SingleFpgaModel()
+    cluster = ClusterBootstrapModel()
+    total, share = resnet_inference_model(fpga, cluster)
+    print("\nhardware model, production scale (N=2^13, 8 FPGAs, 1024 slots):")
+    print(f"  ResNet-20 inference: {total:.3f} s "
+          f"(paper: 0.267 s)")
+    print(f"  bootstrap share: {share:.1%} (paper: ~44%)")
+    print(f"  bootstraps: {total_bootstrap_count()} across "
+          f"{len(resnet20_op_counts())} homomorphic layers")
+    print("\nper-layer op budget:")
+    for layer in resnet20_op_counts():
+        print(f"  {layer.name:18s} mults={layer.mults:4d} "
+              f"rotates={layer.rotates:4d} adds={layer.adds:4d} "
+              f"bootstraps={layer.bootstraps}")
+
+
+if __name__ == "__main__":
+    main()

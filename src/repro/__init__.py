@@ -1,0 +1,32 @@
+"""HEAP reproduction: CKKS-TFHE scheme-switching bootstrapping in Python.
+
+Public entry points:
+
+* :mod:`repro.params` -- parameter sets (paper + toy).
+* :mod:`repro.ckks` -- the RNS-CKKS scheme with a conventional bootstrap.
+* :mod:`repro.tfhe` -- the TFHE scheme (LWE/RGSW/BlindRotate/Extract).
+* :mod:`repro.switching` -- the paper's scheme-switching bootstrap.
+* :mod:`repro.hardware` -- the HEAP accelerator performance model.
+* :mod:`repro.apps` -- LR training and ResNet-20 workloads.
+"""
+
+from .params import (
+    CkksParams,
+    HeapParams,
+    TfheParams,
+    make_conventional_params,
+    make_heap_params,
+    make_toy_params,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CkksParams",
+    "HeapParams",
+    "TfheParams",
+    "make_conventional_params",
+    "make_heap_params",
+    "make_toy_params",
+    "__version__",
+]

@@ -1,0 +1,35 @@
+"""Table generators regenerating the paper's evaluation section."""
+
+from .opcounts import (
+    ConventionalBootstrapOps,
+    SchemeSwitchBootstrapOps,
+    bootstrap_op_comparison,
+)
+from .tables import (
+    format_table,
+    heap_t_mult_a_slot,
+    key_size_table,
+    table2_resources,
+    table3_basic_ops,
+    table4_ntt,
+    table5_bootstrap,
+    table6_lr,
+    table7_resnet,
+    table8_ablation,
+)
+
+__all__ = [
+    "ConventionalBootstrapOps",
+    "SchemeSwitchBootstrapOps",
+    "bootstrap_op_comparison",
+    "format_table",
+    "heap_t_mult_a_slot",
+    "key_size_table",
+    "table2_resources",
+    "table3_basic_ops",
+    "table4_ntt",
+    "table5_bootstrap",
+    "table6_lr",
+    "table7_resnet",
+    "table8_ablation",
+]

@@ -1,0 +1,47 @@
+"""Regenerate every paper table from the command line:
+
+    python -m repro.analysis
+"""
+
+from ..hardware import ClusterBootstrapModel, SingleFpgaModel
+from ..hardware.area import area_comparison, heap_within_asic_envelope
+from .tables import (
+    format_table,
+    key_size_table,
+    table2_resources,
+    table3_basic_ops,
+    table4_ntt,
+    table5_bootstrap,
+    table6_lr,
+    table7_resnet,
+    table8_ablation,
+)
+
+
+def main() -> None:
+    fpga = SingleFpgaModel()
+    cluster = ClusterBootstrapModel()
+    sections = [
+        ("Table II: FPGA resource utilization", table2_resources()),
+        ("Table III: basic FHE operation latencies", table3_basic_ops(fpga)),
+        ("Table IV: NTT throughput", table4_ntt(fpga)),
+        ("Table V: bootstrapping T_mult,a/slot", table5_bootstrap(fpga, cluster)),
+        ("Table VI: LR training per iteration", table6_lr(fpga, cluster)),
+        ("Table VII: ResNet-20 inference", table7_resnet(fpga, cluster)),
+        ("Table VIII: scheme switching vs hardware", table8_ablation()),
+        ("Section III-C: key sizes and traffic", key_size_table()),
+    ]
+    for title, (headers, rows) in sections:
+        print(f"\n=== {title} ===")
+        print(format_table(headers, rows))
+
+    print("\n=== Section VI-B: area proxies ===")
+    for p in area_comparison():
+        print(f"  {p.name:12s} {p.platform:5s} "
+              f"{p.modular_multipliers:6d} multipliers  "
+              f"{p.onchip_memory_mb:7.1f} MB on-chip")
+    print(f"  HEAP-8 within ASIC envelope: {heap_within_asic_envelope()}")
+
+
+if __name__ == "__main__":
+    main()

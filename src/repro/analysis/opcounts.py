@@ -1,0 +1,116 @@
+"""Scalar-operation counts of the two bootstrap algorithms.
+
+A parameter-set-level comparison that complements the wall-clock numbers:
+count the scalar modular multiplications each bootstrap performs, at any
+ring size.  This makes the paper's trade-off quantitative:
+
+* the **conventional** bootstrap runs a *deep, serial* circuit (linear
+  transforms + a degree-d sine) over a huge ring (N = 2^16, ~24 limbs)
+  with hundreds of key switches — expensive *and* unparallelisable, the
+  FAB bottleneck;
+* the **scheme-switching** bootstrap runs ``n * n_t`` *independent*
+  external products over a small ring (N = 2^13, 1-limb keys) — a larger
+  raw op count, but embarrassingly parallel, single-level, and with ~18x
+  less key traffic.
+
+The honest headline (recorded in EXPERIMENTS.md): by raw scalar-multiply
+count the scheme-switching bootstrap is *more* work; its wins come from
+parallel scaling, the smaller parameter set the application then runs
+under, and memory traffic — not from doing fewer multiplications.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def ntt_mults(n: int) -> int:
+    """Scalar multiplications in one size-``n`` NTT (radix-2)."""
+    return (n // 2) * int(math.log2(n))
+
+
+@dataclass(frozen=True)
+class ConventionalBootstrapOps:
+    """Op-count model of ModRaise -> C2S -> EvalMod -> S2C."""
+
+    n: int = 1 << 16
+    limbs: int = 24
+    special_limbs: int = 1
+    dnum: int = 2
+    sine_degree: int = 119
+
+    def keyswitch_mults(self) -> int:
+        """Hybrid key switch: digit NTTs + BConv MACs + inner product +
+        ModDown, all over ``limbs + specials`` residue polynomials."""
+        ext = self.limbs + self.special_limbs
+        per_digit = max(1, self.limbs // self.dnum)
+        bconv = self.n * per_digit * (ext - per_digit) * self.dnum
+        ntts = (self.limbs + self.dnum * ext + 2 * self.special_limbs +
+                2 * self.limbs)
+        inner = 2 * self.dnum * ext * self.n
+        return bconv + ntts * ntt_mults(self.n) + inner
+
+    def rotations(self) -> int:
+        """BSGS rotations in CoeffToSlot + SlotToCoeff (2 transforms,
+        each applied to ct and its conjugate)."""
+        n1 = 1 << math.ceil(math.log2(max(1, math.isqrt(self.n // 2))))
+        n2 = -(-(self.n // 2) // n1)
+        return 4 * (n1 + n2)
+
+    def ct_mults(self) -> int:
+        """Ciphertext-ciphertext mults in the Chebyshev evaluation (twice,
+        for the real and imaginary coefficient streams)."""
+        d = self.sine_degree
+        babies = 1 << math.ceil(math.log2(d + 1) / 2)
+        giants = int(math.log2(d // babies)) + 1 if d >= babies else 0
+        recombine = d // babies + 1
+        return 2 * (babies + giants + recombine)
+
+    def total_mults(self) -> int:
+        ks = self.keyswitch_mults()
+        # Every rotation and every ct-ct mult costs one key switch plus
+        # the tensor/diagonal products.
+        tensor = 4 * self.limbs * self.n
+        return (self.rotations() + self.ct_mults()) * (ks + tensor)
+
+
+@dataclass(frozen=True)
+class SchemeSwitchBootstrapOps:
+    """Op-count model of Algorithm 2."""
+
+    n: int = 1 << 13
+    limbs: int = 7          # raised basis Q*p
+    n_t: int = 500
+    n_br: int = 4096        # LWE ciphertexts = packed slots
+    decomp_digits: int = 2
+    glwe_mask: int = 1
+
+    def external_product_mults(self) -> int:
+        rows = (self.glwe_mask + 1) * self.decomp_digits
+        ntts = (rows + self.glwe_mask + 1) * self.limbs
+        pointwise = rows * (self.glwe_mask + 1) * self.limbs * self.n
+        return ntts * ntt_mults(self.n) + pointwise
+
+    def repack_mults(self) -> int:
+        levels = int(math.log2(self.n_br)) if self.n_br > 1 else 0
+        trace_levels = int(math.log2(self.n // max(1, self.n_br)))
+        per_level = self.external_product_mults()  # keyswitch ~ ext product
+        return (levels + trace_levels) * per_level
+
+    def total_mults(self) -> int:
+        blind = self.n_br * self.n_t * self.external_product_mults()
+        return blind + self.repack_mults()
+
+
+def bootstrap_op_comparison() -> dict:
+    """Raw scalar-mult counts at the paper's production parameters."""
+    conv = ConventionalBootstrapOps()
+    ss = SchemeSwitchBootstrapOps()
+    return {
+        "conventional_mults": conv.total_mults(),
+        "scheme_switching_mults": ss.total_mults(),
+        "ss_over_conventional": ss.total_mults() / conv.total_mults(),
+        "ss_parallel_fraction": (ss.n_br * ss.n_t * ss.external_product_mults()
+                                 / ss.total_mults()),
+    }

@@ -1,0 +1,301 @@
+"""Regenerate every table of the paper's evaluation section.
+
+Each ``table*`` function returns ``(headers, rows)`` where rows are
+dictionaries carrying the paper's reported value, our model's value and
+the recomputed speedups, so the benchmark harness can print the table
+and EXPERIMENTS.md can record paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..hardware.baselines import (
+    BOOTSTRAP_SHARE,
+    HEAP_BOOTSTRAP_SPLIT_MS,
+    HEAP_LR_ITER_S,
+    HEAP_NTT_THROUGHPUT,
+    HEAP_RESNET_S,
+    HEAP_TABLE3,
+    HEAP_TABLE5,
+    TABLE3_REFERENCES,
+    TABLE4_REFERENCES,
+    TABLE5_REFERENCES,
+    TABLE6_REFERENCES,
+    TABLE7_REFERENCES,
+    TABLE8_PAPER,
+)
+from ..hardware.cluster import ClusterBootstrapModel
+from ..hardware.fpga import SingleFpgaModel
+from ..hardware.metrics import cycle_speedup, speedup, t_mult_a_slot
+from ..hardware.resources import PAPER_UTILIZED, ResourceModel
+from ..hardware.traffic import (
+    ConventionalKeyTraffic,
+    key_traffic_reduction,
+    scheme_switching_key_bytes,
+)
+from ..apps.logistic_regression import LrOpCounts, lr_iteration_model
+from ..apps.resnet import resnet_inference_model
+from ..params import make_heap_params
+
+Row = Dict[str, object]
+Table = Tuple[List[str], List[Row]]
+
+HEAP_FREQ_GHZ = 0.3
+
+
+def _models(fpga: Optional[SingleFpgaModel] = None,
+            cluster: Optional[ClusterBootstrapModel] = None):
+    return fpga or SingleFpgaModel(), cluster or ClusterBootstrapModel()
+
+
+def table2_resources() -> Table:
+    """Table II: FPGA resource utilisation."""
+    headers = ["Resource", "Available", "Utilized (model)", "Utilized (paper)",
+               "% Utilization"]
+    report = ResourceModel().report()
+    names = {"luts": "LUTs", "ffs": "FFs", "dsps": "DSPs",
+             "bram": "BRAM blocks", "uram": "URAM blocks"}
+    rows = []
+    for key, rep in report.items():
+        rows.append({
+            "Resource": names[key],
+            "Available": rep.available,
+            "Utilized (model)": rep.utilized,
+            "Utilized (paper)": PAPER_UTILIZED[key],
+            "% Utilization": round(rep.percent, 2),
+        })
+    return headers, rows
+
+
+def table3_basic_ops(fpga: Optional[SingleFpgaModel] = None) -> Table:
+    """Table III: basic FHE op latencies and speedups (single FPGA)."""
+    fpga, _ = _models(fpga, ClusterBootstrapModel.__new__(ClusterBootstrapModel))
+    headers = ["Operation", "HEAP model (ms)", "HEAP paper (ms)",
+               "vs FAB", "vs GPU", "vs GME", "vs TFHE",
+               "paper vs FAB", "paper vs GPU", "paper vs GME", "paper vs TFHE"]
+    paper_speedups = {
+        "add": {"FAB": 40, "GPU": 160, "GME": 28},
+        "mult": {"FAB": 61.1, "GPU": 105.71, "GME": 16.57},
+        "rescale": {"FAB": 19, "GPU": 49, "GME": 6.9},
+        "rotate": {"FAB": 62.8, "GPU": 102, "GME": 14.56},
+        "blind_rotate": {"TFHE-lib": 156.7},
+    }
+    rows = []
+    for op in ("add", "mult", "rescale", "rotate", "blind_rotate"):
+        ours = fpga.latency_s(op)
+        row: Row = {"Operation": op,
+                    "HEAP model (ms)": ours * 1e3,
+                    "HEAP paper (ms)": HEAP_TABLE3[op] * 1e3}
+        for ref in TABLE3_REFERENCES:
+            col = "vs TFHE" if ref.name == "TFHE-lib" else f"vs {ref.name}"
+            if op in ref.metrics:
+                row[col] = round(speedup(ref.metrics[op], ours), 2)
+            else:
+                row[col] = None
+        for name, val in paper_speedups[op].items():
+            col = "paper vs TFHE" if name == "TFHE-lib" else f"paper vs {name}"
+            row[col] = val
+        rows.append(row)
+    return headers, rows
+
+
+def table4_ntt(fpga: Optional[SingleFpgaModel] = None) -> Table:
+    """Table IV: NTT throughput (N=2^13)."""
+    fpga, _ = _models(fpga, ClusterBootstrapModel.__new__(ClusterBootstrapModel))
+    ours = fpga.ntt_throughput_ops_per_s()
+    headers = ["System", "NTT ops/s", "HEAP speedup (model)", "HEAP speedup (paper)"]
+    paper = {"FAB": 2.04, "HEAX": 2.34}
+    rows = [{"System": "HEAP", "NTT ops/s": ours,
+             "HEAP speedup (model)": 1.0, "HEAP speedup (paper)": 1.0}]
+    for ref in TABLE4_REFERENCES:
+        theirs = ref.metrics["ntt_ops_per_s"]
+        rows.append({"System": ref.name, "NTT ops/s": theirs,
+                     "HEAP speedup (model)": round(ours / theirs, 2),
+                     "HEAP speedup (paper)": paper[ref.name]})
+    return headers, rows
+
+
+def heap_t_mult_a_slot(fpga: SingleFpgaModel, cluster: ClusterBootstrapModel,
+                       slots: int = 4096) -> float:
+    """Eq. 3 for HEAP: 1.5 ms bootstrap, 5 post-bootstrap levels."""
+    levels = fpga.params.ckks.max_limbs - 1  # depth-1 bootstrap leaves L-1
+    mults = [fpga.latency_s("mult")] * levels
+    return t_mult_a_slot(cluster.bootstrap_latency_s(slots), mults, slots)
+
+
+def table5_bootstrap(fpga: Optional[SingleFpgaModel] = None,
+                     cluster: Optional[ClusterBootstrapModel] = None) -> Table:
+    """Table V: bootstrapping T_mult,a/slot and speedups vs 9 systems."""
+    fpga, cluster = _models(fpga, cluster)
+    ours = heap_t_mult_a_slot(fpga, cluster)
+    paper_time = {"Lattigo": 3283, "GPU": 23.10, "GME": 2.39, "F1": 8208,
+                  "BTS-2": 1.47, "CraterLake": 13.96, "ARK": 0.45,
+                  "SHARP": 0.39, "FAB": 15.39}
+    headers = ["Work", "Freq (GHz)", "Slots", "T_mult,a/slot (us)",
+               "Speedup time (model)", "Speedup cycles (model)",
+               "Speedup time (paper)"]
+    rows = []
+    for ref in TABLE5_REFERENCES:
+        theirs = ref.metrics["t_mult_a_slot"]
+        rows.append({
+            "Work": ref.name, "Freq (GHz)": ref.freq_ghz, "Slots": ref.slots,
+            "T_mult,a/slot (us)": theirs * 1e6,
+            "Speedup time (model)": round(speedup(theirs, ours), 2),
+            "Speedup cycles (model)": round(cycle_speedup(
+                theirs, ref.freq_ghz, ours, HEAP_FREQ_GHZ), 2),
+            "Speedup time (paper)": paper_time[ref.name],
+        })
+    rows.append({"Work": "HEAP (model)", "Freq (GHz)": HEAP_FREQ_GHZ,
+                 "Slots": 4096, "T_mult,a/slot (us)": ours * 1e6,
+                 "Speedup time (model)": 1.0, "Speedup cycles (model)": 1.0,
+                 "Speedup time (paper)": None})
+    rows.append({"Work": "HEAP (paper)", "Freq (GHz)": HEAP_FREQ_GHZ,
+                 "Slots": 4096,
+                 "T_mult,a/slot (us)": HEAP_TABLE5.metrics["t_mult_a_slot"] * 1e6,
+                 "Speedup time (model)": None, "Speedup cycles (model)": None,
+                 "Speedup time (paper)": None})
+    return headers, rows
+
+
+def table6_lr(fpga: Optional[SingleFpgaModel] = None,
+              cluster: Optional[ClusterBootstrapModel] = None,
+              counts: LrOpCounts = LrOpCounts()) -> Table:
+    """Table VI: LR training time per iteration."""
+    fpga, cluster = _models(fpga, cluster)
+    ours, share = lr_iteration_model(fpga, cluster, counts)
+    paper_speedup = {"Lattigo": 5293, "GPU": 111, "GME": 7.7, "F1": 146,
+                     "BTS-2": 4, "ARK": 1.14, "SHARP": 0.29, "FAB": 14.71,
+                     "FAB-2": 11.57}
+    headers = ["Work", "Time (s)", "Speedup time (model)",
+               "Speedup cycles (model)", "Speedup time (paper)"]
+    rows = []
+    for ref in TABLE6_REFERENCES:
+        theirs = ref.metrics["lr_iter"]
+        rows.append({
+            "Work": ref.name, "Time (s)": theirs,
+            "Speedup time (model)": round(speedup(theirs, ours), 2),
+            "Speedup cycles (model)": round(cycle_speedup(
+                theirs, ref.freq_ghz, ours, HEAP_FREQ_GHZ), 2),
+            "Speedup time (paper)": paper_speedup[ref.name],
+        })
+    rows.append({"Work": "HEAP (model)", "Time (s)": ours,
+                 "Speedup time (model)": 1.0, "Speedup cycles (model)": 1.0,
+                 "Speedup time (paper)": None})
+    rows.append({"Work": "HEAP (paper)", "Time (s)": HEAP_LR_ITER_S,
+                 "Speedup time (model)": None, "Speedup cycles (model)": None,
+                 "Speedup time (paper)": None})
+    return headers, rows
+
+
+def table7_resnet(fpga: Optional[SingleFpgaModel] = None,
+                  cluster: Optional[ClusterBootstrapModel] = None) -> Table:
+    """Table VII: ResNet-20 inference."""
+    fpga, cluster = _models(fpga, cluster)
+    ours, share = resnet_inference_model(fpga, cluster)
+    paper_speedup = {"CPU": 39708, "GME": 3.7, "CraterLake": 1.20,
+                     "ARK": 0.47, "SHARP": 0.37}
+    headers = ["Work", "Time (s)", "Speedup time (model)",
+               "Speedup cycles (model)", "Speedup time (paper)"]
+    rows = []
+    for ref in TABLE7_REFERENCES:
+        theirs = ref.metrics["resnet"]
+        rows.append({
+            "Work": ref.name, "Time (s)": theirs,
+            "Speedup time (model)": round(speedup(theirs, ours), 2),
+            "Speedup cycles (model)": round(cycle_speedup(
+                theirs, ref.freq_ghz, ours, HEAP_FREQ_GHZ), 2),
+            "Speedup time (paper)": paper_speedup[ref.name],
+        })
+    rows.append({"Work": "HEAP (model)", "Time (s)": ours,
+                 "Speedup time (model)": 1.0, "Speedup cycles (model)": 1.0,
+                 "Speedup time (paper)": None})
+    rows.append({"Work": "HEAP (paper)", "Time (s)": HEAP_RESNET_S,
+                 "Speedup time (model)": None, "Speedup cycles (model)": None,
+                 "Speedup time (paper)": None})
+    return headers, rows
+
+
+def table8_ablation(measured_cpu: Optional[Dict[str, Dict[str, float]]] = None
+                    ) -> Table:
+    """Table VIII: scheme-switching vs hardware speedup split.
+
+    ``measured_cpu`` may supply this repo's *measured* Python runtimes for
+    the "CKKS only on CPU" and "SS on CPU" columns (at toy scale), in
+    which case the measured speedup-1 column is reported alongside the
+    paper's; the SS-on-HEAP column always comes from the hardware model.
+    """
+    fpga, cluster = _models(None, None)
+    model_heap = {
+        "bootstrapping": cluster.bootstrap_latency_s(4096),
+        "lr_training": lr_iteration_model(fpga, cluster)[0],
+        "resnet20": resnet_inference_model(fpga, cluster)[0],
+    }
+    headers = ["Workload", "CKKS-CPU (paper s)", "SS-CPU (paper s)",
+               "Speedup1 (paper)", "Speedup1 (measured)",
+               "SS-HEAP (model s)", "Speedup2 (model)", "Speedup2 (paper)"]
+    rows = []
+    for workload, vals in TABLE8_PAPER.items():
+        s1_paper = vals["ckks_cpu"] / vals["ss_cpu"]
+        s1_measured = None
+        if measured_cpu and workload in measured_cpu:
+            m = measured_cpu[workload]
+            s1_measured = round(m["ckks_cpu"] / m["ss_cpu"], 2)
+        heap_s = model_heap[workload]
+        rows.append({
+            "Workload": workload,
+            "CKKS-CPU (paper s)": vals["ckks_cpu"],
+            "SS-CPU (paper s)": vals["ss_cpu"],
+            "Speedup1 (paper)": round(s1_paper, 1),
+            "Speedup1 (measured)": s1_measured,
+            "SS-HEAP (model s)": heap_s,
+            "Speedup2 (model)": round(vals["ss_cpu"] / heap_s, 1),
+            "Speedup2 (paper)": round(vals["ss_cpu"] / vals["ss_heap"], 1),
+        })
+    return headers, rows
+
+
+def key_size_table() -> Table:
+    """Section III-C size audit + the 18x key-traffic claim."""
+    params = make_heap_params()
+    tfhe = params.ckks, params.tfhe
+    log_q = params.ckks.log_q_total
+    conv = ConventionalKeyTraffic()
+    ss_bytes = scheme_switching_key_bytes(params.tfhe, log_q)
+    headers = ["Quantity", "Model", "Paper"]
+    rows = [
+        {"Quantity": "RLWE ciphertext (MB)",
+         "Model": round(2 * log_q * params.ckks.n / 8 / 1e6, 3), "Paper": 0.44},
+        {"Quantity": "LWE ciphertext (KB)",
+         "Model": round((params.tfhe.n_t + 1) * 36 / 8 / 1e3, 2), "Paper": 2.3},
+        {"Quantity": "brk entry (MB)",
+         "Model": round(ss_bytes / params.tfhe.n_t / 1e6, 2), "Paper": 3.52},
+        {"Quantity": "total brk (GB)",
+         "Model": round(ss_bytes / 1e9, 2), "Paper": 1.76},
+        {"Quantity": "conventional key traffic (GB)",
+         "Model": round(conv.total_bytes / 1e9, 1), "Paper": 32.0},
+        {"Quantity": "key-traffic reduction (x)",
+         "Model": round(key_traffic_reduction(params.tfhe, log_q), 1),
+         "Paper": 18.0},
+    ]
+    return headers, rows
+
+
+def format_table(headers: List[str], rows: List[Row],
+                 float_fmt: str = "{:.4g}") -> str:
+    """Plain-text rendering used by the benchmark harness."""
+    def fmt(v):
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return float_fmt.format(v)
+        return str(v)
+
+    cells = [headers] + [[fmt(r.get(h)) for h in headers] for r in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for i, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        if i == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -1,0 +1,47 @@
+"""Application workloads: logistic-regression training and ResNet-20."""
+
+from .datasets import (
+    MNIST_3V8_FEATURES,
+    MNIST_3V8_SAMPLES,
+    Dataset,
+    synthetic_cifar_batch,
+    synthetic_mnist_3v8,
+    train_test_split,
+)
+from .logistic_regression import (
+    SIGMOID_DEG3,
+    EncryptedLogisticRegression,
+    EncryptedLrState,
+    LrOpCounts,
+    PlaintextLogisticRegression,
+    lr_iteration_model,
+    poly_sigmoid,
+)
+from .resnet import (
+    ResNetLayer,
+    TinyEncryptedCnn,
+    resnet20_op_counts,
+    resnet_inference_model,
+    total_bootstrap_count,
+)
+
+__all__ = [
+    "MNIST_3V8_FEATURES",
+    "MNIST_3V8_SAMPLES",
+    "Dataset",
+    "synthetic_cifar_batch",
+    "synthetic_mnist_3v8",
+    "train_test_split",
+    "SIGMOID_DEG3",
+    "EncryptedLogisticRegression",
+    "EncryptedLrState",
+    "LrOpCounts",
+    "PlaintextLogisticRegression",
+    "lr_iteration_model",
+    "poly_sigmoid",
+    "ResNetLayer",
+    "TinyEncryptedCnn",
+    "resnet20_op_counts",
+    "resnet_inference_model",
+    "total_bootstrap_count",
+]

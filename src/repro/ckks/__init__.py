@@ -1,0 +1,42 @@
+"""The RNS-CKKS scheme: encoder, keys, evaluator, and bootstrapping."""
+
+from .ciphertext import CkksCiphertext
+from .context import CkksContext
+from .encoder import CkksEncoder
+from .evaluator import CkksEvaluator
+from .keys import CkksKeyGenerator, KeySet, PublicKey, SecretKey, SwitchKey
+from .keyswitch import KeySwitcher
+
+__all__ = [
+    "CkksCiphertext",
+    "CkksContext",
+    "CkksEncoder",
+    "CkksEvaluator",
+    "CkksKeyGenerator",
+    "KeySet",
+    "PublicKey",
+    "SecretKey",
+    "SwitchKey",
+    "KeySwitcher",
+]
+
+from .bootstrap import (
+    ConventionalBootstrapConfig,
+    ConventionalBootstrapper,
+    ConventionalBootstrapTrace,
+    make_bootstrappable_toy_params,
+)
+from .chebyshev import ChebyshevApprox, eval_chebyshev
+from .linear_transform import apply_conjugation_pair, apply_matrix, required_rotations
+
+__all__ += [
+    "ConventionalBootstrapConfig",
+    "ConventionalBootstrapper",
+    "ConventionalBootstrapTrace",
+    "make_bootstrappable_toy_params",
+    "ChebyshevApprox",
+    "eval_chebyshev",
+    "apply_conjugation_pair",
+    "apply_matrix",
+    "required_rotations",
+]

@@ -1,0 +1,255 @@
+"""Conventional CKKS bootstrapping — the baseline HEAP is compared against.
+
+Pipeline (paper Fig. 1a): ModRaise -> CoeffToSlot (linear transform) ->
+EvalMod (polynomial approximation of modular reduction, a scaled sine) ->
+SlotToCoeff (linear transform).  This is the algorithm FAB, BTS, ARK,
+SHARP et al. accelerate; HEAP replaces the middle two steps (and their
+15-19 consumed levels) with the scheme-switching path.
+
+Implementation notes
+--------------------
+* The transform matrices are generated numerically from the encoder's
+  embedding — exact at any ring size, no index gymnastics to get wrong.
+* EvalMod approximates ``f(x) = (q0 / 2 pi Delta') * sin(2 pi x)`` on
+  ``x = m/q0 + k`` with ``|k| <= K`` via Chebyshev interpolation of
+  degree ``~ deg``; depth ``log2(deg) + 1``.
+* Scale discipline: runs its own loose-tolerance evaluator over a
+  parameter set whose rescale primes all sit within a hair of ``Delta``
+  (``make_bootstrappable_toy_params``), the classic fixed-point approach.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..math.modular import find_ntt_primes
+from ..math.rns import RnsPoly
+from ..params import CkksParams
+from .chebyshev import ChebyshevApprox, eval_chebyshev
+from .ciphertext import CkksCiphertext
+from .context import CkksContext
+from .evaluator import CkksEvaluator
+from .keys import KeySet
+from .linear_transform import apply_conjugation_pair, required_rotations
+
+
+def make_bootstrappable_toy_params(n: int = 32, levels: int = 13,
+                                   delta_bits: int = 24,
+                                   q0_bits: int = 30) -> CkksParams:
+    """A toy parameter chain for conventional bootstrapping.
+
+    Base limb ``q0`` is wider than the rescale primes so the message
+    (at scale ``Delta``) is small relative to ``q0`` — the standard
+    bootstrappable layout (the paper's conventional sets use
+    ``N = 2^16`` with ~19 of 24 limbs consumed; we keep the structure and
+    shrink the ring).
+    """
+    q0 = find_ntt_primes(q0_bits, n, 1)[0]
+    rescale_primes = find_ntt_primes(delta_bits, n, levels)
+    # Special modulus P must cover the largest dnum=2 digit group:
+    # ceil((levels+1)/2) limbs of up to q0_bits each.
+    num_specials = (levels + 2) // 2 + 1
+    specials = find_ntt_primes(q0_bits, n, num_specials, skip=1)
+    return CkksParams(n=n, moduli=[q0] + rescale_primes,
+                      special_moduli=specials, scale_bits=delta_bits)
+
+
+@dataclass
+class ConventionalBootstrapConfig:
+    """Tunable knobs of the baseline bootstrap.
+
+    ``double_angle`` enables the Han-Ki refinement the paper cites
+    ([30], "Better bootstrapping for approximate HE"): approximate
+    sine/cosine on the interval shrunk by ``2^r`` (a much lower Chebyshev
+    degree) and recover the full-range sine with ``r`` double-angle
+    iterations ``(s, c) <- (2sc, 2c^2 - 1)``, each costing two level-1
+    multiplications.  ``bench_ablations`` compares the two modes.
+    """
+
+    k_range: int = 12          # |k| bound handled by the sine approximation
+    sine_degree: int = 119     # Chebyshev degree for EvalMod
+    message_ratio_bits: int = 4  # require |m| <= q0 / 2^message_ratio_bits
+    double_angle: int = 0      # r: double-angle iterations (0 = plain sine)
+
+
+@dataclass
+class ConventionalBootstrapTrace:
+    """Step/level accounting, mirrored against Fig. 1a by the benches."""
+
+    levels_consumed: int = 0
+    rotations: int = 0
+    ct_ct_mults: int = 0
+    notes: List[str] = field(default_factory=list)
+
+
+class ConventionalBootstrapper:
+    """ModRaise -> CoeffToSlot -> EvalMod -> SlotToCoeff."""
+
+    def __init__(self, ctx: CkksContext, keys: KeySet,
+                 config: Optional[ConventionalBootstrapConfig] = None,
+                 evaluator: Optional[CkksEvaluator] = None):
+        self.ctx = ctx
+        self.keys = keys
+        self.config = config or ConventionalBootstrapConfig()
+        self.ev = evaluator or CkksEvaluator(ctx, keys, scale_rtol=5e-2)
+        self._c2s, self._s2c = self._build_transform_matrices()
+        self._cos_approx: Optional[ChebyshevApprox] = None
+        self._approx = self._build_sine_approx()
+
+    # -- public API ------------------------------------------------------------------
+
+    @staticmethod
+    def required_rotation_indices(ctx: CkksContext) -> List[int]:
+        """Rotations the key set must contain (paper: "24 keys for
+        rotation and 1 for multiplication" at production scale)."""
+        return required_rotations(ctx.slots)
+
+    def bootstrap(self, ct: CkksCiphertext,
+                  trace: Optional[ConventionalBootstrapTrace] = None) -> CkksCiphertext:
+        if ct.level != 0:
+            raise ParameterError("conventional bootstrap expects a level-0 ciphertext")
+        trace = trace if trace is not None else ConventionalBootstrapTrace()
+        start_level = self.ctx.max_level
+
+        raised = self._mod_raise(ct)
+        trace.notes.append("ModRaise")
+
+        # CoeffToSlot: slots <- (c_lo + i c_hi) of the raised phase.
+        w = apply_conjugation_pair(self.ev, raised, *self._c2s)
+        trace.notes.append("CoeffToSlot")
+
+        # Split packed real/imag coefficient streams.
+        conj_w = self.ev.conjugate(w)
+        re = self.ev.mul_plain(self.ev.add(w, conj_w), np.full(self.ctx.slots, 0.5))
+        re = self.ev.rescale(re)
+        im = self.ev.mul_plain(self.ev.sub(w, conj_w), np.full(self.ctx.slots, -0.5j))
+        im = self.ev.rescale(im)
+
+        # EvalMod on each stream.
+        re = self._eval_mod(re)
+        im = self._eval_mod(im)
+        r = self.config.double_angle
+        suffix = f",double-angle r={r}" if r else ""
+        trace.notes.append(f"EvalMod(deg={self._approx.degree}{suffix})")
+
+        lvl = min(re.level, im.level)
+        re = self.ev.drop_to_level(re, lvl)
+        im = self.ev.drop_to_level(im, lvl)
+        im_i = self.ev.rescale(self.ev.mul_plain(im, np.full(self.ctx.slots, 1j)))
+        re = self.ev.drop_to_level(re, im_i.level)
+        w2 = self.ev.add(re, im_i)
+
+        # SlotToCoeff.
+        out = apply_conjugation_pair(self.ev, w2, *self._s2c)
+        trace.notes.append("SlotToCoeff")
+        trace.levels_consumed = start_level - out.level
+        out.scale = ct.scale
+        return out
+
+    # -- steps --------------------------------------------------------------------------
+
+    def _mod_raise(self, ct: CkksCiphertext) -> CkksCiphertext:
+        """Reinterpret the level-0 residues over the full basis: the
+        underlying message becomes ``m + q0 * k``."""
+        full = self.ctx.full_basis
+        n = self.ctx.n
+
+        def raise_poly(p: RnsPoly) -> RnsPoly:
+            coeffs = np.asarray(p.to_coeff().limbs[0], dtype=object)
+            return RnsPoly.from_int_coeffs(n, full, coeffs).to_eval()
+
+        return CkksCiphertext(raise_poly(ct.c0), raise_poly(ct.c1), ct.scale)
+
+    def _build_transform_matrices(self) -> Tuple[Tuple[np.ndarray, np.ndarray],
+                                                 Tuple[np.ndarray, np.ndarray]]:
+        """Numeric CoeffToSlot / SlotToCoeff matrices from the embedding.
+
+        With ``z = E_lo c_lo + E_hi c_hi`` (decode without scale) and the
+        packed stream ``w = (c_lo + i c_hi) / Delta_pack``:
+
+        * SlotToCoeff: ``z = V1 w + V2 conj(w)`` with
+          ``V1 = (E_lo - i E_hi)/2``, ``V2 = (E_lo + i E_hi)/2``.
+        * CoeffToSlot: ``w = W1 z + W2 conj(z)`` obtained by inverting the
+          stacked system numerically.
+        """
+        enc = self.ctx.encoder
+        n = self.ctx.slots
+        big_n = self.ctx.n
+        e_mat = np.zeros((n, big_n), dtype=np.complex128)
+        for j in range(big_n):
+            unit = np.zeros(big_n)
+            unit[j] = 1.0
+            e_mat[:, j] = enc.embed(unit)
+        e_lo, e_hi = e_mat[:, :n], e_mat[:, n:]
+        v1 = (e_lo - 1j * e_hi) / 2.0
+        v2 = (e_lo + 1j * e_hi) / 2.0
+        # Invert: [z; conj(z)] = [[V1, V2], [conj(V2), conj(V1)]] [w; conj(w)].
+        big = np.block([[v1, v2], [np.conj(v2), np.conj(v1)]])
+        inv = np.linalg.inv(big)
+        w1, w2 = inv[:n, :n], inv[:n, n:]
+        return (w1, w2), (v1, v2)
+
+    def _build_sine_approx(self) -> ChebyshevApprox:
+        """EvalMod polynomial: maps ``y = (m + q0 k)/Delta`` to ``~ m/Delta``.
+
+        In slot units the input is ``y = x * (q0/Delta)`` with
+        ``x = m/q0 + k``; plain mode interpolates
+        ``h(y) = (q0 / (2 pi Delta)) * sin(2 pi Delta y / q0)`` over
+        ``|y| <= (K + 1/2) * q0/Delta``.  Double-angle mode (r > 0)
+        interpolates ``sin`` and ``cos`` of the angle shrunk by ``2^r``
+        instead; the final ``q0/(2 pi Delta)`` factor is applied after
+        the angle-doubling iterations.
+        """
+        q0 = float(self.ctx.full_basis.moduli[0])
+        delta = self.ctx.params.scale
+        ratio = q0 / delta
+        k = self.config.k_range
+        r = self.config.double_angle
+        bound = (k + 0.5) * ratio
+
+        if r == 0:
+            def h(y):
+                return ratio / (2 * math.pi) * np.sin(
+                    2 * math.pi * np.asarray(y) / ratio)
+
+            return ChebyshevApprox.interpolate(h, -bound, bound,
+                                               self.config.sine_degree)
+
+        shrink = float(1 << r)
+
+        def h_sin(y):
+            return np.sin(2 * math.pi * np.asarray(y) / ratio / shrink)
+
+        self._cos_approx = ChebyshevApprox.interpolate(
+            lambda y: np.cos(2 * math.pi * np.asarray(y) / ratio / shrink),
+            -bound, bound, self.config.sine_degree)
+        return ChebyshevApprox.interpolate(h_sin, -bound, bound,
+                                           self.config.sine_degree)
+
+    def _eval_mod(self, ct: CkksCiphertext) -> CkksCiphertext:
+        """Apply the modular-reduction approximation to one slot stream."""
+        ev = self.ev
+        r = self.config.double_angle
+        if r == 0:
+            return eval_chebyshev(ev, ct, self._approx)
+        from .chebyshev import eval_chebyshev_many
+
+        s, c = eval_chebyshev_many(ev, ct, [self._approx, self._cos_approx])
+        for _ in range(r):
+            lvl = min(s.level, c.level)
+            s_a = ev.drop_to_level(s, lvl)
+            c_a = ev.drop_to_level(c, lvl)
+            new_s = ev.mul_scalar_int(ev.mul_relin_rescale(s_a, c_a), 2)
+            new_c = ev.add_plain(
+                ev.mul_scalar_int(ev.mul_relin_rescale(c_a, c_a), 2),
+                np.full(self.ctx.slots, -1.0))
+            s, c = new_s, new_c
+        q0 = float(self.ctx.full_basis.moduli[0])
+        delta = self.ctx.params.scale
+        factor = (q0 / delta) / (2 * math.pi)
+        return ev.rescale(ev.mul_plain(s, np.full(self.ctx.slots, factor)))

@@ -1,0 +1,220 @@
+"""Chebyshev interpolation and homomorphic polynomial evaluation.
+
+Conventional CKKS bootstrapping approximates the modular-reduction
+function with a scaled sine, which is in turn approximated by a Chebyshev
+expansion (paper Section III-B / Fig. 1a "polynomial approximation of
+modular reduction").  This module provides
+
+* :class:`ChebyshevApprox` — numeric interpolation of an arbitrary
+  function on ``[a, b]``;
+* :func:`eval_chebyshev` — homomorphic evaluation in the Chebyshev basis
+  with baby-step/giant-step structure, consuming ``O(log d)`` levels via
+  the recursive quotient-remainder split ``p = quot * T_g + rem``.
+
+Scale discipline: the caller is expected to run a "fixed-point" style
+evaluator (all rescale primes within a hair of ``Delta`` and a loose
+``scale_rtol``) so that every intermediate stays at scale ~ ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+import numpy as np
+from numpy.polynomial import chebyshev as npcheb
+
+from ..errors import ParameterError
+from .ciphertext import CkksCiphertext
+from .evaluator import CkksEvaluator
+
+
+@dataclass
+class ChebyshevApprox:
+    """Chebyshev expansion of ``f`` on ``[a, b]``: ``sum c_i T_i(t)`` with
+    ``t = (2x - a - b) / (b - a)``."""
+
+    coeffs: np.ndarray
+    a: float
+    b: float
+
+    @classmethod
+    def interpolate(cls, f: Callable[[np.ndarray], np.ndarray], a: float,
+                    b: float, degree: int) -> "ChebyshevApprox":
+        if degree < 1:
+            raise ParameterError("degree must be >= 1")
+        # Interpolate g(t) = f(x(t)) at Chebyshev nodes on [-1, 1].
+        def g(t):
+            return f((t * (b - a) + (a + b)) / 2.0)
+
+        coeffs = npcheb.chebinterpolate(g, degree)
+        return cls(coeffs=np.asarray(coeffs, dtype=np.float64), a=a, b=b)
+
+    @property
+    def degree(self) -> int:
+        return len(self.coeffs) - 1
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        t = (2.0 * np.asarray(x) - self.a - self.b) / (self.b - self.a)
+        return npcheb.chebval(t, self.coeffs)
+
+    def max_error(self, f: Callable[[np.ndarray], np.ndarray],
+                  samples: int = 2048) -> float:
+        xs = np.linspace(self.a, self.b, samples)
+        return float(np.max(np.abs(self(xs) - f(xs))))
+
+
+def eval_chebyshev(ev: CkksEvaluator, ct: CkksCiphertext,
+                   approx: ChebyshevApprox) -> CkksCiphertext:
+    """Homomorphically evaluate ``approx`` at the (slot-wise) values of
+    ``ct``.  Depth ~ ``log2(degree) + 1`` levels."""
+    return eval_chebyshev_many(ev, ct, [approx])[0]
+
+
+def eval_chebyshev_many(ev: CkksEvaluator, ct: CkksCiphertext,
+                        approxes: List[ChebyshevApprox]) -> List[CkksCiphertext]:
+    """Evaluate several expansions over the *same* interval at once,
+    sharing the homomorphic Chebyshev basis (the sine/cosine pair of the
+    double-angle EvalMod costs barely more than one evaluation)."""
+    if not approxes:
+        raise ParameterError("need at least one expansion")
+    a, b = approxes[0].a, approxes[0].b
+    if any((p.a, p.b) != (a, b) for p in approxes):
+        raise ParameterError("expansions must share their interval")
+    # Affine change of variable onto [-1, 1]:
+    #   t = alpha * x + beta,  alpha = 2/(b-a),  beta = -(a+b)/(b-a).
+    alpha = 2.0 / (b - a)
+    beta = -(a + b) / (b - a)
+    slots = ev.ctx.slots
+    t1 = ev.rescale(ev.mul_plain(ct, np.full(slots, alpha)))
+    t1 = ev.add_plain(t1, np.full(slots, beta))
+
+    d = max(len(p.coeffs) - 1 for p in approxes)
+    if d < 1:
+        raise ParameterError("cannot evaluate a constant expansion")
+    babies = max(2, 1 << int(np.ceil(np.log2(max(2, d + 1)) / 2)))
+    basis = _ChebBasis(ev, t1, babies, d)
+    outs = []
+    for approx in approxes:
+        out = _eval_rec(ev, np.asarray(approx.coeffs, dtype=np.float64), basis)
+        if out is None:  # pragma: no cover - all-zero coefficients
+            out = ev.mul_scalar_int(t1, 0)
+        outs.append(out)
+    return outs
+
+
+#: Re-normalise a basis polynomial's scale once relative drift exceeds this.
+_BRIDGE_THRESHOLD = 5e-4
+
+
+class _ChebBasis:
+    """Lazily computed homomorphic Chebyshev polynomials ``T_i(t)``.
+
+    Every cached ``T_i`` is kept at scale ``~ Delta`` exactly: rescale
+    primes are merely *close* to ``Delta``, and the resulting per-level
+    drift compounds geometrically through the doubling formula, so after
+    each doubling we "bridge" — multiply by 1.0 encoded at the
+    compensating scale and rescale — whenever the drift passed
+    ``_BRIDGE_THRESHOLD``.  This is the scale-management step real RNS
+    implementations perform implicitly via scale targeting.
+    """
+
+    def __init__(self, ev: CkksEvaluator, t1: CkksCiphertext, babies: int,
+                 degree: int):
+        self.ev = ev
+        self.babies = babies
+        self._cache: Dict[int, CkksCiphertext] = {1: self._bridge(t1)}
+        # Precompute giants by repeated doubling: T_2g = 2 T_g^2 - 1.
+        g = babies
+        while g <= degree:
+            self.get(g)
+            g *= 2
+
+    def _bridge(self, ct: CkksCiphertext) -> CkksCiphertext:
+        """Force ``ct.scale`` back to exactly ``Delta`` (costs one level)."""
+        ev = self.ev
+        delta = ev.ctx.params.scale
+        if abs(ct.scale / delta - 1.0) <= _BRIDGE_THRESHOLD:
+            return ct
+        q_next = ct.basis.moduli[ct.level]
+        bridge_scale = delta * q_next / ct.scale
+        out = ev.rescale(ev.mul_plain(ct, np.full(ev.ctx.slots, 1.0),
+                                      scale=bridge_scale))
+        out.scale = delta  # exact by construction; clear float residue
+        return out
+
+    def get(self, i: int) -> CkksCiphertext:
+        if i < 1:
+            raise ParameterError("T_0 is plaintext; handled separately")
+        ct = self._cache.get(i)
+        if ct is not None:
+            return ct
+        ev = self.ev
+        if i % 2 == 0:
+            half = self.get(i // 2)
+            sq = ev.mul_relin_rescale(half, half)
+            ct = ev.add_plain(ev.mul_scalar_int(sq, 2), np.full(ev.ctx.slots, -1.0))
+        else:
+            # T_{a+b} = 2 T_a T_b - T_{|a-b|} with a = (i+1)/2, b = (i-1)/2.
+            a, b = (i + 1) // 2, (i - 1) // 2
+            prod = ev.mul_relin_rescale(self.get(a), self.get(b))
+            prod2 = ev.mul_scalar_int(prod, 2)
+            other = self.get(a - b)  # = T_1
+            other = self.ev.drop_to_level(other, min(other.level, prod2.level))
+            prod2 = self.ev.drop_to_level(prod2, other.level)
+            ct = ev.sub(prod2, other)
+        ct = self._bridge(ct)
+        self._cache[i] = ct
+        return ct
+
+
+def _eval_rec(ev: CkksEvaluator, coeffs: np.ndarray, basis: _ChebBasis):
+    """Recursive BSGS evaluation; returns None for an all-~zero block."""
+    coeffs = np.trim_zeros(coeffs, "b")
+    if len(coeffs) == 0:
+        return None
+    d = len(coeffs) - 1
+    if d < basis.babies:
+        return _eval_direct(ev, coeffs, basis)
+    g = basis.babies
+    while 2 * g <= d:
+        g *= 2
+    divisor = np.zeros(g + 1)
+    divisor[g] = 1.0
+    quot, rem = npcheb.chebdiv(coeffs, divisor)
+    q_ct = _eval_rec(ev, quot, basis)
+    r_ct = _eval_rec(ev, rem, basis)
+    t_g = basis.get(g)
+    if q_ct is None:
+        return r_ct
+    lvl = min(q_ct.level, t_g.level)
+    prod = ev.mul_relin_rescale(ev.drop_to_level(q_ct, lvl),
+                                ev.drop_to_level(t_g, lvl))
+    if r_ct is None:
+        return prod
+    lvl = min(prod.level, r_ct.level)
+    return ev.add(ev.drop_to_level(prod, lvl), ev.drop_to_level(r_ct, lvl))
+
+
+def _eval_direct(ev: CkksEvaluator, coeffs: np.ndarray, basis: _ChebBasis):
+    """``sum_i c_i T_i`` for a short block (the baby-step part)."""
+    slots = ev.ctx.slots
+    terms: List[CkksCiphertext] = []
+    for i, c in enumerate(coeffs):
+        if i == 0 or abs(c) < 1e-12:
+            continue
+        t_i = basis.get(i)
+        term = ev.rescale(ev.mul_plain(t_i, np.full(slots, float(c))))
+        terms.append(term)
+    if not terms:
+        if abs(coeffs[0]) < 1e-12:
+            return None
+        anchor = ev.rescale(ev.mul_plain(basis.get(1), np.full(slots, 0.0)))
+        return ev.add_plain(anchor, np.full(slots, float(coeffs[0])))
+    lvl = min(t.level for t in terms)
+    acc = ev.drop_to_level(terms[0], lvl)
+    for t in terms[1:]:
+        acc = ev.add(acc, ev.drop_to_level(t, lvl))
+    if abs(coeffs[0]) >= 1e-12:
+        acc = ev.add_plain(acc, np.full(slots, float(coeffs[0])))
+    return acc

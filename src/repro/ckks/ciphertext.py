@@ -1,0 +1,59 @@
+"""CKKS RLWE ciphertext with level and scale bookkeeping."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from ..errors import ParameterError
+from ..math.rns import RnsPoly
+
+
+@dataclass
+class CkksCiphertext:
+    """A pair ``(c0, c1)`` decrypting to ``c0 + c1 * s``.
+
+    Attributes
+    ----------
+    c0, c1:
+        RNS polynomials over the level's basis (evaluation domain by
+        convention, as in the paper).
+    scale:
+        Current plaintext scale ``Delta`` (grows to ``Delta^2`` under
+        multiplication until a Rescale).
+    """
+
+    c0: RnsPoly
+    c1: RnsPoly
+    scale: float
+
+    def __post_init__(self):
+        if self.c0.basis.moduli != self.c1.basis.moduli or self.c0.n != self.c1.n:
+            raise ParameterError("ciphertext halves disagree on ring/basis")
+
+    @property
+    def level(self) -> int:
+        """Remaining level = limb count - 1 (0 means no Rescales left)."""
+        return len(self.c0.basis) - 1
+
+    @property
+    def n(self) -> int:
+        return self.c0.n
+
+    @property
+    def basis(self):
+        return self.c0.basis
+
+    def parts(self) -> Tuple[RnsPoly, RnsPoly]:
+        return self.c0, self.c1
+
+    def copy(self) -> "CkksCiphertext":
+        return CkksCiphertext(self.c0.copy(), self.c1.copy(), self.scale)
+
+    def size_bytes(self) -> int:
+        """Serialized size using the paper's ``2 * logQ * N`` accounting."""
+        bits = sum(q.bit_length() for q in self.basis.moduli)
+        return 2 * bits * self.n // 8
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"CkksCiphertext(n={self.n}, level={self.level}, scale=2^{self.scale and __import__('math').log2(self.scale):.1f})"

@@ -1,0 +1,74 @@
+"""CKKS context: parameters + cached bases + component factories.
+
+A :class:`CkksContext` bundles everything that is fixed for a protocol
+run: the parameter set, the limb chain ``q_0 .. q_{L-1}``, the special
+(auxiliary) primes used by the hybrid key switch, and the encoder.  All
+higher-level objects (keys, evaluator, bootstrappers) are created from a
+context so that ciphertexts produced by one context are never mixed with
+another's.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import ParameterError
+from ..math.rns import RnsBasis, concat_bases
+from ..params import CkksParams
+from .encoder import CkksEncoder
+
+
+class CkksContext:
+    """Immutable shared state for one CKKS instantiation."""
+
+    def __init__(self, params: CkksParams, dnum: int = 2):
+        if dnum < 1 or dnum > params.max_limbs:
+            raise ParameterError(f"dnum must be in [1, {params.max_limbs}], got {dnum}")
+        self.params = params
+        self.n = params.n
+        self.slots = params.slots
+        self.dnum = dnum
+        self.full_basis = params.basis()
+        self.special_basis = params.special_basis()
+        self.extended_basis = concat_bases(self.full_basis, self.special_basis)
+        self.encoder = CkksEncoder(params.n, params.scale)
+        # Hybrid-keyswitch noise control requires P >= each digit modulus.
+        p_prod = self.special_basis.product
+        for group in self.digit_groups(self.max_level):
+            qj = 1
+            for idx in group:
+                qj *= self.full_basis.moduli[idx]
+            if p_prod * 16 < qj:
+                raise ParameterError(
+                    "special modulus P is too small for dnum="
+                    f"{dnum}: group product has {qj.bit_length()} bits, "
+                    f"P has {p_prod.bit_length()}"
+                )
+
+    # -- basis helpers -----------------------------------------------------------
+
+    def basis_at_level(self, level: int) -> RnsBasis:
+        """Basis of a ciphertext at ``level`` (``level + 1`` limbs)."""
+        return self.params.basis(level)
+
+    @property
+    def max_level(self) -> int:
+        return self.params.max_limbs - 1
+
+    def digit_groups(self, level: int) -> List[List[int]]:
+        """Partition limb indices ``0..level`` into ``dnum`` contiguous groups.
+
+        This is the digit structure of the hybrid key switch: each group's
+        sub-modulus is ModUp-ed independently and paired with its own
+        switching-key component (paper: decomposition number d = 2).
+        """
+        limbs = list(range(level + 1))
+        size = (self.params.max_limbs + self.dnum - 1) // self.dnum
+        groups = [limbs[i: i + size] for i in range(0, len(limbs), size)]
+        return [g for g in groups if g]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"CkksContext(N={self.n}, L={self.params.max_limbs}, "
+            f"dnum={self.dnum}, scale=2^{self.params.scale_bits})"
+        )

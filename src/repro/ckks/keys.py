@@ -1,0 +1,193 @@
+"""Key material for CKKS: secret, public, relinearisation and Galois keys.
+
+The switching keys follow the hybrid (dnum-digit) key-switching method
+the paper builds on (Han & Ki [30]; paper Section VIII): the limb chain
+is split into ``dnum`` digit groups, and for each group ``j`` the key
+holds an encryption of ``P * Q_j_star * s_src`` under ``s``, over the
+extended basis ``Q * P``.  ``d = dnum = 2`` matches the paper's
+decomposition number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import KeyError_, ParameterError
+from ..math.rns import RnsBasis, RnsPoly
+from ..math.sampling import Sampler
+from .ciphertext import CkksCiphertext
+from .context import CkksContext
+
+
+class SecretKey:
+    """Ternary secret held as integer coefficients; residues materialised
+    lazily per basis (the same physical secret serves Q, P and Q*P)."""
+
+    def __init__(self, coeffs: np.ndarray):
+        self.coeffs = np.asarray(coeffs, dtype=object)
+        self._cache: Dict[Tuple[int, ...], RnsPoly] = {}
+
+    def on_basis(self, n: int, basis: RnsBasis) -> RnsPoly:
+        key = tuple(basis.moduli)
+        poly = self._cache.get(key)
+        if poly is None:
+            poly = RnsPoly.from_int_coeffs(n, basis, self.coeffs).to_eval()
+            self._cache[key] = poly
+        return poly
+
+
+@dataclass
+class PublicKey:
+    b: RnsPoly  # -a*s + e
+    a: RnsPoly
+
+
+@dataclass
+class SwitchKey:
+    """Hybrid switching key: one (b_j, a_j) pair per digit group."""
+
+    components: List[Tuple[RnsPoly, RnsPoly]]  # over extended basis Q*P, eval domain
+
+
+@dataclass
+class KeySet:
+    """Everything a server-side evaluator needs."""
+
+    public: PublicKey
+    relin: Optional[SwitchKey] = None
+    galois: Dict[int, SwitchKey] = field(default_factory=dict)
+
+    def galois_key(self, t: int) -> SwitchKey:
+        key = self.galois.get(t)
+        if key is None:
+            raise KeyError_(f"missing Galois key for automorphism exponent {t}")
+        return key
+
+
+class CkksKeyGenerator:
+    """Generates all key material for a context."""
+
+    def __init__(self, context: CkksContext, sampler: Optional[Sampler] = None):
+        self.ctx = context
+        self.sampler = sampler or Sampler()
+
+    # -- secret / public ------------------------------------------------------------
+
+    def secret_key(self) -> SecretKey:
+        return SecretKey(self.sampler.ternary(self.ctx.n).astype(object))
+
+    def public_key(self, sk: SecretKey) -> PublicKey:
+        basis = self.ctx.full_basis
+        n = self.ctx.n
+        a = self._uniform_poly(n, basis)
+        e = self._error_poly(n, basis)
+        s = sk.on_basis(n, basis)
+        b = (-(a * s)) + e.to_eval()
+        return PublicKey(b=b, a=a)
+
+    # -- switching keys -----------------------------------------------------------------
+
+    def switch_key(self, sk_src: SecretKey, sk_dst: SecretKey) -> SwitchKey:
+        """Key switching ``s_src -> s_dst`` over the extended basis.
+
+        Component ``j`` encrypts ``P * Q_j_star * s_src`` where
+        ``Q_j_star = Q / Q_j`` for digit group ``j``.
+        """
+        ctx = self.ctx
+        n = ctx.n
+        ext = ctx.extended_basis
+        p_prod = ctx.special_basis.product
+        groups = ctx.digit_groups(ctx.max_level)
+        s_dst = sk_dst.on_basis(n, ext)
+        big_q = ctx.full_basis.product
+        comps = []
+        for group in groups:
+            qj = 1
+            for idx in group:
+                qj *= ctx.full_basis.moduli[idx]
+            qj_star = big_q // qj
+            # CRT interpolation factor: qj_tilde = 1 (mod Q_j), 0 (mod Q/Q_j).
+            qj_tilde = qj_star * pow(qj_star % qj, -1, qj)
+            a = self._uniform_poly(n, ext)
+            e = self._error_poly(n, ext)
+            payload = RnsPoly.from_int_coeffs(
+                n, ext, (sk_src.coeffs * (p_prod * qj_tilde)) % ext.product
+            ).to_eval()
+            b = (-(a * s_dst)) + e.to_eval() + payload
+            comps.append((b, a))
+        return SwitchKey(components=comps)
+
+    def relin_key(self, sk: SecretKey) -> SwitchKey:
+        """Switching key for ``s^2 -> s`` (used after Mult)."""
+        n, q = self.ctx.n, None
+        # s^2 as integer coefficients: negacyclic square of the ternary vector.
+        s2 = _negacyclic_int_mul(sk.coeffs, sk.coeffs)
+        return self.switch_key(SecretKey(s2), sk)
+
+    def galois_key(self, sk: SecretKey, t: int) -> SwitchKey:
+        """Switching key for ``s(X^t) -> s`` (Rotate/Conjugate)."""
+        rotated = _int_automorphism(sk.coeffs, t)
+        return self.switch_key(SecretKey(rotated), sk)
+
+    def keyset(self, sk: SecretKey, rotations: Optional[List[int]] = None,
+               conjugate: bool = False) -> KeySet:
+        """One-stop key generation for the evaluator."""
+        ks = KeySet(public=self.public_key(sk), relin=self.relin_key(sk))
+        two_n = 2 * self.ctx.n
+        for r in rotations or []:
+            t = pow(5, r % self.ctx.slots, two_n)
+            ks.galois[t] = self.galois_key(sk, t)
+        if conjugate:
+            t = two_n - 1
+            ks.galois[t] = self.galois_key(sk, t)
+        return ks
+
+    # -- sampling helpers ---------------------------------------------------------------
+
+    def _uniform_poly(self, n: int, basis: RnsBasis) -> RnsPoly:
+        limbs = [self.sampler.uniform(n, q) for q in basis.moduli]
+        limbs = [e.asarray(l) for e, l in zip(basis.engines, limbs)]
+        return RnsPoly(n, basis, limbs, "eval")
+
+    def _error_poly(self, n: int, basis: RnsBasis) -> RnsPoly:
+        e = self.sampler.gaussian(n, self.ctx.params.error_std).astype(object)
+        return RnsPoly.from_int_coeffs(n, basis, e)
+
+
+# -- integer-coefficient helpers (exact, secret-key side only) ---------------------
+
+
+def _negacyclic_int_mul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Exact negacyclic product of small integer vectors (object dtype)."""
+    n = len(a)
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k >= n:
+                out[k - n] -= term
+            else:
+                out[k] += term
+    return out
+
+
+def _int_automorphism(coeffs: np.ndarray, t: int) -> np.ndarray:
+    """Apply ``X -> X^t`` to exact integer coefficients."""
+    n = len(coeffs)
+    if t % 2 == 0:
+        raise ParameterError("automorphism exponent must be odd")
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        e = (i * t) % (2 * n)
+        if e >= n:
+            out[e - n] -= int(coeffs[i])
+        else:
+            out[e] += int(coeffs[i])
+    return out

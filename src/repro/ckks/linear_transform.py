@@ -1,0 +1,108 @@
+"""Homomorphic slot-space linear transforms with baby-step/giant-step.
+
+The linear-transformation steps of conventional CKKS bootstrapping
+(CoeffToSlot / SlotToCoeff, paper Fig. 1a) are matrix-vector products in
+slot space, realised as a sum of rotated ciphertexts multiplied by
+plaintext diagonals.  The BSGS grouping (Halevi-Shoup [28], used by every
+bootstrapping implementation the paper cites) reduces ``n`` rotations to
+``~2*sqrt(n)`` at the cost of pre-rotating the diagonals.
+
+Conventions (matching :meth:`CkksEvaluator.rotate`): ``rotate(ct, r)``
+maps slot ``k`` to old slot ``k + r``, so for ``w = M z``::
+
+    w_k = sum_r M[k, (k+r) mod n] * z_{(k+r) mod n}
+        = sum_r diag_r(M)[k] * rotate(z, r)[k]
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Set
+
+import numpy as np
+
+from ..errors import ParameterError
+from .ciphertext import CkksCiphertext
+from .evaluator import CkksEvaluator
+
+
+def matrix_diagonals(m: np.ndarray) -> List[np.ndarray]:
+    """Generalised diagonals ``diag_r[k] = M[k, (k+r) mod n]``."""
+    n = m.shape[0]
+    if m.shape != (n, n):
+        raise ParameterError("matrix must be square")
+    idx = np.arange(n)
+    return [m[idx, (idx + r) % n] for r in range(n)]
+
+
+def bsgs_split(n: int) -> int:
+    """Baby-step count ``n1 ~ sqrt(n)`` (a divisor-friendly power of two)."""
+    return 1 << int(math.ceil(math.log2(max(1, math.isqrt(n)))))
+
+
+def required_rotations(n: int) -> List[int]:
+    """Rotation amounts a BSGS transform needs: babies + giants."""
+    n1 = bsgs_split(n)
+    n2 = -(-n // n1)
+    rots: Set[int] = set()
+    for i in range(1, n1):
+        rots.add(i)
+    for j in range(1, n2):
+        rots.add((j * n1) % n)
+    rots.discard(0)
+    return sorted(rots)
+
+
+def apply_matrix(ev: CkksEvaluator, ct: CkksCiphertext,
+                 m: np.ndarray) -> CkksCiphertext:
+    """``slots(out) = M @ slots(ct)`` — consumes one level.
+
+    BSGS: ``M z = sum_j rot_{j*n1}( sum_i rot_{-j*n1}(d_{j*n1+i}) * rot_i(z) )``.
+    """
+    n = ev.ctx.slots
+    if m.shape != (n, n):
+        raise ParameterError(f"matrix must be {n}x{n}")
+    diags = matrix_diagonals(np.asarray(m, dtype=np.complex128))
+    n1 = bsgs_split(n)
+    n2 = -(-n // n1)
+    # Baby rotations of the input (rot_0 = identity), hoisted: one ModUp
+    # serves every baby step (Halevi-Shoup; see CkksEvaluator.rotate_hoisted).
+    babies = [ct]
+    if n1 > 1:
+        hoisted = ev.rotate_hoisted(ct, list(range(1, n1)))
+        babies.extend(hoisted[i] for i in range(1, n1))
+    out = None
+    delta = ev.ctx.params.scale
+    for j in range(n2):
+        inner = None
+        for i in range(n1):
+            r = j * n1 + i
+            if r >= n:
+                break
+            d = diags[r]
+            if np.max(np.abs(d)) < 1e-14:
+                continue
+            # Pre-rotate the diagonal so it can be applied before the
+            # giant rotation: rot_{j n1}(d_pre * x) = d * rot_{j n1}(x).
+            d_pre = np.roll(d, j * n1)
+            term = ev.mul_plain(babies[i], d_pre, scale=delta)
+            inner = term if inner is None else ev.add(inner, term)
+        if inner is None:
+            continue
+        rotated = ev.rotate(inner, (j * n1) % n) if (j * n1) % n else inner
+        out = rotated if out is None else ev.add(out, rotated)
+    if out is None:
+        # Zero matrix: return an encryption of zero at the right level.
+        return ev.rescale(ev.mul_plain(ct, np.zeros(n)))
+    return ev.rescale(out)
+
+
+def apply_conjugation_pair(ev: CkksEvaluator, ct: CkksCiphertext,
+                           m1: np.ndarray, m2: np.ndarray) -> CkksCiphertext:
+    """``slots(out) = M1 @ z + M2 @ conj(z)`` — the general R-linear map
+    needed by CoeffToSlot/SlotToCoeff (conjugation is not C-linear, so
+    both matrices are required)."""
+    conj = ev.conjugate(ct)
+    lhs = apply_matrix(ev, ct, m1)
+    rhs = apply_matrix(ev, conj, m2)
+    return ev.add(lhs, rhs)

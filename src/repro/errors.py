@@ -1,0 +1,32 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to distinguish parameter problems from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class ParameterError(ReproError, ValueError):
+    """A scheme or hardware parameter is malformed or unsupported."""
+
+
+class KeyError_(ReproError, KeyError):
+    """A required evaluation/rotation/bootstrapping key is missing."""
+
+
+class LevelError(ReproError):
+    """A ciphertext has too few remaining limbs for the requested op."""
+
+
+class ScaleMismatchError(ReproError):
+    """Two ciphertexts with incompatible scales were combined."""
+
+
+class NoiseBudgetExceeded(ReproError):
+    """Decryption noise exceeded the correctness bound."""

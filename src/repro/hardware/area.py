@@ -1,0 +1,58 @@
+"""Area/power comparison vs ASIC proposals (paper Section VI-B).
+
+FPGA and ASIC areas are not directly comparable, so the paper compares
+the proxies that first-order power tracks: modular-multiplier count and
+on-chip memory.  HEAP-1 has 512 multipliers / 43 MB; HEAP-8 has 4096 /
+344 MB; the ASICs span 4096-20480 multipliers and 72-512 MB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .config import ClusterConfig, EIGHT_FPGA, HeapHwConfig, SINGLE_FPGA
+
+
+@dataclass(frozen=True)
+class AreaPoint:
+    name: str
+    platform: str
+    modular_multipliers: int
+    onchip_memory_mb: float
+
+
+#: ASIC comparator envelope quoted in Section VI-B.
+ASIC_RANGE = [
+    AreaPoint("F1", "ASIC", 4096, 72),
+    AreaPoint("CraterLake", "ASIC", 11776, 256),
+    AreaPoint("BTS-2", "ASIC", 8192, 512),
+    AreaPoint("ARK", "ASIC", 20480, 512),
+    AreaPoint("SHARP", "ASIC", 12288, 180),
+]
+
+
+def heap_area(cluster: ClusterConfig) -> AreaPoint:
+    hw = cluster.node
+    name = f"HEAP-{cluster.num_nodes}"
+    return AreaPoint(
+        name=name,
+        platform="FPGA",
+        modular_multipliers=hw.num_mod_units * cluster.num_nodes,
+        onchip_memory_mb=round(hw.onchip_bytes * cluster.num_nodes / 1e6, 1),
+    )
+
+
+def area_comparison() -> List[AreaPoint]:
+    """HEAP (1 and 8 FPGAs) alongside the ASIC envelope."""
+    return [heap_area(SINGLE_FPGA), heap_area(EIGHT_FPGA)] + ASIC_RANGE
+
+
+def heap_within_asic_envelope() -> bool:
+    """The paper's takeaway: HEAP-8's compute/memory sit at the low end
+    of the ASIC range, so power should be "comparable, if not better"."""
+    heap8 = heap_area(EIGHT_FPGA)
+    max_mult = max(p.modular_multipliers for p in ASIC_RANGE)
+    max_mem = max(p.onchip_memory_mb for p in ASIC_RANGE)
+    return (heap8.modular_multipliers <= max_mult and
+            heap8.onchip_memory_mb <= max_mem)

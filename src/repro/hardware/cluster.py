@@ -1,0 +1,145 @@
+"""Multi-FPGA bootstrap latency model (paper Sections V and VI-E).
+
+Reproduces the end-to-end scheme-switching bootstrap time on a cluster:
+the primary distributes LWE ciphertexts, every node BlindRotates its
+share (Section IV-E batch schedule), results stream back over the 100G
+CMAC links (458 kernel cycles per RLWE ciphertext) overlapped with
+compute, and the primary repacks and finishes steps 4-5.
+
+The paper's anchor (Section VI-E): fully-packed bootstrap, n = 4096 LWE
+ciphertexts over eight FPGAs (512 each) takes ~1.5 ms, split as
+0.0025 / 1.3303 / 0.1672 ms across steps 1&2 / 3 / 4&5.  The model's
+``bootstrap_breakdown`` reproduces that split; its residual calibration
+factor is fit on the step-3 anchor and reported.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ParameterError
+from ..params import HeapParams, make_heap_params
+from ..switching.scheduler import make_schedule
+from .baselines import HEAP_BOOTSTRAP_SPLIT_MS
+from .config import ClusterConfig, EIGHT_FPGA, HeapHwConfig
+from .fpga import SingleFpgaModel
+
+
+@dataclass
+class BootstrapBreakdown:
+    """Latency (seconds) of each Algorithm-2 phase on the cluster."""
+
+    modswitch_s: float
+    blind_rotate_s: float
+    communication_s: float
+    repack_s: float
+    finish_s: float
+
+    @property
+    def step3_s(self) -> float:
+        """Step 3 = BlindRotate + (non-overlapped) communication + repack."""
+        return max(self.blind_rotate_s, self.communication_s) + self.repack_s
+
+    @property
+    def total_s(self) -> float:
+        return self.modswitch_s + self.step3_s + self.finish_s
+
+
+class ClusterBootstrapModel:
+    """Scheme-switching bootstrap latency for ``n_br`` BlindRotates."""
+
+    def __init__(self, cluster: Optional[ClusterConfig] = None,
+                 params: Optional[HeapParams] = None,
+                 calibrated: bool = True):
+        self.cluster = cluster or EIGHT_FPGA
+        self.params = params or make_heap_params()
+        self.node_model = SingleFpgaModel(self.cluster.node, self.params,
+                                          calibrated=calibrated)
+        self.calibrated = calibrated
+        self._phase_factors = self._fit_phases() if calibrated else (1.0, 1.0, 1.0)
+
+    # -- calibration -----------------------------------------------------------------
+
+    def _raw_breakdown(self, n_br: int, num_nodes: int) -> BootstrapBreakdown:
+        hw = self.cluster.node
+        n = self.params.ckks.n
+        schedule = make_schedule(n_br, num_nodes)
+        per_node = schedule.max_per_node
+
+        # Steps 1 & 2: 2N scalar ops through the mod-unit array.
+        modswitch = hw.cycles_to_seconds(2 * n / hw.num_mod_units +
+                                         hw.modop_latency_cycles)
+
+        # Step 3: every node BlindRotates its batch; brk streamed once.
+        blind = self.node_model.blind_rotate_batch_s(per_node)
+
+        # Communication: secondaries return one result ciphertext per
+        # BlindRotate (458 kernel cycles each, Section V).  Transfers run
+        # concurrently on the per-secondary CMAC links and are overlapped
+        # with computation ("no FPGA is sitting idle, i.e. communication
+        # between the FPGAs is not the bottleneck"); the roofline below
+        # charges only the slowest link.
+        from_secondaries = n_br - schedule.nodes[0].count
+        secondaries = max(1, num_nodes - 1)
+        per_link = -(-from_secondaries // secondaries)
+        comm = hw.cycles_to_seconds(hw.cycles_per_rlwe_tx * per_link)
+
+        # Repack on the primary: log2(n_br) automorphism+keyswitch levels.
+        levels = max(1, int(math.log2(max(2, n_br))))
+        repack = levels * self.node_model.latency_s("keyswitch")
+
+        # Steps 4 & 5: one addition + scalar multiply + rescale over Qp.
+        finish = (self.node_model.latency_s("add") +
+                  self.node_model.latency_s("rescale"))
+        return BootstrapBreakdown(modswitch_s=modswitch, blind_rotate_s=blind,
+                                  communication_s=comm, repack_s=repack,
+                                  finish_s=finish)
+
+    def _fit_phases(self):
+        """Per-phase factors from the paper's Section VI-E split
+        (0.0025 / 1.3303 / 0.1672 ms at 4096 BlindRotates on 8 FPGAs).
+
+        The step-3 factor is large (the paper's batched BlindRotate is far
+        faster than the compute-bound estimate of its own datapath — see
+        EXPERIMENTS.md); we apply it uniformly to the blind-rotate,
+        communication and repack components so relative scaling with
+        ``n_br`` and node count follows the op counts.
+        """
+        bd = self._raw_breakdown(4096, 8)
+        k12 = (HEAP_BOOTSTRAP_SPLIT_MS["steps_1_2"] * 1e-3) / bd.modswitch_s
+        k3 = (HEAP_BOOTSTRAP_SPLIT_MS["step_3"] * 1e-3) / bd.step3_s
+        k45 = (HEAP_BOOTSTRAP_SPLIT_MS["steps_4_5"] * 1e-3) / bd.finish_s
+        return (k12, k3, k45)
+
+    # -- public API -------------------------------------------------------------------
+
+    def bootstrap_breakdown(self, n_br: Optional[int] = None,
+                            num_nodes: Optional[int] = None) -> BootstrapBreakdown:
+        n_br = n_br if n_br is not None else self.params.ckks.n // 2
+        num_nodes = num_nodes or self.cluster.num_nodes
+        if n_br < 1:
+            raise ParameterError("n_br must be positive")
+        bd = self._raw_breakdown(n_br, num_nodes)
+        if not self.calibrated:
+            return bd
+        k12, k3, k45 = self._phase_factors
+        return BootstrapBreakdown(
+            modswitch_s=bd.modswitch_s * k12,
+            blind_rotate_s=bd.blind_rotate_s * k3,
+            communication_s=bd.communication_s * k3,
+            repack_s=bd.repack_s * k3,
+            finish_s=bd.finish_s * k45,
+        )
+
+    def bootstrap_latency_s(self, n_br: Optional[int] = None,
+                            num_nodes: Optional[int] = None) -> float:
+        return self.bootstrap_breakdown(n_br, num_nodes).total_s
+
+    def scaling_curve(self, n_br: int, max_nodes: int = 8) -> Dict[int, float]:
+        """Bootstrap latency vs node count — the paper's core scaling
+        argument (conventional bootstrapping cannot use extra FPGAs;
+        scheme switching can)."""
+        return {k: self.bootstrap_latency_s(n_br, k)
+                for k in range(1, max_nodes + 1)}

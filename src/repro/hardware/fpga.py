@@ -1,0 +1,136 @@
+"""Single-FPGA latency model with explicit calibration against Table III/IV.
+
+:class:`SingleFpgaModel` exposes every primitive's latency in seconds.
+It is built in two layers:
+
+* the *raw* layer is :class:`~repro.hardware.opmodel.HeapOpModel` —
+  first-principles cycle counts;
+* the *calibrated* layer multiplies each primitive by an efficiency
+  factor fit once against the paper's own single-FPGA microbenchmarks
+  (Table III for Add/Mult/Rescale/Rotate/BlindRotate, Table IV for NTT).
+
+Both numbers are always available (``raw_latency_s`` vs ``latency_s``)
+and the fit residuals are reported by :meth:`calibration_report`, which
+EXPERIMENTS.md quotes — notably the BlindRotate entry, where the paper's
+0.06 ms is far below a compute-bound estimate of the datapath it
+describes (see the discussion there).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..errors import ParameterError
+from ..params import CkksParams, HeapParams, TfheParams, make_heap_params
+from .baselines import HEAP_NTT_THROUGHPUT, HEAP_TABLE3
+from .config import HeapHwConfig
+from .opmodel import HeapOpModel, OpCost
+
+#: Primitives with a Table III anchor.
+_ANCHORED = ("add", "mult", "rescale", "rotate", "blind_rotate")
+
+
+@dataclass
+class CalibrationEntry:
+    op: str
+    raw_cycles: float
+    paper_cycles: float
+
+    @property
+    def efficiency(self) -> float:
+        """paper / raw: > 1 means the paper is slower than first principles
+        (pipeline bubbles etc.); < 1 means the paper reports a latency the
+        described datapath cannot reach compute-bound — a repro finding."""
+        return self.paper_cycles / self.raw_cycles
+
+
+class SingleFpgaModel:
+    """Latencies of HEAP primitives on one FPGA."""
+
+    def __init__(self, hw: Optional[HeapHwConfig] = None,
+                 params: Optional[HeapParams] = None,
+                 calibrated: bool = True):
+        self.hw = hw or HeapHwConfig()
+        self.params = params or make_heap_params()
+        self.op_model = HeapOpModel(self.hw, self.params.ckks, self.params.tfhe)
+        self.calibrated = calibrated
+        self._calibration = self._fit_calibration()
+
+    # -- calibration -------------------------------------------------------------------
+
+    def _raw_cost(self, op: str, **kw) -> OpCost:
+        if op == "add":
+            return self.op_model.add()
+        if op == "mult":
+            return self.op_model.mult()
+        if op == "rescale":
+            return self.op_model.rescale()
+        if op == "rotate":
+            return self.op_model.rotate()
+        if op == "blind_rotate":
+            return self.op_model.blind_rotate(batch=1)
+        if op == "ntt":
+            return self.op_model.ntt(limbs=1)
+        if op == "keyswitch":
+            return self.op_model.keyswitch()
+        raise ParameterError(f"unknown op {op!r}")
+
+    def _fit_calibration(self) -> Dict[str, CalibrationEntry]:
+        table = {}
+        for op in _ANCHORED:
+            raw = self._raw_cost(op).latency_cycles
+            paper = HEAP_TABLE3[op] * self.hw.kernel_freq_hz
+            table[op] = CalibrationEntry(op=op, raw_cycles=raw, paper_cycles=paper)
+        # NTT anchored on Table IV throughput.
+        raw_ntt = self._raw_cost("ntt").latency_cycles
+        paper_ntt = self.hw.kernel_freq_hz / HEAP_NTT_THROUGHPUT
+        table["ntt"] = CalibrationEntry("ntt", raw_ntt, paper_ntt)
+        # Keyswitch inherits the mult factor (same datapath dominates).
+        ks_raw = self._raw_cost("keyswitch").latency_cycles
+        table["keyswitch"] = CalibrationEntry(
+            "keyswitch", ks_raw, ks_raw * table["mult"].efficiency)
+        return table
+
+    def calibration_report(self) -> Dict[str, CalibrationEntry]:
+        return dict(self._calibration)
+
+    # -- latency API ------------------------------------------------------------------------
+
+    def cycles(self, op: str, **kw) -> float:
+        raw = self._raw_cost(op, **kw).latency_cycles
+        if not self.calibrated:
+            return raw
+        entry = self._calibration.get(op)
+        return raw * entry.efficiency if entry else raw
+
+    def latency_s(self, op: str, **kw) -> float:
+        return self.hw.cycles_to_seconds(self.cycles(op, **kw))
+
+    def raw_latency_s(self, op: str, **kw) -> float:
+        return self.hw.cycles_to_seconds(self._raw_cost(op, **kw).latency_cycles)
+
+    # -- batched BlindRotate (the Section IV-E schedule) ------------------------------------
+
+    def blind_rotate_batch_s(self, batch: int, resident_keys: bool = False) -> float:
+        """A batch of BlindRotates with keys fetched once for the batch.
+
+        Calibrated so that a batch of 1 matches the Table III anchor and
+        the marginal per-ciphertext cost scales with the compute model;
+        key traffic is paid once per batch.
+        """
+        raw_one = self.op_model.blind_rotate(1, resident_keys=True).latency_cycles
+        eff = self._calibration["blind_rotate"].efficiency if self.calibrated else 1.0
+        compute = raw_one * eff * batch
+        key_cycles = 0.0
+        if not resident_keys:
+            key_bytes = self.params.tfhe.blind_rotate_key_bytes()
+            key_cycles = key_bytes / self.hw.hbm_bytes_per_cycle
+        # Roofline: the batch schedule streams keys while computing.
+        return self.hw.cycles_to_seconds(max(compute, key_cycles))
+
+    # -- NTT throughput (Table IV) -------------------------------------------------------------
+
+    def ntt_throughput_ops_per_s(self) -> float:
+        return 1.0 / self.latency_s("ntt")

@@ -1,0 +1,134 @@
+"""On-chip memory layout and NTT address generation (Figures 2-3, §IV-C/D).
+
+Formalises three things the paper describes prose-and-picture style:
+
+* **URAM layout (Fig. 2)** — each 72-bit word holds two 36-bit
+  coefficients; the limbs of ``a`` and ``b`` sharing a modulus sit
+  adjacent so one fetch feeds both NTT passes with one twiddle read.
+* **BRAM layout (Fig. 3)** — 1024x18 primitives, two blocks pair up per
+  36-bit coefficient, organised to match the URAM addressing so "the
+  address generation logic ... remains the same irrespective of URAM or
+  BRAM".
+* **NTT address generation (§IV-D)** — coefficients are grouped by the
+  twiddle they need: ``n_c = N / 2^cs`` per group, ``n_g = N / n_c``
+  groups, ``address = i_g + i_nc * 2^cs``.  Tests prove the map is a
+  bijection onto ``[0, N)`` and that butterfly partners differ only in
+  the top bit of ``i_nc`` — the property that makes the fetch logic
+  trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from ..errors import ParameterError
+from .config import HeapHwConfig
+
+
+@dataclass(frozen=True)
+class WordCoordinate:
+    """Physical location of one coefficient: block index, word address,
+    and which half of the (72-bit URAM / paired-BRAM) word."""
+
+    block: int
+    word: int
+    half: int
+
+
+class UramLayout:
+    """Fig. 2: coefficient placement in URAM for an RLWE ciphertext."""
+
+    def __init__(self, hw: HeapHwConfig, n: int, limbs: int):
+        self.hw = hw
+        self.n = n
+        self.limbs = limbs
+        # Two coefficients per word; a- and b-limbs with the same modulus
+        # interleave across the two halves of each word.
+        self.words_per_limb_pair = n  # n words hold limb_a[i], limb_b[i] pairs
+        self.blocks_per_ciphertext = 2 * limbs * n // (2 * hw.uram_words)
+
+    def locate(self, element: int, limb: int, coeff: int) -> WordCoordinate:
+        """Element 0 = ``a``, 1 = ``b``; both share the word so their limbs
+        (same modulus) are fetched together (the Fig. 2 pairing)."""
+        if element not in (0, 1):
+            raise ParameterError("RLWE ciphertext has two ring elements")
+        if not (0 <= limb < self.limbs and 0 <= coeff < self.n):
+            raise ParameterError("limb/coefficient out of range")
+        flat_word = limb * self.n + coeff
+        block = flat_word // self.hw.uram_words
+        word = flat_word % self.hw.uram_words
+        return WordCoordinate(block=block, word=word, half=element)
+
+    def fetch_pair(self, limb: int, coeff: int) -> Tuple[WordCoordinate, WordCoordinate]:
+        """One read returns the same-modulus coefficient of both elements."""
+        a = self.locate(0, limb, coeff)
+        b = self.locate(1, limb, coeff)
+        return a, b
+
+
+class BramLayout:
+    """Fig. 3: two 1024x18 BRAM primitives pair per 36-bit coefficient,
+    word-organisation matched to URAM."""
+
+    def __init__(self, hw: HeapHwConfig, n: int, limbs: int):
+        self.hw = hw
+        self.n = n
+        self.limbs = limbs
+        self.blocks_per_ciphertext = 4 * limbs * n // hw.bram_words
+
+    def locate(self, element: int, limb: int, coeff: int) -> WordCoordinate:
+        if element not in (0, 1):
+            raise ParameterError("RLWE ciphertext has two ring elements")
+        if not (0 <= limb < self.limbs and 0 <= coeff < self.n):
+            raise ParameterError("limb/coefficient out of range")
+        flat = (element * self.limbs + limb) * self.n + coeff
+        pair = flat // self.hw.bram_words   # which 2-block pair
+        word = flat % self.hw.bram_words
+        return WordCoordinate(block=2 * pair, word=word, half=0)
+
+    def blocks_for(self, element: int, limb: int, coeff: int) -> Tuple[int, int]:
+        """The low/high 18-bit halves live in adjacent paired blocks."""
+        base = self.locate(element, limb, coeff).block
+        return base, base + 1
+
+
+class NttAddressGenerator:
+    """§IV-D: twiddle-grouped butterfly addressing for stage ``cs``."""
+
+    def __init__(self, n: int):
+        if n & (n - 1) or n < 2:
+            raise ParameterError("N must be a power of two")
+        self.n = n
+
+    def group_size(self, cs: int) -> int:
+        """``n_c = N / 2^cs`` coefficients share each twiddle."""
+        return self.n >> cs
+
+    def num_groups(self, cs: int) -> int:
+        return self.n // self.group_size(cs)
+
+    def address(self, cs: int, i_g: int, i_nc: int) -> int:
+        """The paper's formula: ``address = i_g + i_nc * 2^cs``."""
+        if not (0 <= i_g < self.num_groups(cs)):
+            raise ParameterError("group index out of range")
+        if not (0 <= i_nc < self.group_size(cs)):
+            raise ParameterError("in-group index out of range")
+        return i_g + (i_nc << cs)
+
+    def group_addresses(self, cs: int, i_g: int) -> List[int]:
+        return [self.address(cs, i_g, i) for i in range(self.group_size(cs))]
+
+    def butterfly_pairs(self, cs: int, i_g: int) -> Iterator[Tuple[int, int]]:
+        """Butterfly operands within a group: partners are half a group
+        apart, i.e. they differ in the top bit of ``i_nc`` only."""
+        half = self.group_size(cs) // 2
+        for i in range(half):
+            yield (self.address(cs, i_g, i), self.address(cs, i_g, i + half))
+
+    def stage_coverage(self, cs: int) -> List[int]:
+        """All addresses touched in a stage (must be exactly [0, N))."""
+        out = []
+        for g in range(self.num_groups(cs)):
+            out.extend(self.group_addresses(cs, g))
+        return out

@@ -1,0 +1,61 @@
+"""Evaluation metrics: amortised per-slot multiplication time (Eq. 3) and
+cycle-normalised speedups.
+
+The paper compares bootstrapping across systems with different slot
+counts and frequencies, using::
+
+    T_mult,a/slot = (T_BS + sum_i T_mult(i)) / (l * n)        (Eq. 3)
+
+where ``l`` is the number of levels left after bootstrapping and ``n``
+the slot count, and additionally reports *cycle* speedups that remove the
+frequency difference between a 300 MHz FPGA and GHz-class ASICs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ..errors import ParameterError
+
+
+def t_mult_a_slot(t_bs_s: float, t_mult_per_level_s: Sequence[float],
+                  slots: int) -> float:
+    """Eq. 3: amortised per-slot multiplication time in seconds."""
+    levels = len(t_mult_per_level_s)
+    if levels == 0 or slots <= 0:
+        raise ParameterError("need at least one level and one slot")
+    return (t_bs_s + float(sum(t_mult_per_level_s))) / (levels * slots)
+
+
+def speedup(other_s: float, ours_s: float) -> float:
+    """Plain wall-clock speedup of us over the comparator."""
+    if ours_s <= 0:
+        raise ParameterError("latency must be positive")
+    return other_s / ours_s
+
+
+def cycle_speedup(other_s: float, other_freq_hz: float,
+                  ours_s: float, ours_freq_hz: float) -> float:
+    """Frequency-normalised speedup (paper's "Speedup (Cycles)" columns):
+    compares cycle counts ``t * f`` instead of times."""
+    if ours_s <= 0 or ours_freq_hz <= 0:
+        raise ParameterError("latency and frequency must be positive")
+    return (other_s * other_freq_hz) / (ours_s * ours_freq_hz)
+
+
+def compute_to_bootstrap_ratio(total_s: float, bootstrap_s: float) -> float:
+    """Paper Section VI-F: ratio of non-bootstrapping compute time to
+    bootstrapping time within one application iteration."""
+    if not 0 < bootstrap_s <= total_s:
+        raise ParameterError("bootstrap time must be within (0, total]")
+    return (total_s - bootstrap_s) / total_s / (bootstrap_s / total_s)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    vals = list(values)
+    if not vals or any(v <= 0 for v in vals):
+        raise ParameterError("geometric mean needs positive values")
+    prod = 1.0
+    for v in vals:
+        prod *= v
+    return prod ** (1.0 / len(vals))

@@ -1,0 +1,202 @@
+"""First-principles cycle model of HEAP's primitive operations.
+
+For every primitive the model produces a :class:`OpCost` with separate
+compute, on-chip-permute, HBM and network components; the reported
+latency is a roofline ``max`` of the overlappable parts (the paper
+overlaps memory streaming with compute via the RD/WR FIFOs, and
+communication with computation in the multi-FPGA schedule).
+
+The model is *first-principles*: it counts butterflies, MACs and bytes
+from the algorithm and divides by the hardware throughputs in
+:class:`~repro.hardware.config.HeapHwConfig`.  A separate calibration
+layer (:mod:`repro.hardware.fpga`) scales these against the paper's own
+measured microbenchmarks and records the residuals — see EXPERIMENTS.md
+for the comparison of raw model vs. paper for every op.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..errors import ParameterError
+from ..params import CkksParams, TfheParams
+from .config import HeapHwConfig
+
+
+@dataclass
+class OpCost:
+    """Cycle breakdown of one operation on one FPGA."""
+
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    network_cycles: float = 0.0
+    pipeline_fill_cycles: float = 0.0
+
+    @property
+    def latency_cycles(self) -> float:
+        """Roofline: compute and memory streams overlap; the longer wins."""
+        return max(self.compute_cycles, self.memory_cycles) + \
+            self.network_cycles + self.pipeline_fill_cycles
+
+    def __add__(self, other: "OpCost") -> "OpCost":
+        return OpCost(
+            self.compute_cycles + other.compute_cycles,
+            self.memory_cycles + other.memory_cycles,
+            self.network_cycles + other.network_cycles,
+            self.pipeline_fill_cycles + other.pipeline_fill_cycles,
+        )
+
+    def scaled(self, k: float) -> "OpCost":
+        return OpCost(self.compute_cycles * k, self.memory_cycles * k,
+                      self.network_cycles * k, self.pipeline_fill_cycles * k)
+
+
+class HeapOpModel:
+    """Cycle costs of HEAP primitives for a CKKS/TFHE parameter pair."""
+
+    def __init__(self, hw: HeapHwConfig, ckks: CkksParams, tfhe: TfheParams,
+                 dnum: int = 2):
+        self.hw = hw
+        self.ckks = ckks
+        self.tfhe = tfhe
+        self.dnum = dnum
+        self.n = ckks.n
+        self.limb_bytes = ckks.n * 36 // 8  # 36-bit limbs on HEAP (Section III-C)
+
+    # -- building blocks -------------------------------------------------------------
+
+    def modop_vector_cycles(self, num_elements: float) -> float:
+        """Element-wise modular ops across the 512-unit array (pipelined:
+        one result per unit per cycle after the 7-cycle fill)."""
+        return num_elements / self.hw.num_mod_units
+
+    def ntt(self, limbs: int = 1) -> OpCost:
+        """NTT of ``limbs`` residue polynomials (Section IV-D).
+
+        Two limbs sharing twiddles run concurrently on 256-unit halves, so
+        butterfly throughput is 512/cycle across the pair; twiddles for a
+        pair are fetched once.
+        """
+        n = self.n
+        stages = int(math.log2(n))
+        butterflies = stages * (n // 2) * limbs
+        compute = butterflies / self.hw.num_mod_units
+        # Stream the polynomial in and out, twiddles once per limb pair.
+        bytes_moved = limbs * self.limb_bytes * 2 + \
+            math.ceil(limbs / 2) * self.limb_bytes
+        memory = bytes_moved / self.hw.hbm_bytes_per_cycle
+        return OpCost(compute_cycles=compute, memory_cycles=memory,
+                      pipeline_fill_cycles=self.hw.modop_latency_cycles * stages)
+
+    def automorph(self, limbs: int) -> OpCost:
+        """CKKS automorph: 512 units x 16 elements; 16 cycles per limb at
+        N = 2^13 (Section IV-A), i.e. N / (units*elems) cycles per limb."""
+        per_limb = max(1.0, self.n / (self.hw.num_automorph_units *
+                                      self.hw.automorph_elems_per_unit))
+        return OpCost(compute_cycles=per_limb * limbs,
+                      pipeline_fill_cycles=self.hw.modop_latency_cycles)
+
+    def pointwise_mult(self, limbs: int) -> OpCost:
+        return OpCost(compute_cycles=self.modop_vector_cycles(self.n * limbs))
+
+    def basis_conversion(self, in_limbs: int, out_limbs: int) -> OpCost:
+        """HPS BConv: every output limb accumulates over every input limb
+        — the MAC-unit workload of the external-product unit."""
+        macs = self.n * in_limbs * out_limbs
+        return OpCost(compute_cycles=macs / self.hw.num_mod_units)
+
+    # -- CKKS primitives -------------------------------------------------------------
+
+    def add(self, level: Optional[int] = None) -> OpCost:
+        limbs = self._limbs(level)
+        elems = 2 * limbs * self.n  # two ring elements
+        return OpCost(compute_cycles=self.modop_vector_cycles(elems),
+                      memory_cycles=4 * limbs * self.limb_bytes /
+                      self.hw.hbm_bytes_per_cycle,
+                      pipeline_fill_cycles=self.hw.modop_latency_cycles)
+
+    def keyswitch(self, level: Optional[int] = None) -> OpCost:
+        """Hybrid key switch: ModUp (iNTT + BConv + NTT), inner product
+        with the key, ModDown (iNTT + BConv + NTT) — Section IV-E notes
+        the basis conversion shares the external-product datapath."""
+        limbs = self._limbs(level)
+        specials = 1
+        ext = limbs + specials
+        cost = OpCost()
+        # iNTT of the digit polys into coefficient domain.
+        cost = cost + self.ntt(limbs)
+        per_digit = max(1, limbs // self.dnum)
+        for _ in range(self.dnum):
+            cost = cost + self.basis_conversion(per_digit, ext - per_digit)
+            cost = cost + self.ntt(ext)
+        # Inner product with the 2 key polys per digit.
+        cost = cost + self.pointwise_mult(2 * self.dnum * ext)
+        # ModDown both halves.
+        for _ in range(2):
+            cost = cost + self.ntt(specials)
+            cost = cost + self.basis_conversion(specials, limbs)
+            cost = cost + self.pointwise_mult(limbs)
+        # Key material streamed from HBM: 2 polys x dnum digits x ext limbs.
+        key_bytes = 2 * self.dnum * ext * self.limb_bytes
+        cost.memory_cycles += key_bytes / self.hw.hbm_bytes_per_cycle
+        return cost
+
+    def mult(self, level: Optional[int] = None) -> OpCost:
+        limbs = self._limbs(level)
+        tensor = OpCost(compute_cycles=self.modop_vector_cycles(4 * limbs * self.n))
+        return tensor + self.keyswitch(level)
+
+    def rescale(self, level: Optional[int] = None) -> OpCost:
+        limbs = self._limbs(level)
+        cost = self.ntt(1)  # iNTT of the dropped limb
+        cost = cost + OpCost(compute_cycles=self.modop_vector_cycles(
+            2 * 2 * (limbs - 1) * self.n))  # sub + mul on both ring elements
+        return cost + self.ntt(limbs - 1)
+
+    def rotate(self, level: Optional[int] = None) -> OpCost:
+        limbs = self._limbs(level)
+        return self.automorph(2 * limbs) + self.keyswitch(level)
+
+    # -- TFHE primitives -----------------------------------------------------------------
+
+    def external_product(self, limbs: int) -> OpCost:
+        """Decompose -> NTT digits -> MAC with RGSW rows -> iNTT (Section IV-E)."""
+        d = self.tfhe.decomp_digits
+        h = self.tfhe.glwe_mask
+        digit_polys = (h + 1) * d
+        cost = OpCost(compute_cycles=self.modop_vector_cycles(
+            digit_polys * self.n))  # decompose
+        cost = cost + self.ntt(digit_polys * limbs)
+        cost = cost + self.pointwise_mult(digit_polys * (h + 1) * limbs)
+        cost = cost + self.ntt((h + 1) * limbs)
+        return cost
+
+    def blind_rotate(self, batch: int = 1, limbs: int = 1,
+                     resident_keys: bool = False) -> OpCost:
+        """A batch of BlindRotates under the Section IV-E schedule: all
+        accumulators advance together so each ``brk_i`` is fetched exactly
+        once per batch (or zero times if resident/generated on the fly).
+        """
+        if batch < 1:
+            raise ParameterError("batch must be >= 1")
+        n_t = self.tfhe.n_t
+        per_iter = self.external_product(limbs)
+        rotation = OpCost(compute_cycles=self.modop_vector_cycles(2 * self.n * limbs))
+        compute = (per_iter + rotation).scaled(n_t * batch)
+        if not resident_keys:
+            key_bytes = self.tfhe.blind_rotate_key_bytes()
+            compute.memory_cycles += key_bytes / self.hw.hbm_bytes_per_cycle
+        return compute
+
+    def repack(self, count: int, limbs: int) -> OpCost:
+        """log2(N) automorphism + key-switch levels on the primary node."""
+        levels = max(1, int(math.log2(self.n)))
+        per_level = self.automorph(2 * limbs) + self.keyswitch(limbs - 1)
+        return per_level.scaled(levels)
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _limbs(self, level: Optional[int]) -> int:
+        return self.ckks.max_limbs if level is None else level + 1

@@ -1,0 +1,98 @@
+"""FPGA resource accounting — regenerates Table II.
+
+The paper reports post-synthesis utilisation on the Alveo U280.  We model
+it from the unit inventory: per-unit costs are the paper's *implied*
+costs (Table II totals divided by the stated unit counts and component
+shares — e.g. "the functional units utilize 42% of the total LUTs"), so
+that recomputing utilisation from the configuration reproduces Table II,
+and ablations that vary unit counts move the totals faithfully.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .config import HeapHwConfig
+
+#: Alveo U280 totals (Table II "Available" column).
+U280_AVAILABLE = {
+    "luts": 1304_000,
+    "ffs": 2607_000,
+    "dsps": 9024,
+    "bram": 4032,
+    "uram": 962,
+}
+
+#: Table II "Utilized" column — the anchor the per-unit costs are fit to.
+PAPER_UTILIZED = {
+    "luts": 1012_000,
+    "ffs": 1936_000,
+    "dsps": 6144,
+    "bram": 3840,
+    "uram": 960,
+}
+
+#: Paper Section VI-A shares: functional units take 42% of utilised LUTs;
+#: all DSPs belong to the modular arithmetic / MAC units.
+FUNCTIONAL_UNIT_LUT_SHARE = 0.42
+
+
+@dataclass(frozen=True)
+class ResourceReport:
+    """Utilisation for one resource class."""
+
+    available: int
+    utilized: int
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.utilized / self.available
+
+
+class ResourceModel:
+    """Recompute Table II from a hardware configuration."""
+
+    def __init__(self, hw: HeapHwConfig | None = None):
+        self.hw = hw or HeapHwConfig()
+        base = HeapHwConfig()
+        # Implied per-unit costs from the paper's totals at the baseline
+        # configuration (512 units, 32 FIFOs, 1 MB of RFs).
+        self._lut_per_mod_unit = (
+            PAPER_UTILIZED["luts"] * FUNCTIONAL_UNIT_LUT_SHARE / base.num_mod_units)
+        self._lut_fixed = PAPER_UTILIZED["luts"] * (1 - FUNCTIONAL_UNIT_LUT_SHARE)
+        self._ff_per_mod_unit = (
+            PAPER_UTILIZED["ffs"] * FUNCTIONAL_UNIT_LUT_SHARE / base.num_mod_units)
+        self._ff_fixed = PAPER_UTILIZED["ffs"] * (1 - FUNCTIONAL_UNIT_LUT_SHARE)
+        self._dsp_per_mod_unit = PAPER_UTILIZED["dsps"] / base.num_mod_units
+
+    def report(self) -> Dict[str, ResourceReport]:
+        hw = self.hw
+        luts = int(self._lut_fixed + self._lut_per_mod_unit * hw.num_mod_units)
+        ffs = int(self._ff_fixed + self._ff_per_mod_unit * hw.num_mod_units)
+        dsps = int(self._dsp_per_mod_unit * hw.num_mod_units)
+        return {
+            "luts": ResourceReport(U280_AVAILABLE["luts"], luts),
+            "ffs": ResourceReport(U280_AVAILABLE["ffs"], ffs),
+            "dsps": ResourceReport(U280_AVAILABLE["dsps"], dsps),
+            "bram": ResourceReport(U280_AVAILABLE["bram"], hw.bram_blocks_used),
+            "uram": ResourceReport(U280_AVAILABLE["uram"], hw.uram_blocks_used),
+        }
+
+    def onchip_rlwe_capacity(self, params) -> Dict[str, int]:
+        """How many RLWE ciphertexts fit on chip (Section IV-C: 80 in
+        URAM, 20 in BRAM for the HEAP parameter set)."""
+        hw = self.hw
+        limbs = params.max_limbs
+        # URAM: 12 blocks store both ring elements of one ciphertext
+        # (2 coefficients of 36 bits per 72-bit word).
+        blocks_per_ct_uram = 2 * limbs * params.n // (2 * hw.uram_words)
+        # BRAM: 1024x18 primitives, two blocks pair up to hold a 36-bit
+        # coefficient -> 4*L*N/1024 blocks per ciphertext (paper: 192).
+        blocks_per_ct_bram = 4 * limbs * params.n // hw.bram_words
+        return {
+            "uram_blocks_per_ct": blocks_per_ct_uram,
+            "uram_ct_capacity": hw.uram_blocks_used // blocks_per_ct_uram,
+            "bram_blocks_per_ct": blocks_per_ct_bram,
+            "bram_ct_capacity": hw.bram_blocks_used // blocks_per_ct_bram,
+        }

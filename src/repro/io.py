@@ -1,0 +1,134 @@
+"""Serialization for ciphertexts and ring elements.
+
+JSON-based: Python's arbitrary-precision ints serialise losslessly, which
+matters for wide-modulus limbs.  The format is versioned and explicit
+about moduli so deserialisation can validate against a context (mixing
+ciphertexts across parameter sets is rejected rather than silently
+producing garbage).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Union
+
+import numpy as np
+
+from .ckks.ciphertext import CkksCiphertext
+from .errors import ParameterError
+from .math.rns import RnsBasis, RnsPoly
+from .tfhe.lwe import LweCiphertext
+
+FORMAT_VERSION = 1
+
+
+# -- RnsPoly ---------------------------------------------------------------------
+
+
+def rns_poly_to_dict(poly: RnsPoly) -> dict:
+    src = poly.to_coeff()
+    return {
+        "n": src.n,
+        "moduli": [int(q) for q in src.basis.moduli],
+        "limbs": [[int(v) for v in limb] for limb in src.limbs],
+    }
+
+
+def rns_poly_from_dict(data: dict) -> RnsPoly:
+    basis = RnsBasis(data["moduli"])
+    n = data["n"]
+    limbs = [e.asarray(np.asarray(l, dtype=object))
+             for e, l in zip(basis.engines, data["limbs"])]
+    return RnsPoly(n, basis, limbs, "coeff")
+
+
+# -- CkksCiphertext ---------------------------------------------------------------------
+
+
+def serialize_ciphertext(ct: CkksCiphertext) -> bytes:
+    payload = {
+        "version": FORMAT_VERSION,
+        "kind": "ckks",
+        "scale": ct.scale,
+        "c0": rns_poly_to_dict(ct.c0),
+        "c1": rns_poly_to_dict(ct.c1),
+    }
+    return json.dumps(payload).encode()
+
+
+def deserialize_ciphertext(blob: bytes, expected_moduli=None) -> CkksCiphertext:
+    payload = json.loads(blob.decode())
+    _check(payload, "ckks")
+    ct = CkksCiphertext(
+        c0=rns_poly_from_dict(payload["c0"]).to_eval(),
+        c1=rns_poly_from_dict(payload["c1"]).to_eval(),
+        scale=float(payload["scale"]),
+    )
+    if expected_moduli is not None:
+        prefix = list(expected_moduli)[: len(ct.basis.moduli)]
+        if list(ct.basis.moduli) != prefix:
+            raise ParameterError(
+                "ciphertext moduli do not match the expected parameter set")
+    return ct
+
+
+# -- LweCiphertext -------------------------------------------------------------------------
+
+
+def serialize_lwe(ct: LweCiphertext) -> bytes:
+    payload = {
+        "version": FORMAT_VERSION,
+        "kind": "lwe",
+        "q": int(ct.q),
+        "a": [int(v) for v in ct.a],
+        "b": int(ct.b),
+    }
+    return json.dumps(payload).encode()
+
+
+def deserialize_lwe(blob: bytes) -> LweCiphertext:
+    payload = json.loads(blob.decode())
+    _check(payload, "lwe")
+    q = payload["q"]
+    a = np.asarray(payload["a"], dtype=object)
+    if q < 2**31:
+        a = a.astype(np.int64)
+    return LweCiphertext(a=a, b=int(payload["b"]) % q, q=q)
+
+
+def _check(payload: dict, kind: str) -> None:
+    if payload.get("version") != FORMAT_VERSION:
+        raise ParameterError(
+            f"unsupported format version {payload.get('version')!r}")
+    if payload.get("kind") != kind:
+        raise ParameterError(
+            f"expected a {kind!r} payload, got {payload.get('kind')!r}")
+
+
+# -- GlweCiphertext (TFHE / accumulator) ------------------------------------------
+
+
+def serialize_glwe(ct) -> bytes:
+    """Serialise a GLWE/RLWE ciphertext (TFHE side)."""
+    from .tfhe.glwe import GlweCiphertext
+
+    if not isinstance(ct, GlweCiphertext):
+        raise ParameterError("expected a GlweCiphertext")
+    payload = {
+        "version": FORMAT_VERSION,
+        "kind": "glwe",
+        "mask": [rns_poly_to_dict(m) for m in ct.mask],
+        "body": rns_poly_to_dict(ct.body),
+    }
+    return json.dumps(payload).encode()
+
+
+def deserialize_glwe(blob: bytes):
+    from .tfhe.glwe import GlweCiphertext
+
+    payload = json.loads(blob.decode())
+    _check(payload, "glwe")
+    return GlweCiphertext(
+        mask=[rns_poly_from_dict(m) for m in payload["mask"]],
+        body=rns_poly_from_dict(payload["body"]),
+    )

@@ -1,0 +1,118 @@
+"""Gadget (digit) decomposition.
+
+TFHE's external product and the hybrid key switch both rely on writing a
+ring element ``a`` as ``a = sum_k a_k * B^k`` with small digits ``a_k``;
+the paper fixes the decomposition degree ``d = 2`` for both schemes
+(Section II-B / III-C).  We implement two flavours:
+
+* *unsigned* digits in ``[0, B)`` — simplest, used by tests as a
+  reference; and
+* *signed* (balanced) digits in ``[-B/2, B/2)`` — halves the noise growth
+  of the external product and is what real TFHE implementations (and the
+  accelerator) use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class GadgetVector:
+    """Decomposition parameters: ``digits`` digits of ``base_bits`` bits.
+
+    The gadget covers the top ``digits * base_bits`` bits of ``q``:
+    digit ``k`` multiplies ``q / B^(k+1)`` (TFHE convention, approximate
+    decomposition of the most-significant bits).
+    """
+
+    q: int
+    base_bits: int
+    digits: int
+
+    def __post_init__(self):
+        if self.base_bits <= 0 or self.digits <= 0:
+            raise ParameterError("base_bits and digits must be positive")
+        if self.digits * self.base_bits > self.q.bit_length():
+            raise ParameterError(
+                f"gadget covers {self.digits * self.base_bits} bits but q has "
+                f"only {self.q.bit_length()}"
+            )
+
+    @property
+    def base(self) -> int:
+        return 1 << self.base_bits
+
+    def factors(self) -> List[int]:
+        """``g_k ~ q / B^(k+1)``: the scale each digit is multiplied by."""
+        logq = self.q.bit_length()
+        return [1 << (logq - (k + 1) * self.base_bits) for k in range(self.digits)]
+
+    # -- decomposition -----------------------------------------------------------
+
+    def decompose(self, values: np.ndarray) -> List[np.ndarray]:
+        """Signed (balanced) approximate decomposition of residues mod q.
+
+        Returns ``digits`` arrays of centred digits in ``[-B/2, B/2]`` such
+        that ``sum_k d_k * g_k`` is within rounding error (< g_last) of the
+        centred representative of ``values``.
+        """
+        vals = np.asarray(values, dtype=object)
+        half_q = self.q // 2
+        centered = np.where(vals > half_q, vals - self.q, vals)
+        logq = self.q.bit_length()
+        # Round to the precision the gadget can express.
+        shift = logq - self.digits * self.base_bits
+        if shift > 0:
+            centered = (centered + (1 << (shift - 1))) >> shift
+        rem = centered
+        half_b = self.base // 2
+        # Extract from least significant gadget digit upward, balanced.  The
+        # top digit absorbs the final carry unbalanced (range ~ [-B/2-1, B/2+1])
+        # so that recomposition is exact rather than wrapping modulo B^d.
+        raw = []
+        for k in range(self.digits):
+            if k == self.digits - 1:
+                raw.append(rem)
+                break
+            d = np.mod(rem, self.base)
+            d = np.where(d >= half_b, d - self.base, d)
+            raw.append(d)
+            rem = (rem - d) >> self.base_bits
+        # raw[0] is the *least* significant digit -> corresponds to the
+        # smallest factor g_{digits-1}; reverse so index k matches factors()[k].
+        return list(reversed(raw))
+
+    def recompose(self, digits: List[np.ndarray]) -> np.ndarray:
+        """Inverse of :meth:`decompose` modulo ``q`` (up to rounding error)."""
+        if len(digits) != self.digits:
+            raise ParameterError("digit count mismatch")
+        acc = np.zeros_like(np.asarray(digits[0], dtype=object))
+        for d, g in zip(digits, self.factors()):
+            acc = acc + np.asarray(d, dtype=object) * g
+        return np.mod(acc, self.q)
+
+    def max_error(self) -> int:
+        """Upper bound on ``|recompose(decompose(x)) - x|`` (centred)."""
+        logq = self.q.bit_length()
+        shift = logq - self.digits * self.base_bits
+        return 1 << shift if shift > 0 else 1
+
+
+def exact_digits(value_arr: np.ndarray, base: int, count: int) -> List[np.ndarray]:
+    """Exact unsigned base-``base`` digits (LSB first) of non-negative ints.
+
+    Used by the hybrid key switch's RNS-digit variant and as the test
+    reference for the signed decomposition.
+    """
+    arr = np.asarray(value_arr, dtype=object)
+    out = []
+    for _ in range(count):
+        out.append(np.mod(arr, base))
+        arr = arr // base
+    return out

@@ -1,0 +1,237 @@
+"""Negacyclic number-theoretic transform over ``Z_q[X]/(X^N + 1)``.
+
+The paper's NTT datapath (Section IV-D) performs radix-2 Cooley-Tukey
+butterflies with grouped twiddle access; this module implements the same
+algorithm in vectorised numpy.  The transform is *negacyclic*: pointwise
+multiplication in the evaluation domain corresponds to multiplication
+modulo ``X^N + 1`` in the coefficient domain, which is the convolution
+both CKKS and TFHE need.
+
+Implementation notes
+--------------------
+We use the classic psi-twisting formulation: with ``psi`` a primitive
+``2N``-th root of unity and ``omega = psi**2``,
+
+* forward:  ``NTT(a)_k = sum_j a_j psi^j omega^{jk}`` — a cyclic NTT of
+  the twisted sequence ``a_j psi^j``;
+* inverse:  untwist by ``psi^{-j}`` and scale by ``N^{-1}`` after the
+  cyclic inverse NTT.
+
+The cyclic transform itself is an iterative Cooley-Tukey with the grouped
+addressing scheme of Section IV-D (coefficients sharing a twiddle are
+processed together), vectorised so a whole stage is a handful of numpy
+slice operations.  Transforms accept stacked inputs of shape
+``(..., N)`` so multiple limbs are transformed in one call — the software
+analogue of the paper's "two limbs per pass" memory layout.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+from .modular import ModulusEngine, root_of_unity
+
+
+class NttEngine:
+    """Cached negacyclic NTT for a fixed ``(N, q)`` pair.
+
+    ``twiddle_mode`` mirrors the control signal of paper Section IV-D:
+    ``"cached"`` reads precomputed twiddles (the default, on-chip tables),
+    ``"on_the_fly"`` regenerates each stage's twiddles from the root by
+    repeated squaring — trading compute for table storage, "helpful when
+    the on-chip memory is not sufficient to store all the twiddle factors
+    at once and we have available compute bandwidth".  Both modes are
+    bit-identical (tests assert it).
+    """
+
+    def __init__(self, n: int, q: int, twiddle_mode: str = "cached"):
+        if n & (n - 1) or n < 2:
+            raise ParameterError(f"N must be a power of two >= 2, got {n}")
+        if twiddle_mode not in ("cached", "on_the_fly"):
+            raise ParameterError(f"unknown twiddle mode {twiddle_mode!r}")
+        self.twiddle_mode = twiddle_mode
+        self.n = n
+        self.mod = ModulusEngine(q)
+        self.q = q
+        self.psi = root_of_unity(q, 2 * n)
+        self.omega = self.psi * self.psi % q
+        self.n_inv = self.mod.inv(n)
+
+        dtype = self.mod.dtype
+        # psi^j and psi^-j twist vectors.
+        psi_pows = np.empty(n, dtype=object)
+        cur = 1
+        for j in range(n):
+            psi_pows[j] = cur
+            cur = cur * self.psi % q
+        self._psi = psi_pows.astype(dtype)
+        psi_inv = self.mod.inv(self.psi)
+        inv_pows = np.empty(n, dtype=object)
+        cur = 1
+        for j in range(n):
+            inv_pows[j] = cur
+            cur = cur * psi_inv % q
+        self._psi_inv = inv_pows.astype(dtype)
+
+        # omega^k tables for each stage of the cyclic transform, and their
+        # inverses for the inverse transform.
+        omega_pows = np.empty(n, dtype=object)
+        cur = 1
+        for j in range(n):
+            omega_pows[j] = cur
+            cur = cur * self.omega % q
+        self._omega = omega_pows.astype(dtype)
+        omega_inv = self.mod.inv(self.omega)
+        oinv_pows = np.empty(n, dtype=object)
+        cur = 1
+        for j in range(n):
+            oinv_pows[j] = cur
+            cur = cur * omega_inv % q
+        self._omega_inv = oinv_pows.astype(dtype)
+
+    # -- public API -----------------------------------------------------------
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient -> evaluation domain (shape-preserving, last axis N)."""
+        arr = np.asarray(coeffs)
+        _profile_ntt(self.n, arr)
+        a = self.mod.mul(arr.astype(self.mod.dtype, copy=False), self._psi)
+        return self._cyclic(a, self._omega)
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """Evaluation -> coefficient domain."""
+        arr = np.asarray(evals)
+        _profile_ntt(self.n, arr)
+        a = self._cyclic(arr.astype(self.mod.dtype, copy=False), self._omega_inv)
+        a = self.mod.mul(a, self.n_inv)
+        return self.mod.mul(a, self._psi_inv)
+
+    def pointwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Hadamard product in the evaluation domain."""
+        from ..profiling import record_mul
+
+        record_mul(int(np.asarray(a).size))
+        return self.mod.mul(a, b)
+
+    def negacyclic_mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Full negacyclic product of two coefficient-domain polynomials."""
+        return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
+
+    # -- internals --------------------------------------------------------------
+
+    def _cyclic(self, a: np.ndarray, omega_pows: np.ndarray) -> np.ndarray:
+        """Iterative radix-2 DIT cyclic NTT on the last axis.
+
+        ``omega_pows[k]`` must hold ``w^k`` for the transform direction's
+        root ``w``.  Input is consumed in natural order; we bit-reverse
+        first, then run log2(N) butterfly stages.  Each stage is expressed
+        with the Section IV-D grouping: ``m`` butterflies share each
+        twiddle ``w^{k * (n / (2m))}``.
+        """
+        n = self.n
+        a = a[..., _bitrev_indices(n)].copy()
+        q = self.q
+        m = 1
+        while m < n:
+            # Twiddles for this stage: w^(j * n/(2m)) for j in [0, m).
+            if self.twiddle_mode == "cached":
+                tw = omega_pows[(np.arange(m) * (n // (2 * m)))]
+            else:
+                # On-the-fly generation: successive powers of the stage
+                # root w^(n/(2m)) by running multiplication.
+                stage_root = int(omega_pows[n // (2 * m)])
+                tw = self.mod.zeros(m)
+                cur = 1
+                for j in range(m):
+                    tw[j] = cur
+                    cur = cur * stage_root % q
+            a = a.reshape(a.shape[:-1] + (n // (2 * m), 2 * m))
+            lo = a[..., :m]
+            hi = a[..., m:]
+            t = np.mod(hi * tw, q)
+            a = np.concatenate(
+                [
+                    np.where(lo + t >= q, lo + t - q, lo + t),
+                    np.where(lo - t < 0, lo - t + q, lo - t),
+                ],
+                axis=-1,
+            )
+            a = a.reshape(a.shape[:-2] + (n,))
+            m *= 2
+        return a
+
+
+def naive_negacyclic_mul(a, b, q: int) -> np.ndarray:
+    """Schoolbook ``O(N^2)`` negacyclic convolution — test reference only."""
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = a.shape[-1]
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k >= n:
+                out[k - n] -= term
+            else:
+                out[k] += term
+    return np.mod(out, q)
+
+
+def naive_dft(a, q: int, root: int) -> np.ndarray:
+    """Quadratic-time cyclic DFT used to validate the fast transform."""
+    a = np.asarray(a, dtype=object)
+    n = len(a)
+    out = np.zeros(n, dtype=object)
+    for k in range(n):
+        acc = 0
+        for j in range(n):
+            acc += int(a[j]) * pow(root, j * k, q)
+        out[k] = acc % q
+    return out
+
+
+def _profile_ntt(n: int, arr: np.ndarray) -> None:
+    """Report transforms to the profiler (batch = product of lead dims)."""
+    from ..profiling import record_ntt
+
+    batch = int(arr.size // n) if arr.size else 0
+    if batch:
+        record_ntt(n, batch)
+
+
+_BITREV_CACHE: Dict[int, np.ndarray] = {}
+
+
+def _bitrev_indices(n: int) -> np.ndarray:
+    """Bit-reversal permutation indices for length ``n`` (cached)."""
+    cached = _BITREV_CACHE.get(n)
+    if cached is not None:
+        return cached
+    bits = n.bit_length() - 1
+    idx = np.arange(n)
+    rev = np.zeros(n, dtype=np.int64)
+    for _ in range(bits):
+        rev = (rev << 1) | (idx & 1)
+        idx >>= 1
+    _BITREV_CACHE[n] = rev
+    return rev
+
+
+_ENGINE_CACHE: Dict[Tuple[int, int], NttEngine] = {}
+
+
+def get_ntt_engine(n: int, q: int) -> NttEngine:
+    """Process-wide cache of NTT engines (twiddle tables are expensive)."""
+    key = (n, q)
+    engine = _ENGINE_CACHE.get(key)
+    if engine is None:
+        engine = NttEngine(n, q)
+        _ENGINE_CACHE[key] = engine
+    return engine

@@ -1,0 +1,189 @@
+"""Ring elements of ``R_q = Z_q[X]/(X^N + 1)`` with single modulus.
+
+:class:`RingPoly` is the workhorse type for the TFHE side of the stack
+(single-limb arithmetic); the CKKS side stacks several of these into an
+RNS representation (see :mod:`repro.math.rns`).  Elements track which
+domain they are in (coefficient vs. evaluation/NTT) and convert lazily,
+mirroring the paper's convention that CKKS ciphertexts live in the
+evaluation domain by default while TFHE rotation/decomposition happen in
+the coefficient domain (Section IV-E).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Union
+
+import numpy as np
+
+from ..errors import ParameterError
+from .ntt import get_ntt_engine
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+class RingPoly:
+    """A polynomial in ``Z_q[X]/(X^N + 1)``.
+
+    Parameters
+    ----------
+    n, q:
+        Ring dimension (power of two) and coefficient modulus.
+    data:
+        Length-``N`` integer vector.
+    domain:
+        ``"coeff"`` or ``"eval"``; arithmetic converts operands as needed.
+    """
+
+    __slots__ = ("n", "q", "data", "domain")
+
+    def __init__(self, n: int, q: int, data: Union[np.ndarray, Iterable[int]], domain: str = COEFF):
+        if domain not in (COEFF, EVAL):
+            raise ParameterError(f"unknown domain {domain!r}")
+        engine = get_ntt_engine(n, q)
+        arr = engine.mod.asarray(np.asarray(data))
+        if arr.shape != (n,):
+            raise ParameterError(f"expected shape ({n},), got {arr.shape}")
+        self.n = n
+        self.q = q
+        self.data = arr
+        self.domain = domain
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int, q: int, domain: str = COEFF) -> "RingPoly":
+        return cls(n, q, get_ntt_engine(n, q).mod.zeros(n), domain)
+
+    @classmethod
+    def constant(cls, n: int, q: int, value: int) -> "RingPoly":
+        data = get_ntt_engine(n, q).mod.zeros(n)
+        data[0] = value % q
+        return cls(n, q, data, COEFF)
+
+    @classmethod
+    def monomial(cls, n: int, q: int, exponent: int, coeff: int = 1) -> "RingPoly":
+        """``coeff * X^exponent`` with the negacyclic identity ``X^N = -1``."""
+        e = exponent % (2 * n)
+        sign = 1
+        if e >= n:
+            e -= n
+            sign = -1
+        data = get_ntt_engine(n, q).mod.zeros(n)
+        data[e] = (sign * coeff) % q
+        return cls(n, q, data, COEFF)
+
+    # -- domain management ------------------------------------------------------
+
+    @property
+    def engine(self):
+        return get_ntt_engine(self.n, self.q)
+
+    def to_coeff(self) -> "RingPoly":
+        if self.domain == COEFF:
+            return self
+        return RingPoly(self.n, self.q, self.engine.inverse(self.data), COEFF)
+
+    def to_eval(self) -> "RingPoly":
+        if self.domain == EVAL:
+            return self
+        return RingPoly(self.n, self.q, self.engine.forward(self.data), EVAL)
+
+    # -- arithmetic ----------------------------------------------------------------
+
+    def _coerce(self, other: "RingPoly") -> str:
+        if not isinstance(other, RingPoly):
+            raise TypeError(f"cannot combine RingPoly with {type(other)!r}")
+        if (self.n, self.q) != (other.n, other.q):
+            raise ParameterError("ring mismatch")
+        return self.domain if self.domain == other.domain else COEFF
+
+    def __add__(self, other: "RingPoly") -> "RingPoly":
+        dom = self._coerce(other)
+        a = self if self.domain == dom else self.to_coeff()
+        b = other if other.domain == dom else other.to_coeff()
+        return RingPoly(self.n, self.q, a.engine.mod.add(a.data, b.data), dom)
+
+    def __sub__(self, other: "RingPoly") -> "RingPoly":
+        dom = self._coerce(other)
+        a = self if self.domain == dom else self.to_coeff()
+        b = other if other.domain == dom else other.to_coeff()
+        return RingPoly(self.n, self.q, a.engine.mod.sub(a.data, b.data), dom)
+
+    def __neg__(self) -> "RingPoly":
+        return RingPoly(self.n, self.q, self.engine.mod.neg(self.data), self.domain)
+
+    def __mul__(self, other) -> "RingPoly":
+        if isinstance(other, (int, np.integer)):
+            return RingPoly(
+                self.n, self.q, self.engine.mod.mul(self.data, int(other) % self.q), self.domain
+            )
+        dom = self._coerce(other)
+        a, b = self.to_eval(), other.to_eval()
+        prod = a.engine.pointwise(a.data, b.data)
+        out = RingPoly(self.n, self.q, prod, EVAL)
+        return out if dom == EVAL else out.to_coeff()
+
+    __rmul__ = __mul__
+
+    # -- structural operations ----------------------------------------------------
+
+    def negacyclic_shift(self, k: int) -> "RingPoly":
+        """Multiply by ``X^k`` (the TFHE rotation-unit operation).
+
+        Performed on coefficients: a shift by ``k`` with sign flips on
+        wraparound, exactly what the paper's rotation unit does in
+        Section IV-A ("polynomial negacyclic rotation").
+        """
+        c = self.to_coeff().data
+        n, q = self.n, self.q
+        k = k % (2 * n)
+        sign_flip = k >= n
+        k = k % n
+        rolled = np.roll(c, k)
+        if k:
+            head = rolled[:k]
+            rolled = rolled.copy()
+            rolled[:k] = np.where(head == 0, head, q - head)
+        if sign_flip:
+            rolled = np.where(rolled == 0, rolled, q - rolled)
+        return RingPoly(n, q, rolled, COEFF)
+
+    def automorphism(self, t: int) -> "RingPoly":
+        """Apply ``X -> X^t`` for odd ``t`` (the CKKS automorph unit).
+
+        Coefficient ``i`` moves to position ``i*t mod 2N`` with a sign flip
+        when the destination falls in the upper half — the index mapping
+        ``i_r = i * 5^r (mod N)`` of Section IV-A is the special case
+        ``t = 5^r``.
+        """
+        if t % 2 == 0:
+            raise ParameterError("automorphism exponent must be odd")
+        c = self.to_coeff().data
+        n, q = self.n, self.q
+        idx = (np.arange(n) * t) % (2 * n)
+        dest = idx % n
+        sign = idx >= n
+        out = self.engine.mod.zeros(n)
+        vals = np.where(sign, np.where(c == 0, c, q - c), c)
+        out[dest] = vals
+        return RingPoly(n, q, out, COEFF)
+
+    # -- inspection ---------------------------------------------------------------
+
+    def centered(self) -> np.ndarray:
+        """Coefficients as centred representatives in ``(-q/2, q/2]``."""
+        return self.engine.mod.centered(self.to_coeff().data)
+
+    def copy(self) -> "RingPoly":
+        return RingPoly(self.n, self.q, self.data.copy(), self.domain)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RingPoly):
+            return NotImplemented
+        if (self.n, self.q) != (other.n, other.q):
+            return False
+        return bool(np.array_equal(self.to_coeff().data, other.to_coeff().data))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RingPoly(n={self.n}, q={self.q}, domain={self.domain})"

@@ -1,0 +1,270 @@
+"""Residue number system (RNS) machinery for multi-limb CKKS arithmetic.
+
+The CKKS ciphertext modulus ``Q = prod(q_i)`` is far wider than a machine
+word, so polynomials are stored as a stack of *limbs*: one residue
+polynomial per prime ``q_i`` (paper Section II-A).  This module provides
+
+* :class:`RnsBasis` — an ordered set of NTT-friendly primes with cached
+  CRT constants;
+* :class:`RnsPoly` — a stack of limb polynomials with vectorised
+  arithmetic, per-limb NTT domain tracking, limb dropping (Rescale) and
+  limb extension (ModUp); and
+* :func:`basis_convert` — the approximate fast basis conversion
+  (HPS-style) that the paper's external-product unit executes during
+  ``ModUp``/``ModDown`` in the hybrid key switch.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ParameterError
+from .modular import ModulusEngine, crt_compose, crt_decompose
+from .ntt import get_ntt_engine
+
+COEFF = "coeff"
+EVAL = "eval"
+
+
+class RnsBasis:
+    """An ordered list of distinct primes ``q_0, ..., q_{L-1}``."""
+
+    def __init__(self, moduli: Sequence[int]):
+        moduli = [int(q) for q in moduli]
+        if len(set(moduli)) != len(moduli):
+            raise ParameterError("RNS moduli must be distinct")
+        if not moduli:
+            raise ParameterError("RNS basis must be non-empty")
+        self.moduli: List[int] = moduli
+        self.engines = [ModulusEngine(q) for q in moduli]
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __iter__(self):
+        return iter(self.moduli)
+
+    def __getitem__(self, i):
+        return self.moduli[i]
+
+    @property
+    def product(self) -> int:
+        prod = 1
+        for q in self.moduli:
+            prod *= q
+        return prod
+
+    def prefix(self, count: int) -> "RnsBasis":
+        return RnsBasis(self.moduli[:count])
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, RnsBasis) and self.moduli == other.moduli
+
+    def __repr__(self) -> str:  # pragma: no cover
+        bits = [q.bit_length() for q in self.moduli]
+        return f"RnsBasis(L={len(self)}, bits={bits})"
+
+
+class RnsPoly:
+    """A polynomial in ``R_Q`` stored limb-wise.
+
+    ``limbs[i]`` is the residue vector modulo ``basis[i]``; every limb is
+    in the same domain (all-coeff or all-eval), tracked by ``domain``.
+    """
+
+    __slots__ = ("n", "basis", "limbs", "domain")
+
+    def __init__(self, n: int, basis: RnsBasis, limbs: List[np.ndarray], domain: str = COEFF):
+        if len(limbs) != len(basis):
+            raise ParameterError("limb count does not match basis size")
+        self.n = n
+        self.basis = basis
+        self.limbs = limbs
+        self.domain = domain
+
+    # -- constructors -------------------------------------------------------------
+
+    @classmethod
+    def zero(cls, n: int, basis: RnsBasis, domain: str = COEFF) -> "RnsPoly":
+        return cls(n, basis, [e.zeros(n) for e in basis.engines], domain)
+
+    @classmethod
+    def from_int_coeffs(cls, n: int, basis: RnsBasis, coeffs: Iterable[int]) -> "RnsPoly":
+        """Reduce a vector of (possibly huge / signed) integers limb-wise."""
+        coeffs = np.asarray(list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs,
+                            dtype=object)
+        if coeffs.shape != (n,):
+            raise ParameterError(f"expected {n} coefficients, got {coeffs.shape}")
+        limbs = [e.asarray(coeffs) for e in basis.engines]
+        return cls(n, basis, limbs, COEFF)
+
+    # -- domain management -----------------------------------------------------------
+
+    def to_eval(self) -> "RnsPoly":
+        if self.domain == EVAL:
+            return self
+        limbs = [
+            get_ntt_engine(self.n, q).forward(limb)
+            for q, limb in zip(self.basis.moduli, self.limbs)
+        ]
+        return RnsPoly(self.n, self.basis, limbs, EVAL)
+
+    def to_coeff(self) -> "RnsPoly":
+        if self.domain == COEFF:
+            return self
+        limbs = [
+            get_ntt_engine(self.n, q).inverse(limb)
+            for q, limb in zip(self.basis.moduli, self.limbs)
+        ]
+        return RnsPoly(self.n, self.basis, limbs, COEFF)
+
+    # -- arithmetic -----------------------------------------------------------------
+
+    def _check(self, other: "RnsPoly") -> None:
+        if self.n != other.n or self.basis.moduli != other.basis.moduli:
+            raise ParameterError("RNS poly mismatch (n or basis)")
+
+    def _aligned(self, other: "RnsPoly"):
+        self._check(other)
+        if self.domain == other.domain:
+            return self, other, self.domain
+        return self.to_coeff(), other.to_coeff(), COEFF
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        a, b, dom = self._aligned(other)
+        limbs = [e.add(x, y) for e, x, y in zip(self.basis.engines, a.limbs, b.limbs)]
+        return RnsPoly(self.n, self.basis, limbs, dom)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        a, b, dom = self._aligned(other)
+        limbs = [e.sub(x, y) for e, x, y in zip(self.basis.engines, a.limbs, b.limbs)]
+        return RnsPoly(self.n, self.basis, limbs, dom)
+
+    def __neg__(self) -> "RnsPoly":
+        limbs = [e.neg(x) for e, x in zip(self.basis.engines, self.limbs)]
+        return RnsPoly(self.n, self.basis, limbs, self.domain)
+
+    def __mul__(self, other) -> "RnsPoly":
+        if isinstance(other, (int, np.integer)):
+            limbs = [
+                e.mul(x, int(other) % e.q) for e, x in zip(self.basis.engines, self.limbs)
+            ]
+            return RnsPoly(self.n, self.basis, limbs, self.domain)
+        self._check(other)
+        a, b = self.to_eval(), other.to_eval()
+        from ..profiling import record_mul
+
+        record_mul(self.n * len(self.basis))
+        limbs = [e.mul(x, y) for e, x, y in zip(self.basis.engines, a.limbs, b.limbs)]
+        return RnsPoly(self.n, self.basis, limbs, EVAL)
+
+    __rmul__ = __mul__
+
+    def automorphism(self, t: int) -> "RnsPoly":
+        """Apply ``X -> X^t`` limb-wise (used by Rotate/Conjugate)."""
+        src = self.to_coeff()
+        n = self.n
+        idx = (np.arange(n) * t) % (2 * n)
+        dest = idx % n
+        sign = idx >= n
+        limbs = []
+        for e, limb in zip(self.basis.engines, src.limbs):
+            out = e.zeros(n)
+            out[dest] = np.where(sign, np.where(limb == 0, limb, e.q - limb), limb)
+            limbs.append(out)
+        return RnsPoly(n, self.basis, limbs, COEFF)
+
+    # -- limb management (Rescale / level handling) ------------------------------------
+
+    def drop_last_limb(self) -> "RnsPoly":
+        """Forget the last limb (basis shrink without value correction)."""
+        if len(self.basis) == 1:
+            raise ParameterError("cannot drop the last remaining limb")
+        return RnsPoly(self.n, self.basis.prefix(len(self.basis) - 1),
+                       self.limbs[:-1], self.domain)
+
+    def rescale_last_limb(self) -> "RnsPoly":
+        """Exact RNS rescale: divide by the last prime ``q_l`` and round.
+
+        Standard full-RNS trick: for each remaining limb ``q_i`` compute
+        ``(x_i - x_l) * q_l^{-1} mod q_i``.  Requires coefficient domain
+        for the cross-limb subtraction of ``x_l``.
+        """
+        if len(self.basis) == 1:
+            raise ParameterError("cannot rescale a single-limb polynomial")
+        src = self.to_coeff()
+        q_last = self.basis.moduli[-1]
+        x_last = src.limbs[-1]
+        new_basis = self.basis.prefix(len(self.basis) - 1)
+        limbs = []
+        for e, limb in zip(new_basis.engines, src.limbs[:-1]):
+            diff = e.sub(limb, e.reduce(x_last))
+            limbs.append(e.mul(diff, e.inv(q_last)))
+        return RnsPoly(self.n, new_basis, limbs, COEFF)
+
+    # -- integer views -------------------------------------------------------------------
+
+    def to_int_coeffs(self) -> np.ndarray:
+        """CRT-compose into big-int coefficients in ``[0, Q)`` (object array)."""
+        src = self.to_coeff()
+        stack = np.stack([np.asarray(l, dtype=object) for l in src.limbs])
+        return crt_compose(stack, self.basis.moduli)
+
+    def to_centered_int_coeffs(self) -> np.ndarray:
+        """CRT-compose into centred big-int coefficients in ``(-Q/2, Q/2]``."""
+        vals = self.to_int_coeffs()
+        big_q = self.basis.product
+        half = big_q // 2
+        return np.where(vals > half, vals - big_q, vals)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.n, self.basis, [l.copy() for l in self.limbs], self.domain)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RnsPoly):
+            return NotImplemented
+        if self.n != other.n or self.basis.moduli != other.basis.moduli:
+            return False
+        a, b = self.to_coeff(), other.to_coeff()
+        return all(np.array_equal(x, y) for x, y in zip(a.limbs, b.limbs))
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RnsPoly(n={self.n}, L={len(self.basis)}, domain={self.domain})"
+
+
+def basis_convert(poly: RnsPoly, target: RnsBasis) -> RnsPoly:
+    """Approximate fast basis conversion (HPS BConv).
+
+    Converts the residues of ``poly`` from basis ``B = {q_i}`` to a
+    *disjoint* basis ``C = {p_j}`` without CRT reconstruction:
+
+    ``y_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * (Q/q_i) mod p_j``
+
+    The result may differ from the exact value by a small multiple of
+    ``Q`` (the well-known approximation error), which the hybrid key
+    switch tolerates; tests bound this error explicitly.  This is exactly
+    the MAC-unit workload described for ModUp/ModDown in Section IV-A.
+    """
+    src = poly.to_coeff()
+    b_moduli = src.basis.moduli
+    big_q = src.basis.product
+    # [x_i * q_i_star^{-1}]_{q_i}
+    scaled = []
+    for e, limb in zip(src.basis.engines, src.limbs):
+        qi_star = big_q // e.q
+        qi_tilde = e.inv(qi_star % e.q)
+        scaled.append(e.mul(limb, qi_tilde))
+    out_limbs = []
+    for e_out in target.engines:
+        acc = e_out.zeros(src.n)
+        for qi, s in zip(b_moduli, scaled):
+            factor = (big_q // qi) % e_out.q
+            acc = e_out.mac(acc, np.asarray(s, dtype=object) % e_out.q, factor)
+        out_limbs.append(e_out.reduce(acc))
+    return RnsPoly(src.n, target, out_limbs, COEFF)
+
+
+def concat_bases(a: RnsBasis, b: RnsBasis) -> RnsBasis:
+    return RnsBasis(list(a.moduli) + list(b.moduli))

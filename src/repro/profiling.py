@@ -1,0 +1,89 @@
+"""Operation counters bridging the functional and performance layers.
+
+Wrap any functional computation in :func:`count_ops` to record how many
+NTT passes and element-wise modular multiplications it actually executed;
+:func:`estimate_hardware_seconds` then prices those counts on the HEAP
+hardware model.  This closes the loop between the two layers of the
+reproduction: the op counts driving the Table V-VIII predictions can be
+cross-checked against counts *measured* from the real implementation at
+toy scale (see ``tests/test_profiling.py``).
+
+Usage::
+
+    with count_ops() as stats:
+        boot.bootstrap(ct)
+    print(stats.ntt_calls, stats.pointwise_mults)
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional
+
+from .hardware.config import HeapHwConfig
+
+
+@dataclass
+class OpStats:
+    """Primitive-operation tally for one profiled region."""
+
+    ntt_calls: int = 0            # forward + inverse transforms (per limb)
+    ntt_points: int = 0           # total transform points (sum of sizes)
+    pointwise_mults: int = 0      # element-wise modular multiplications
+    by_size: Dict[int, int] = field(default_factory=dict)
+
+    def record_ntt(self, n: int, batch: int) -> None:
+        self.ntt_calls += batch
+        self.ntt_points += n * batch
+        self.by_size[n] = self.by_size.get(n, 0) + batch
+
+    def record_mul(self, count: int) -> None:
+        self.pointwise_mults += count
+
+    @property
+    def butterfly_mults(self) -> int:
+        """Scalar multiplications implied by the recorded transforms."""
+        total = 0
+        for n, calls in self.by_size.items():
+            total += calls * (n // 2) * (n.bit_length() - 1)
+        return total
+
+    def total_scalar_mults(self) -> int:
+        return self.butterfly_mults + self.pointwise_mults
+
+
+#: The active collector (None = profiling disabled, zero overhead-ish).
+_ACTIVE: Optional[OpStats] = None
+
+
+def record_ntt(n: int, batch: int = 1) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.record_ntt(n, batch)
+
+
+def record_mul(count: int) -> None:
+    if _ACTIVE is not None:
+        _ACTIVE.record_mul(count)
+
+
+@contextlib.contextmanager
+def count_ops() -> Iterator[OpStats]:
+    """Collect op counts for the enclosed block (not reentrant)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    stats = OpStats()
+    _ACTIVE = stats
+    try:
+        yield stats
+    finally:
+        _ACTIVE = previous
+
+
+def estimate_hardware_seconds(stats: OpStats,
+                              hw: Optional[HeapHwConfig] = None) -> float:
+    """Price measured op counts on the HEAP compute array (compute-bound
+    estimate: total scalar multiplications over 512 pipelined units)."""
+    hw = hw or HeapHwConfig()
+    cycles = stats.total_scalar_mults() / hw.num_mod_units
+    return hw.cycles_to_seconds(cycles)

@@ -1,0 +1,91 @@
+"""RLWE security estimation against the HE-standard tables.
+
+The paper claims 128-bit security for ``N = 2^13, logQ = 216`` (and its
+conventional comparison set ``N = 2^16, logQ = 1728``).  We validate
+such claims against the homomorphicencryption.org standard tables
+(Albrecht et al., "Homomorphic Encryption Standard", ternary secret,
+classical attacks): for each ring dimension, the largest ``logQ`` still
+achieving a given security level.  Intermediate dimensions are handled
+conservatively by the standard's own rule — use the bound of the next
+*smaller* tabulated ``N``.
+
+This is a table lookup, not a lattice estimator: adequate for checking
+parameter sets against the standard, which is exactly how the paper (and
+FAB, BTS, ARK, SHARP) justify their choices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from .errors import ParameterError
+from .params import CkksParams
+
+#: max log2(Q) for ternary secret, classical security (HE standard tables).
+#: {security_level: {log2(N): max_logQ}}
+MAX_LOGQ = {
+    128: {10: 27, 11: 54, 12: 109, 13: 218, 14: 438, 15: 881, 16: 1772},
+    192: {10: 19, 11: 37, 12: 75, 13: 152, 14: 305, 15: 611, 16: 1228},
+    256: {10: 14, 11: 29, 12: 58, 13: 118, 14: 237, 15: 476, 16: 953},
+}
+
+
+@dataclass(frozen=True)
+class SecurityEstimate:
+    """Result of checking a parameter set against the standard tables."""
+
+    n: int
+    log_q: int
+    level: int              # highest standard level met (0 if none)
+    margin_bits: int        # max_logQ(level) - logQ at that level
+
+    @property
+    def meets_128(self) -> bool:
+        return self.level >= 128
+
+
+def max_log_q(n: int, level: int = 128) -> int:
+    """Largest standard-compliant ``logQ`` for ring dimension ``n``."""
+    table = MAX_LOGQ.get(level)
+    if table is None:
+        raise ParameterError(f"no table for security level {level}")
+    logn = int(math.log2(n))
+    if n & (n - 1):
+        raise ParameterError("ring dimension must be a power of two")
+    candidates = [k for k in table if k <= logn]
+    if not candidates:
+        raise ParameterError(f"ring dimension {n} below tabulated range")
+    return table[max(candidates)]
+
+
+def estimate_security(n: int, log_q: int) -> SecurityEstimate:
+    """Highest standard level a ``(N, logQ)`` pair meets."""
+    best = 0
+    margin = 0
+    for level in sorted(MAX_LOGQ, reverse=True):
+        bound = max_log_q(n, level)
+        if log_q <= bound:
+            best = level
+            margin = bound - log_q
+            break
+    return SecurityEstimate(n=n, log_q=log_q, level=best, margin_bits=margin)
+
+
+def check_params(params: CkksParams, level: int = 128,
+                 include_specials: bool = True) -> SecurityEstimate:
+    """Check a CKKS parameter set; the switching/special primes count
+    toward the attack modulus (the key-switch keys live mod Q*P)."""
+    log_q = params.log_q_total
+    if include_specials:
+        prod = 1
+        for p in params.special_moduli:
+            prod *= p
+        log_q += prod.bit_length()
+    est = estimate_security(params.n, log_q)
+    if est.level < level:
+        raise ParameterError(
+            f"(N={params.n}, logQP={log_q}) only reaches {est.level}-bit "
+            f"security; {level} requested")
+    return est

@@ -1,0 +1,30 @@
+"""The paper's core contribution: scheme-switching CKKS bootstrapping."""
+
+from .bootstrap import BootstrapTrace, SchemeSwitchBootstrapper, expected_k_prime_std
+from .keys import KeySizeAudit, SwitchingKeySet, conventional_bootstrap_key_bytes
+from .functional import FunctionalEvaluator, relu_fn, sigmoid_fn, sign_fn
+from .keyswitched import (
+    KeySwitchedBootstrapper,
+    KeySwitchedKeySet,
+    make_keyswitched_toy_params,
+)
+from .scheduler import BootstrapSchedule, NodeAssignment, make_schedule
+
+__all__ = [
+    "BootstrapTrace",
+    "SchemeSwitchBootstrapper",
+    "expected_k_prime_std",
+    "FunctionalEvaluator",
+    "relu_fn",
+    "sigmoid_fn",
+    "sign_fn",
+    "KeySizeAudit",
+    "KeySwitchedBootstrapper",
+    "KeySwitchedKeySet",
+    "make_keyswitched_toy_params",
+    "SwitchingKeySet",
+    "conventional_bootstrap_key_bytes",
+    "BootstrapSchedule",
+    "NodeAssignment",
+    "make_schedule",
+]

@@ -1,0 +1,162 @@
+"""Non-linear functions on CKKS ciphertexts via scheme switching (§III-A).
+
+The paper motivates scheme switching with exactly this use case before
+specialising it to bootstrapping: "for each extracted LWE ciphertext, we
+perform the blind rotation with some initial function f.  The function f
+can be set as required by the application ... sigmoid, exponentiation, or
+ReLU".  This module implements that general path:
+
+1. Extract the ``N`` coefficient LWE ciphertexts of a CKKS ciphertext
+   (mod ``q``, dimension ``N``).
+2. ModulusSwitch each to ``2N``.  The phase becomes
+   ``t_i ~ round(2N * m_i / q) (mod 2N)`` — the ``q*k`` wraps vanish
+   modulo ``2N``, so ``t_i`` is a ``log2(2N)``-bit quantisation of the
+   slot-encoded value.
+3. BlindRotate with the LUT ``g(t) = p * Delta * f(t * q / (2N * Delta))``
+   (folded with ``N^{-1}`` for the repack factor), repack, and rescale by
+   ``p`` — an encryption of ``Delta * f(v_i)`` over the full modulus
+   ``Q``, i.e. a *fresh, top-level* CKKS ciphertext of ``f(values)``.
+
+Precision is limited by the ``2N``-bucket quantisation (plus blind-rotate
+noise), and the function domain must satisfy ``|v| < q / (4 * Delta)`` so
+the quantised phase stays inside the anti-periodic LUT's faithful range.
+Unlike the Chebyshev route this evaluates *discontinuous* functions
+(sign, step, ReLU's kink) exactly and costs no multiplicative depth — the
+output is at the top level.
+
+The LUT acts per *coefficient* of the plaintext polynomial, so inputs
+must be **coefficient-packed** (``CkksEvaluator.encrypt_coeffs`` — the
+Pegasus packing): the canonical embedding mixes slot values across
+coefficients and would turn a slot-wise non-linearity into garbage.  A
+slot-packed ciphertext can be brought to coefficient packing with one
+SlotToCoeff linear transform (see :mod:`repro.ckks.bootstrap`'s
+matrices) and back afterwards, exactly as Pegasus [41] does; the tests
+and example here use coefficient packing directly.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..ckks.ciphertext import CkksCiphertext
+from ..ckks.context import CkksContext
+from ..errors import ParameterError
+from ..math.rns import RnsPoly
+from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector
+from ..tfhe.lwe import LweCiphertext
+from ..tfhe.repack import repack
+from .bootstrap import BootstrapTrace
+from .keys import SwitchingKeySet
+
+
+class FunctionalEvaluator:
+    """Evaluate arbitrary real functions through the TFHE LUT path."""
+
+    def __init__(self, ctx: CkksContext, keys: SwitchingKeySet):
+        self.ctx = ctx
+        self.keys = keys
+        self.raised_basis = keys.raised_basis
+
+    def max_abs_input(self) -> float:
+        """Largest |v| the quantised phase can represent faithfully."""
+        q = float(self.ctx.full_basis.moduli[0])
+        return q / (4.0 * self.ctx.params.scale)
+
+    def quantisation_step(self) -> float:
+        """Input resolution: one phase bucket in value units."""
+        q = float(self.ctx.full_basis.moduli[0])
+        return q / (2.0 * self.ctx.n * self.ctx.params.scale)
+
+    def evaluate(self, ct: CkksCiphertext, f: Callable[[float], float],
+                 trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
+        """Apply ``f`` element-wise to a *level-0*, coefficient-packed
+        CKKS ciphertext.
+
+        Returns a fresh top-level coefficient-packed ciphertext of
+        ``f(values)`` — the LUT evaluation refreshes noise as a side
+        effect (it *is* a programmable bootstrap).
+        """
+        if ct.level != 0:
+            raise ParameterError(
+                "functional evaluation consumes a level-0 ciphertext "
+                "(drop_to_level first)")
+        n = self.ctx.n
+        two_n = 2 * n
+        q = ct.basis.moduli[0]
+        trace = trace if trace is not None else BootstrapTrace()
+
+        c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
+        c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
+        # Extract + modulus switch in one step: round(2N * x / q) mod 2N.
+        lwes = []
+        for i in range(n):
+            head = c1[: i + 1][::-1]
+            tail = c1[i + 1:][::-1]
+            a_q = np.concatenate([head, (q - tail) % q]) % q
+            a_ms = ((a_q * two_n + q // 2) // q) % two_n
+            b_ms = ((int(c0[i]) * two_n + q // 2) // q) % two_n
+            lwes.append(LweCiphertext(a=a_ms.astype(np.int64), b=int(b_ms),
+                                      q=two_n))
+        trace.num_lwe = len(lwes)
+
+        tv = self._build_lut(f, ct.scale)
+        accs = blind_rotate_batch(tv, lwes, self.keys.brk)
+        trace.num_blind_rotates = len(accs)
+        packed = repack(accs, self.keys.auto_keys)
+        trace.repack_keyswitches = int(math.log2(n)) if n > 1 else 0
+
+        # Rescale by p: Delta * f(v) lands over the full basis Q.
+        body = packed.body.rescale_last_limb().to_eval()
+        mask = packed.mask[0].rescale_last_limb().to_eval()
+        return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _build_lut(self, f: Callable[[float], float], delta: float) -> RnsPoly:
+        """LUT over phase buckets: bucket ``t`` holds
+        ``p * Delta * f(t_signed * q / (2N * Delta)) * N^{-1} mod Qp``,
+        anti-periodically symmetrised (``g(t+N) = -g(t)``), which is exact
+        for odd functions and clamps others at the domain edge."""
+        n = self.ctx.n
+        two_n = 2 * n
+        q = self.ctx.full_basis.moduli[0]
+        p = self.raised_basis.moduli[-1]
+        big_qp = self.raised_basis.product
+        n_inv = pow(n, -1, big_qp)
+        step = float(q) / (two_n * delta)
+
+        def value(t_signed: int) -> int:
+            v = f(t_signed * step)
+            return int(round(v * delta)) * p
+
+        def g(t: int) -> int:
+            t = t % two_n
+            # Faithful range: t in [0, N/2) -> positive inputs,
+            # t in (3N/2, 2N) -> negative inputs; the middle is the
+            # anti-periodic image.
+            if t < n // 2:
+                val = value(t)
+            elif t < n:
+                val = -value(t - n)          # forced by anti-periodicity
+            elif t < 3 * n // 2:
+                val = -value(t - n)
+            else:
+                val = value(t - two_n)
+            return (val * n_inv) % big_qp
+
+        return build_test_vector(g, n, self.raised_basis)
+
+
+def sign_fn(x: float) -> float:
+    return 1.0 if x > 0 else (-1.0 if x < 0 else 0.0)
+
+
+def relu_fn(x: float) -> float:
+    return x if x > 0 else 0.0
+
+
+def sigmoid_fn(x: float) -> float:
+    return 1.0 / (1.0 + math.exp(-x))

@@ -1,0 +1,132 @@
+"""Key material for the scheme-switching bootstrap.
+
+One :class:`SwitchingKeySet` holds everything Algorithm 2 needs:
+
+* **blind-rotate keys** ``brk = {RGSW(s_i^+), RGSW(s_i^-)}`` — RGSW
+  encryptions (over the raised basis ``Q * p``) of the indicator digits of
+  the *CKKS* secret, under that same secret viewed as a GLWE key.  The
+  accumulator key equals the CKKS key so that the blind-rotate output can
+  be added directly to the raised ciphertext in step 4 of Algorithm 2.
+* **repacking keys** — automorphism key-switch keys for the ``log2 N``
+  exponents used by the LWE-to-RLWE repack.
+
+Size audit helpers implement the paper's Section III-C accounting and are
+exercised by the key-size benchmark (0.44 MB ciphertext, ~3.52 MB per
+brk entry, 1.76 GB total, ~18x less key traffic than conventional
+bootstrapping).
+
+Note on dimensions: the paper key-switches extracted LWE ciphertexts down
+to ``n_t = 500`` before blind rotation, so its brk has 500 entries.  Our
+functional pipeline blind-rotates at dimension ``N`` directly (exactly as
+Algorithm 2 is written — its Extract produces dimension-``N`` LWE
+ciphertexts and there is no key-switch step in the algorithm listing);
+the ``n_t`` distinction is honoured by the performance model and by
+:meth:`SwitchingKeySet.paper_sizes`, and DESIGN.md records the
+substitution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..ckks.context import CkksContext
+from ..ckks.keys import SecretKey
+from ..errors import ParameterError
+from ..math.gadget import GadgetVector
+from ..math.rns import RnsBasis, concat_bases
+from ..math.sampling import Sampler
+from ..params import HeapParams, TfheParams
+from ..tfhe.blind_rotate import BlindRotateKey
+from ..tfhe.glwe import GlweSecretKey
+from ..tfhe.keyswitch import AutomorphismKeySet
+from ..tfhe.lwe import LweSecretKey
+from ..tfhe.repack import repack_exponents
+
+
+@dataclass
+class SwitchingKeySet:
+    """Blind-rotate + repacking keys over the raised basis ``Q * p``."""
+
+    brk: BlindRotateKey
+    auto_keys: AutomorphismKeySet
+    raised_basis: RnsBasis
+    gadget: GadgetVector
+    glwe_sk_ref: GlweSecretKey  # kept for tests/debug decryption only
+
+    @classmethod
+    def generate(cls, ctx: CkksContext, sk: SecretKey,
+                 sampler: Optional[Sampler] = None,
+                 base_bits: int = 6,
+                 error_std: float = 1.0) -> "SwitchingKeySet":
+        """Generate switching keys for a CKKS context and secret.
+
+        ``base_bits`` sizes the gadget used by both the external products
+        of BlindRotate and the repacking key switches; smaller digits mean
+        lower noise but more work per external product (the paper's
+        ``d = 2`` corresponds to a very coarse digit over its 252-bit
+        raised modulus).
+        """
+        sampler = sampler or Sampler()
+        raised = concat_bases(ctx.full_basis, RnsBasis([ctx.special_basis.moduli[0]]))
+        total_bits = raised.product.bit_length()
+        # Floor division: the couple of uncovered low-order bits only add
+        # +-2^(bits mod base) of rounding noise, far below the error term.
+        digits = max(1, total_bits // base_bits)
+        gadget = GadgetVector(q=raised.product, base_bits=base_bits, digits=digits)
+        glwe_sk = GlweSecretKey(coeffs=[np.asarray(sk.coeffs, dtype=object)], n=ctx.n)
+        lwe_view = LweSecretKey(coeffs=np.asarray(sk.coeffs, dtype=object))
+        brk = BlindRotateKey.generate(lwe_view, glwe_sk, raised, gadget, sampler,
+                                      error_std=error_std)
+        auto_keys = AutomorphismKeySet.generate(
+            glwe_sk, repack_exponents(ctx.n), raised, gadget, sampler,
+            error_std=error_std)
+        return cls(brk=brk, auto_keys=auto_keys, raised_basis=raised,
+                   gadget=gadget, glwe_sk_ref=glwe_sk)
+
+
+@dataclass(frozen=True)
+class KeySizeAudit:
+    """Section III-C size accounting for a parameter set."""
+
+    rlwe_ciphertext_bytes: int
+    lwe_ciphertext_bytes: int
+    rgsw_key_bytes: int
+    total_brk_bytes: int
+
+    @classmethod
+    def from_params(cls, params: TfheParams, log_q_total: int) -> "KeySizeAudit":
+        """Audit with the paper's own accounting.
+
+        * RLWE ct: ``2 * logQ * N / 8`` bytes (paper: ~0.44 MB).
+        * LWE ct: ``(n_t + 1) * log q / 8`` bytes (paper: ~2.3 KB).
+        * One brk entry: ``(h+1)d x (h+1)`` polynomials of ``N`` coeffs at
+          ``log q`` bits (paper: ~3.52 MB for the pair).
+        * Total: ``n_t`` entries (paper: ~1.76 GB).
+        """
+        n = params.n
+        log_q = params.q.bit_length()
+        rlwe = 2 * log_q_total * n // 8
+        lwe = (params.n_t + 1) * log_q // 8
+        rows = (params.glwe_mask + 1) * params.decomp_digits
+        cols = params.glwe_mask + 1
+        # The paper counts the *pair* {RGSW(s+), RGSW(s-)} as one key, and
+        # its 3.52 MB figure implies full-Q (logQ = 216 bit) coefficients
+        # for the key polynomials (the blind rotation accumulates in the
+        # raised ring R_Qp).
+        rgsw_pair = 2 * rows * cols * n * log_q_total // 8
+        total = params.n_t * rgsw_pair
+        return cls(rlwe_ciphertext_bytes=rlwe, lwe_ciphertext_bytes=lwe,
+                   rgsw_key_bytes=rgsw_pair, total_brk_bytes=total)
+
+
+def conventional_bootstrap_key_bytes(n: int = 1 << 16, log_q: int = 1728,
+                                     num_keys: int = 25) -> int:
+    """Key traffic of conventional CKKS bootstrapping (paper Section III-C):
+    ~126 MB per switching key (at bootstrappable parameters), ~25 keys
+    (24 rotation + 1 multiplication) -> ~3.2 GB per pass; the paper's
+    "32 GB" figure counts repeated reads across the bootstrap pipeline."""
+    per_key = 2 * 2 * log_q * n // 8 * 2  # dnum-digit key: ~4 ring elements at Q*P
+    return num_keys * per_key

@@ -1,0 +1,83 @@
+"""Partitioning of BlindRotate work over multiple compute nodes.
+
+Section V: one primary node distributes the LWE ciphertexts to the
+secondaries, every node runs its share of BlindRotates (512 per FPGA for
+a fully-packed bootstrap on eight FPGAs), and the results stream back to
+the primary for repacking.  The schedule below reproduces that policy —
+contiguous blocks, primary sends one node's full batch before the next
+(Section V: "sends all the ciphertexts intended for one of the secondary
+FPGAs before sending the ciphertexts for the next one") — and is used
+both by the functional multi-node simulation and by the hardware
+performance model.
+
+``n_br`` is the paper's knob for sparsely-packed ciphertexts: the number
+of BlindRotate operations actually scheduled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, TypeVar
+
+from ..errors import ParameterError
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class NodeAssignment:
+    """The contiguous slice of BlindRotates a node executes."""
+
+    node_id: int
+    start: int
+    count: int
+    is_primary: bool
+
+    @property
+    def stop(self) -> int:
+        return self.start + self.count
+
+
+@dataclass(frozen=True)
+class BootstrapSchedule:
+    """A full multi-node schedule for ``n_br`` BlindRotates."""
+
+    n_br: int
+    nodes: List[NodeAssignment]
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def max_per_node(self) -> int:
+        return max(a.count for a in self.nodes)
+
+    def slices(self, items: Sequence[T]) -> List[Sequence[T]]:
+        """Split a work list according to the schedule."""
+        if len(items) != self.n_br:
+            raise ParameterError(
+                f"schedule built for {self.n_br} items, got {len(items)}")
+        return [items[a.start: a.stop] for a in self.nodes]
+
+
+def make_schedule(n_br: int, num_nodes: int) -> BootstrapSchedule:
+    """Distribute ``n_br`` BlindRotates as evenly as possible.
+
+    The primary (node 0) both coordinates and computes, as in the paper's
+    eight-FPGA deployment.
+    """
+    if n_br < 1:
+        raise ParameterError("n_br must be positive")
+    if num_nodes < 1:
+        raise ParameterError("need at least one node")
+    base = n_br // num_nodes
+    extra = n_br % num_nodes
+    nodes = []
+    start = 0
+    for node in range(num_nodes):
+        count = base + (1 if node < extra else 0)
+        nodes.append(NodeAssignment(node_id=node, start=start, count=count,
+                                    is_primary=(node == 0)))
+        start += count
+    return BootstrapSchedule(n_br=n_br, nodes=nodes)

@@ -1,0 +1,155 @@
+"""Standalone TFHE: programmable bootstrapping and boolean gates.
+
+Section VII-A argues HEAP supports the standalone TFHE scheme because
+BlindRotate *is* the core of programmable bootstrapping (PBS).  This
+module provides that layer: a gate-level API (NAND/AND/OR/XOR/NOT/MUX)
+whose non-linear steps run through :func:`programmable_bootstrap`.
+
+Message encoding: booleans are encoded as ``q/8 * {-1, +1}``-ish points
+on the torus — we use the classic 4-segment encoding: ``False -> -q/8``,
+``True -> +q/8``; gate linear combinations land in a half-plane that the
+sign-LUT bootstrap maps back to a clean encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..math.gadget import GadgetVector
+from ..math.rns import RnsBasis, RnsPoly
+from ..math.sampling import Sampler
+from ..params import TfheParams
+from .blind_rotate import BlindRotateKey, MonomialCache, blind_rotate, build_test_vector
+from .extract import extract_lwe, rlwe_secret_as_lwe_key
+from .glwe import GlweSecretKey
+from .lwe import (
+    LweCiphertext,
+    LweKeySwitchKey,
+    LweSecretKey,
+    lwe_decrypt,
+    lwe_encrypt,
+    lwe_keyswitch,
+    modulus_switch,
+)
+
+
+@dataclass
+class TfheKeySet:
+    """All key material for standalone TFHE evaluation."""
+
+    lwe_sk: LweSecretKey                 # dimension n_t (client key)
+    glwe_sk: GlweSecretKey               # accumulator ring key
+    brk: BlindRotateKey                  # bootstrapping key
+    ksk: LweKeySwitchKey                 # dim-N -> dim-n_t switch
+
+
+class TfheScheme:
+    """A runnable standalone-TFHE instance (encrypt, gates, PBS)."""
+
+    def __init__(self, params: TfheParams, sampler: Optional[Sampler] = None):
+        self.params = params
+        self.sampler = sampler or Sampler()
+        self.basis = RnsBasis([params.q])
+        self.gadget = GadgetVector(q=params.q, base_bits=params.decomp_base_bits,
+                                   digits=params.decomp_digits)
+        self._mono_cache = MonomialCache(params.n, self.basis)
+
+    # -- keys ------------------------------------------------------------------
+
+    def keygen(self) -> TfheKeySet:
+        p = self.params
+        lwe_sk = LweSecretKey.generate(p.n_t, self.sampler)
+        glwe_sk = GlweSecretKey.generate(p.n, p.glwe_mask, self.sampler)
+        brk = BlindRotateKey.generate(lwe_sk, glwe_sk, self.basis, self.gadget,
+                                      self.sampler, p.error_std)
+        ksk = LweKeySwitchKey.generate(
+            rlwe_secret_as_lwe_key(glwe_sk.coeffs[0]), lwe_sk, p.q,
+            self.gadget, self.sampler)
+        return TfheKeySet(lwe_sk=lwe_sk, glwe_sk=glwe_sk, brk=brk, ksk=ksk)
+
+    # -- encryption -------------------------------------------------------------
+
+    def encrypt_bit(self, bit: bool, keys: TfheKeySet) -> LweCiphertext:
+        m = self.params.q // 8 if bit else -(self.params.q // 8) % self.params.q
+        return lwe_encrypt(m, keys.lwe_sk, self.params.q, self.sampler,
+                           self.params.error_std)
+
+    def decrypt_bit(self, ct: LweCiphertext, keys: TfheKeySet) -> bool:
+        return lwe_decrypt(ct, keys.lwe_sk) > 0
+
+    # -- programmable bootstrapping ----------------------------------------------
+
+    def programmable_bootstrap(self, ct: LweCiphertext, keys: TfheKeySet,
+                               lut: Callable[[int], int]) -> LweCiphertext:
+        """Evaluate ``lut`` on the encrypted phase while refreshing noise.
+
+        ``lut`` maps a phase bucket in ``[0, 2N)`` to an output in
+        ``Z_q`` and must be negacyclic (``lut(t+N) = -lut(t) mod q``).
+        """
+        p = self.params
+        switched = modulus_switch(ct, 2 * p.n)
+        tv = build_test_vector(lut, p.n, self.basis)
+        acc = blind_rotate(tv, switched, keys.brk, self._mono_cache)
+        extracted = extract_lwe(acc, 0)
+        return lwe_keyswitch(extracted, keys.ksk)
+
+    def bootstrap_sign(self, ct: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        """Map any positive phase to ``+q/8`` and negative to ``-q/8``."""
+        q8 = self.params.q // 8
+        n = self.params.n
+
+        def sign_lut(t: int) -> int:
+            return q8 if t < n else -q8 % self.params.q
+
+        return self.programmable_bootstrap(ct, keys, sign_lut)
+
+    # -- gates ------------------------------------------------------------------------
+
+    def nand(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        q8 = self.params.q // 8
+        lin = _const(q8, a) - a - b
+        return self.bootstrap_sign(lin, keys)
+
+    def and_(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        q8 = self.params.q // 8
+        lin = _const(-q8 % self.params.q, a) + a + b
+        return self.bootstrap_sign(lin, keys)
+
+    def or_(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        q8 = self.params.q // 8
+        lin = _const(q8, a) + a + b
+        return self.bootstrap_sign(lin, keys)
+
+    def nor(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        return self.not_(self.or_(a, b, keys))
+
+    def xor_(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        # Classic TFHE gate map: sign(2a + 2b + q/4) — keeps every input
+        # combination a quarter-torus away from the decision boundary.
+        q4 = self.params.q // 4
+        lin = _const(q4, a) + a.scale(2) + b.scale(2)
+        return self.bootstrap_sign(lin, keys)
+
+    def xnor(self, a: LweCiphertext, b: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        return self.not_(self.xor_(a, b, keys))
+
+    def not_(self, a: LweCiphertext) -> LweCiphertext:
+        """NOT is free: negate (no bootstrap needed)."""
+        return -a
+
+    def mux(self, sel: LweCiphertext, on_true: LweCiphertext,
+            on_false: LweCiphertext, keys: TfheKeySet) -> LweCiphertext:
+        """(sel AND on_true) OR ((NOT sel) AND on_false), 3 bootstraps."""
+        t = self.and_(sel, on_true, keys)
+        f = self.and_(self.not_(sel), on_false, keys)
+        return self.or_(t, f, keys)
+
+
+def _const(value: int, like: LweCiphertext) -> LweCiphertext:
+    """Trivial (noiseless, public) LWE encryption of a constant."""
+    return LweCiphertext(a=np.zeros(like.dim, dtype=like.a.dtype),
+                         b=value % like.q, q=like.q)

@@ -1,0 +1,112 @@
+"""GLWE (RLWE) key switching via gadget decomposition.
+
+The paper (Section VII-A) describes the TFHE KeySwitch as "Decomposition
++ ExternalProduct with the evaluation keys" — exactly what this module
+does.  The primary client is the automorphism evaluation needed by the
+LWE-to-RLWE repacking (Chen et al. [11]): applying ``X -> X^t`` to a
+ciphertext leaves it encrypted under ``s(X^t)``, and a
+:class:`GlweKeySwitchKey` for payload ``s(X^t)`` brings it back under
+``s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..errors import KeyError_, ParameterError
+from ..math.gadget import GadgetVector
+from ..math.rns import RnsBasis, RnsPoly
+from ..math.sampling import Sampler
+from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
+
+
+@dataclass
+class GlweKeySwitchKey:
+    """Digit-wise encryptions of ``g_k * payload`` under the target key."""
+
+    rows: List[GlweCiphertext]
+    gadget: GadgetVector
+
+    @classmethod
+    def generate(cls, payload_coeffs: np.ndarray, sk_dst: GlweSecretKey,
+                 basis: RnsBasis, gadget: GadgetVector, sampler: Sampler,
+                 error_std: Optional[float] = None) -> "GlweKeySwitchKey":
+        n = sk_dst.n
+        rows = []
+        for g in gadget.factors():
+            msg = RnsPoly.from_int_coeffs(
+                n, basis, (np.asarray(payload_coeffs, dtype=object) * g) % basis.product
+            )
+            rows.append(glwe_encrypt(msg, sk_dst, sampler, error_std).to_eval())
+        return cls(rows=rows, gadget=gadget)
+
+
+def glwe_keyswitch(d: RnsPoly, body: RnsPoly, ksk: GlweKeySwitchKey) -> GlweCiphertext:
+    """Rebase ``(d, body)`` where the phase is ``body + d * payload``.
+
+    Decomposes ``d`` into gadget digits and MACs against the key rows;
+    output decrypts (under the key's target secret) to
+    ``body + d * payload`` plus decomposition noise.
+    """
+    basis = d.basis
+    n = d.n
+    coeffs = d.to_coeff().to_int_coeffs()
+    digit_vecs = ksk.gadget.decompose(coeffs)
+    acc = GlweCiphertext.trivial(body.to_eval(), h=ksk.rows[0].h)
+    for dv, row in zip(digit_vecs, ksk.rows):
+        digit_poly = RnsPoly.from_int_coeffs(n, basis, dv).to_eval()
+        acc = acc + row.mul_poly(digit_poly)
+    return acc
+
+
+@dataclass
+class AutomorphismKeySet:
+    """Key-switch keys for a set of automorphism exponents ``t``."""
+
+    keys: Dict[int, GlweKeySwitchKey]
+
+    @classmethod
+    def generate(cls, sk: GlweSecretKey, exponents: List[int], basis: RnsBasis,
+                 gadget: GadgetVector, sampler: Sampler,
+                 error_std: Optional[float] = None) -> "AutomorphismKeySet":
+        if sk.h != 1:
+            raise ParameterError("automorphism keys assume an RLWE (h=1) key")
+        n = sk.n
+        keys = {}
+        for t in set(exponents):
+            rotated = _int_automorphism(sk.coeffs[0], t)
+            keys[t] = GlweKeySwitchKey.generate(rotated, sk, basis, gadget,
+                                                sampler, error_std)
+        return cls(keys=keys)
+
+    def key_for(self, t: int) -> GlweKeySwitchKey:
+        key = self.keys.get(t)
+        if key is None:
+            raise KeyError_(f"missing automorphism key for exponent {t}")
+        return key
+
+
+def eval_automorphism(ct: GlweCiphertext, t: int,
+                      keys: AutomorphismKeySet) -> GlweCiphertext:
+    """Homomorphic ``m(X) -> m(X^t)`` on an RLWE ciphertext."""
+    if ct.h != 1:
+        raise ParameterError("eval_automorphism expects an RLWE ciphertext")
+    rotated = ct.automorphism(t)
+    return glwe_keyswitch(rotated.mask[0], rotated.body, keys.key_for(t))
+
+
+def _int_automorphism(coeffs: np.ndarray, t: int) -> np.ndarray:
+    n = len(coeffs)
+    if t % 2 == 0:
+        raise ParameterError("automorphism exponent must be odd")
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        e = (i * t) % (2 * n)
+        if e >= n:
+            out[e - n] -= int(coeffs[i])
+        else:
+            out[e] += int(coeffs[i])
+    return out

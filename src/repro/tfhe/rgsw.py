@@ -1,0 +1,175 @@
+"""RGSW/GGSW ciphertexts, the external product, CMux and InternalProduct.
+
+An RGSW ciphertext is the ``(h+1)*d x (h+1)`` matrix of degree-``N-1``
+polynomials from paper Section II-B: for each target component
+``c in [0, h]`` and gadget digit ``k in [0, d)`` it stores a GLWE row
+whose phase is ``g_k * m * s_c`` (mask rows) or ``g_k * m`` (body rows).
+
+The **external product** ``RGSW(m) x GLWE(mu) -> GLWE(m * mu)`` gadget-
+decomposes every GLWE component and MAC-accumulates the digits against
+the rows — precisely the workload of HEAP's external-product unit
+(Section IV-A): integer multiply, lazy accumulate, one reduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ParameterError
+from ..math.gadget import GadgetVector
+from ..math.rns import RnsBasis, RnsPoly
+from ..math.sampling import Sampler
+from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
+
+
+@dataclass
+class RgswCiphertext:
+    """Rows indexed ``rows[c][k]``: component ``c`` (``h`` = body), digit ``k``."""
+
+    rows: List[List[GlweCiphertext]]
+    gadget: GadgetVector
+
+    @property
+    def h(self) -> int:
+        return len(self.rows) - 1
+
+    @property
+    def basis(self) -> RnsBasis:
+        return self.rows[0][0].basis
+
+    @property
+    def n(self) -> int:
+        return self.rows[0][0].n
+
+    def matrix_shape(self):
+        """Paper shape ``((h+1)*d, h+1)``."""
+        d = self.gadget.digits
+        return ((self.h + 1) * d, self.h + 1)
+
+    # -- linear structure (used by the BlindRotate combined key) -------------------
+
+    def __add__(self, other: "RgswCiphertext") -> "RgswCiphertext":
+        if self.matrix_shape() != other.matrix_shape():
+            raise ParameterError("RGSW shape mismatch")
+        return RgswCiphertext(
+            rows=[[x + y for x, y in zip(rs, ro)] for rs, ro in zip(self.rows, other.rows)],
+            gadget=self.gadget,
+        )
+
+    def mul_eval_vector(self, eval_vecs: List[np.ndarray]) -> "RgswCiphertext":
+        """Multiply every row polynomial pointwise by per-limb evaluation
+        vectors — e.g. the transform of ``X^a - 1``.  Rows must be in the
+        evaluation domain."""
+        def scale_poly(p: RnsPoly) -> RnsPoly:
+            p = p.to_eval()
+            limbs = [e.mul(limb, v) for e, limb, v in zip(p.basis.engines, p.limbs, eval_vecs)]
+            return RnsPoly(p.n, p.basis, limbs, "eval")
+
+        return RgswCiphertext(
+            rows=[[GlweCiphertext(mask=[scale_poly(a) for a in row.mask],
+                                  body=scale_poly(row.body))
+                   for row in comp] for comp in self.rows],
+            gadget=self.gadget,
+        )
+
+
+def rgsw_encrypt(m: int, sk: GlweSecretKey, basis: RnsBasis,
+                 gadget: GadgetVector, sampler: Sampler,
+                 error_std: Optional[float] = None) -> RgswCiphertext:
+    """Encrypt a small integer (typically a secret-key digit in {-1,0,1})."""
+    n = sk.n
+    h = sk.h
+    rows: List[List[GlweCiphertext]] = []
+    factors = gadget.factors()
+    for c in range(h + 1):
+        comp_rows = []
+        for g in factors:
+            payload = (int(m) * g) % basis.product
+            if c < h:
+                ct = glwe_encrypt(RnsPoly.zero(n, basis), sk, sampler, error_std)
+                bump = RnsPoly.from_int_coeffs(
+                    n, basis, _constant_vec(n, payload)).to_eval()
+                ct = GlweCiphertext(
+                    mask=[a + bump if i == c else a for i, a in enumerate(ct.mask)],
+                    body=ct.body,
+                )
+            else:
+                msg = RnsPoly.from_int_coeffs(n, basis, _constant_vec(n, payload))
+                ct = glwe_encrypt(msg, sk, sampler, error_std)
+            comp_rows.append(ct.to_eval())
+        rows.append(comp_rows)
+    return RgswCiphertext(rows=rows, gadget=gadget)
+
+
+def rgsw_trivial(m: int, h: int, n: int, basis: RnsBasis,
+                 gadget: GadgetVector) -> RgswCiphertext:
+    """Noiseless RGSW of a public constant — ``RGSW(1)`` in Algorithm 1."""
+    rows: List[List[GlweCiphertext]] = []
+    for c in range(h + 1):
+        comp_rows = []
+        for g in gadget.factors():
+            payload = (int(m) * g) % basis.product
+            bump = RnsPoly.from_int_coeffs(n, basis, _constant_vec(n, payload)).to_eval()
+            zero = RnsPoly.zero(n, basis, "eval")
+            mask = [bump.copy() if i == c else zero.copy() for i in range(h)]
+            body = bump.copy() if c == h else zero.copy()
+            comp_rows.append(GlweCiphertext(mask=mask, body=body))
+        rows.append(comp_rows)
+    return RgswCiphertext(rows=rows, gadget=gadget)
+
+
+def external_product(rgsw: RgswCiphertext, glwe: GlweCiphertext) -> GlweCiphertext:
+    """``RGSW(m) x GLWE(mu) -> GLWE(m * mu)``.
+
+    Decompose-NTT-MAC, the exact sub-operation sequence of the paper's
+    BlindRotate datapath (Section IV-E): rotation and decompose happen on
+    coefficients, the products in the evaluation domain.
+    """
+    if rgsw.h != glwe.h or rgsw.basis.moduli != glwe.basis.moduli:
+        raise ParameterError("external product operand mismatch")
+    basis = glwe.basis
+    n = glwe.n
+    h = glwe.h
+    gadget = rgsw.gadget
+    components = list(glwe.mask) + [glwe.body]
+    acc: Optional[GlweCiphertext] = None
+    for c in range(h + 1):
+        coeffs = components[c].to_int_coeffs()  # big-int, in [0, Q)
+        digit_vecs = gadget.decompose(coeffs)
+        for k, dv in enumerate(digit_vecs):
+            digit_poly = RnsPoly.from_int_coeffs(n, basis, dv).to_eval()
+            term = rgsw.rows[c][k].mul_poly(digit_poly)
+            acc = term if acc is None else acc + term
+    return acc
+
+
+def cmux(selector: RgswCiphertext, ct_false: GlweCiphertext,
+         ct_true: GlweCiphertext) -> GlweCiphertext:
+    """``CMux``: returns ``ct_true`` if the RGSW encrypts 1, else ``ct_false``.
+
+    Mapped via "simple multiplication, addition, and subtraction"
+    (Section VII-A): ``d0 + RGSW(c) x (d1 - d0)``.
+    """
+    return ct_false + external_product(selector, ct_true - ct_false)
+
+
+def internal_product(a: RgswCiphertext, b: RgswCiphertext) -> RgswCiphertext:
+    """``GGSW x GGSW`` as a list of independent external products.
+
+    Section VII-A: view ``b`` as a list of GLWE rows, externally multiply
+    each by ``a``, and reassemble — yields (approximately)
+    ``RGSW(m_a * m_b)``.
+    """
+    if a.matrix_shape() != b.matrix_shape():
+        raise ParameterError("internal product shape mismatch")
+    rows = [[external_product(a, row) for row in comp] for comp in b.rows]
+    return RgswCiphertext(rows=rows, gadget=b.gadget)
+
+
+def _constant_vec(n: int, value: int) -> np.ndarray:
+    out = np.zeros(n, dtype=object)
+    out[0] = value
+    return out

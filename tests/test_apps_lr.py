@@ -1,0 +1,139 @@
+"""Tests for the logistic-regression workload: plaintext reference,
+encrypted iteration, bootstrap-integrated training, Table VI model."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    Dataset,
+    EncryptedLogisticRegression,
+    EncryptedLrState,
+    LrOpCounts,
+    PlaintextLogisticRegression,
+    lr_iteration_model,
+    poly_sigmoid,
+    synthetic_mnist_3v8,
+    train_test_split,
+)
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.hardware import ClusterBootstrapModel, SingleFpgaModel
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
+
+
+class TestDatasets:
+    def test_shape_matches_paper(self):
+        ds = synthetic_mnist_3v8()
+        assert ds.x.shape == (11982, 196)
+        assert set(np.unique(ds.y)) <= {0, 1}
+
+    def test_deterministic(self):
+        a, b = synthetic_mnist_3v8(seed=1), synthetic_mnist_3v8(seed=1)
+        assert np.array_equal(a.x, b.x)
+
+    def test_split(self):
+        ds = synthetic_mnist_3v8(num_samples=100, num_features=8)
+        tr, te = train_test_split(ds, 0.2)
+        assert tr.num_samples == 80 and te.num_samples == 20
+
+
+class TestPlaintextLr:
+    def test_sigmoid_approx_is_close_in_range(self):
+        z = np.linspace(-4, 4, 100)
+        true = 1.0 / (1.0 + np.exp(-z))
+        # HELR's degree-3 least-squares fit is accurate to ~0.1 on [-4, 4].
+        assert np.max(np.abs(poly_sigmoid(z) - true)) < 0.12
+
+    def test_training_reaches_paper_accuracy(self):
+        """Paper Section VI-F3: ~97% LR accuracy after 30 iterations."""
+        ds = synthetic_mnist_3v8(num_samples=2000)
+        tr, te = train_test_split(ds)
+        model = PlaintextLogisticRegression(ds.num_features, lr=2.0)
+        model.train(tr, iterations=30, batch_size=512)
+        assert model.accuracy(te) > 0.93
+
+    def test_loss_direction(self):
+        ds = synthetic_mnist_3v8(num_samples=500, num_features=16)
+        model = PlaintextLogisticRegression(16, lr=1.0)
+        acc0 = model.accuracy(ds)
+        model.train(ds, iterations=10, batch_size=128)
+        assert model.accuracy(ds) > acc0
+
+
+from repro.ckks import make_bootstrappable_toy_params
+
+# Fixed-point layout: rescale primes ~ Delta with a wider base limb, so a
+# deep LR iteration keeps its scale stable (same discipline as the
+# conventional bootstrapper).
+PARAMS_CKKS = make_bootstrappable_toy_params(n=32, levels=9, delta_bits=24,
+                                             q0_bits=30)
+
+
+@pytest.fixture(scope="module")
+def enc_stack():
+    ctx = CkksContext(PARAMS_CKKS, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(101))
+    sk = gen.secret_key()
+    trainer_probe = EncryptedLogisticRegression.__new__(EncryptedLogisticRegression)
+    # Build rotation list for f=4, b=4 on 16 slots.
+    f, b = 4, 4
+    rots = set()
+    shift = 1
+    while shift < f:
+        rots.update([shift, ctx.slots - shift])
+        shift *= 2
+    shift = f
+    while shift < f * b:
+        rots.update([shift, ctx.slots - shift])
+        shift *= 2
+    keys = gen.keyset(sk, rotations=sorted(rots))
+    ev = CkksEvaluator(ctx, keys, Sampler(102), scale_rtol=2e-2)
+    return ctx, sk, ev
+
+
+class TestEncryptedIteration:
+    def test_matches_plaintext_gradient_step(self, enc_stack):
+        ctx, sk, ev = enc_stack
+        f, b = 4, 4
+        trainer = EncryptedLogisticRegression(ctx, ev, f, b, lr=0.5)
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-1, 1, (b, f))
+        y = rng.integers(0, 2, b).astype(float)
+        w0 = rng.uniform(-0.3, 0.3, f)
+
+        ref = PlaintextLogisticRegression(f, lr=0.5)
+        ref.w = w0.copy()
+        ref.iterate(x, y)
+
+        ct_w = ev.encrypt(trainer.pack_weights(w0))
+        ct_w = trainer.iterate(ct_w, x, y)
+        got = trainer.unpack_weights(ev.decrypt(ct_w, sk))
+        assert np.allclose(got, ref.w, atol=0.05), (got, ref.w)
+
+    def test_rotation_indices_cover_iteration(self, enc_stack):
+        ctx, sk, ev = enc_stack
+        trainer = EncryptedLogisticRegression(ctx, ev, 4, 4)
+        rots = trainer.rotation_indices()
+        assert all(0 < r < ctx.slots for r in rots)
+
+    def test_invalid_packing_rejected(self, enc_stack):
+        from repro.errors import ParameterError
+        ctx, sk, ev = enc_stack
+        with pytest.raises(ParameterError):
+            EncryptedLogisticRegression(ctx, ev, 3, 4)
+        with pytest.raises(ParameterError):
+            EncryptedLogisticRegression(ctx, ev, 16, 16)
+
+
+class TestTableVIModel:
+    def test_matches_paper_anchors(self):
+        total, share = lr_iteration_model(SingleFpgaModel(), ClusterBootstrapModel())
+        assert total == pytest.approx(0.007, rel=0.1)
+        assert share == pytest.approx(0.21, abs=0.05)
+
+    def test_sparser_packing_cheaper_bootstraps(self):
+        fpga, cluster = SingleFpgaModel(), ClusterBootstrapModel()
+        t_sparse, _ = lr_iteration_model(fpga, cluster, LrOpCounts(slots=128))
+        t_dense, _ = lr_iteration_model(fpga, cluster, LrOpCounts(slots=1024))
+        assert t_sparse < t_dense

@@ -1,0 +1,132 @@
+"""End-to-end test of the conventional CKKS bootstrap baseline."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    CkksContext,
+    CkksEvaluator,
+    CkksKeyGenerator,
+    ConventionalBootstrapConfig,
+    ConventionalBootstrapper,
+    ConventionalBootstrapTrace,
+    make_bootstrappable_toy_params,
+)
+from repro.errors import ParameterError
+from repro.math.sampling import Sampler
+
+PARAMS = make_bootstrappable_toy_params(n=32, levels=17, delta_bits=24, q0_bits=30)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(77))
+    sk = gen.secret_key()
+    rots = ConventionalBootstrapper.required_rotation_indices(ctx)
+    keys = gen.keyset(sk, rotations=rots, conjugate=True)
+    ev = CkksEvaluator(ctx, keys, Sampler(78), scale_rtol=5e-2)
+    boot = ConventionalBootstrapper(ctx, keys, evaluator=ev)
+    return ctx, sk, ev, boot
+
+
+class TestSineApprox:
+    def test_approximation_error(self, stack):
+        ctx, sk, ev, boot = stack
+        approx = boot._approx
+        q0 = float(ctx.full_basis.moduli[0])
+        delta = ctx.params.scale
+        ratio = q0 / delta
+        # On integer multiples of ratio (k*q0 in y-units) plus a small
+        # message, the sine approx must return ~ the message.
+        for k in (-5, -1, 0, 1, 5):
+            for msg in (-0.4, 0.0, 0.7):
+                y = k * ratio + msg
+                assert abs(approx(np.asarray([y]))[0] - msg) < 2e-2, (k, msg)
+
+
+class TestConventionalBootstrap:
+    def test_refreshes_levels(self, stack):
+        ctx, sk, ev, boot = stack
+        rng = np.random.default_rng(0)
+        z = rng.uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        trace = ConventionalBootstrapTrace()
+        out = boot.bootstrap(ct, trace)
+        assert out.level >= 1, "bootstrap must leave usable levels"
+        got = ev.decrypt(out, sk)
+        assert np.allclose(got.real, z, atol=0.1), np.max(np.abs(got.real - z))
+        assert trace.levels_consumed > 0
+        assert "EvalMod(deg=119)" in " ".join(trace.notes)
+
+    def test_output_supports_multiplication(self, stack):
+        ctx, sk, ev, boot = stack
+        z = np.random.default_rng(1).uniform(0.3, 0.9, ctx.slots)
+        out = boot.bootstrap(ev.encrypt(z, level=0))
+        if out.level < 1:
+            pytest.skip("toy chain too short for a post-bootstrap mult")
+        prod = ev.mul_relin_rescale(
+            out, ev.encrypt(z, level=out.level, scale=out.scale))
+        got = ev.decrypt(prod, sk).real
+        assert np.allclose(got, z * z, atol=0.2)
+
+    def test_rejects_non_level0(self, stack):
+        ctx, sk, ev, boot = stack
+        with pytest.raises(ParameterError):
+            boot.bootstrap(ev.encrypt(0.5))
+
+    def test_consumes_many_levels(self, stack):
+        """The headline contrast with scheme switching: conventional
+        bootstrapping burns most of the chain (paper: 15-19 limbs at
+        production scale), scheme switching burns exactly one."""
+        ctx, sk, ev, boot = stack
+        trace = ConventionalBootstrapTrace()
+        boot.bootstrap(ev.encrypt(0.25, level=0), trace)
+        assert trace.levels_consumed >= 8
+
+
+class TestDoubleAngleEvalMod:
+    """The Han-Ki refinement [30]: low-degree sine/cosine + r angle
+    doublings replaces the high-degree sine."""
+
+    def test_bootstrap_with_double_angle(self, stack):
+        ctx, sk, ev, _ = stack
+        from repro.ckks import ConventionalBootstrapConfig, ConventionalBootstrapper
+        cfg = ConventionalBootstrapConfig(sine_degree=31, double_angle=2)
+        boot = ConventionalBootstrapper(ctx, ev.keys, config=cfg, evaluator=ev)
+        z = np.random.default_rng(5).uniform(-1, 1, ctx.slots)
+        trace = ConventionalBootstrapTrace()
+        out = boot.bootstrap(ev.encrypt(z, level=0), trace)
+        got = ev.decrypt(out, sk)
+        assert np.allclose(got.real, z, atol=0.15), np.max(np.abs(got.real - z))
+        assert "double-angle r=2" in " ".join(trace.notes)
+
+    def test_numeric_angle_doubling_identity(self, stack):
+        """Plain-math check of the (s, c) <- (2sc, 2c^2-1) recurrence."""
+        ctx, sk, ev, boot = stack
+        theta = 0.37
+        s, c = np.sin(theta / 4), np.cos(theta / 4)
+        for _ in range(2):
+            s, c = 2 * s * c, 2 * c * c - 1
+        assert s == pytest.approx(np.sin(theta))
+        assert c == pytest.approx(np.cos(theta))
+
+    def test_lower_degree_suffices_with_doubling(self, stack):
+        """Degree-31 sine alone cannot cover K=12 periods; with r=2
+        doublings it can (the refinement's whole point)."""
+        ctx, sk, ev, _ = stack
+        from repro.ckks import ChebyshevApprox
+        q0 = float(ctx.full_basis.moduli[0])
+        ratio = q0 / ctx.params.scale
+        bound = 12.5 * ratio
+        plain = ChebyshevApprox.interpolate(
+            lambda y: np.sin(2 * np.pi * np.asarray(y) / ratio),
+            -bound, bound, 31)
+        shrunk = ChebyshevApprox.interpolate(
+            lambda y: np.sin(2 * np.pi * np.asarray(y) / ratio / 4),
+            -bound, bound, 31)
+        err_plain = plain.max_error(
+            lambda y: np.sin(2 * np.pi * np.asarray(y) / ratio))
+        err_shrunk = shrunk.max_error(
+            lambda y: np.sin(2 * np.pi * np.asarray(y) / ratio / 4))
+        assert err_shrunk < err_plain / 10

@@ -1,0 +1,144 @@
+"""Tests for Chebyshev approximation and homomorphic evaluation, and for
+slot-space linear transforms."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import (
+    ChebyshevApprox,
+    CkksContext,
+    CkksEvaluator,
+    CkksKeyGenerator,
+    apply_conjugation_pair,
+    apply_matrix,
+    eval_chebyshev,
+    required_rotations,
+)
+from repro.ckks.bootstrap import make_bootstrappable_toy_params
+from repro.ckks.linear_transform import bsgs_split, matrix_diagonals
+from repro.math.sampling import Sampler
+
+PARAMS = make_bootstrappable_toy_params(n=16, levels=9, delta_bits=24, q0_bits=30)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(55))
+    sk = gen.secret_key()
+    keys = gen.keyset(sk, rotations=required_rotations(ctx.slots), conjugate=True)
+    ev = CkksEvaluator(ctx, keys, Sampler(56), scale_rtol=5e-2)
+    return ctx, sk, ev
+
+
+class TestChebyshevNumeric:
+    def test_interpolation_accuracy(self):
+        approx = ChebyshevApprox.interpolate(np.sin, -3, 3, 31)
+        assert approx.max_error(np.sin) < 1e-8
+
+    def test_linear_function_is_exact(self):
+        approx = ChebyshevApprox.interpolate(lambda x: 2 * x + 1, -1, 1, 3)
+        xs = np.linspace(-1, 1, 64)
+        assert np.allclose(approx(xs), 2 * xs + 1, atol=1e-12)
+
+    def test_degree_reported(self):
+        assert ChebyshevApprox.interpolate(np.cos, -1, 1, 7).degree == 7
+
+    def test_interval_mapping(self):
+        approx = ChebyshevApprox.interpolate(np.exp, 1, 2, 15)
+        xs = np.linspace(1, 2, 32)
+        assert np.allclose(approx(xs), np.exp(xs), atol=1e-10)
+
+
+class TestHomomorphicChebyshev:
+    def test_low_degree_polynomial(self, stack):
+        ctx, sk, ev = stack
+        approx = ChebyshevApprox.interpolate(lambda x: x**2 - 0.5, -1, 1, 4)
+        z = np.random.default_rng(0).uniform(-0.9, 0.9, ctx.slots)
+        out = eval_chebyshev(ev, ev.encrypt(z), approx)
+        got = ev.decrypt(out, sk).real
+        assert np.allclose(got, z**2 - 0.5, atol=2e-2)
+
+    def test_sigmoid(self, stack):
+        ctx, sk, ev = stack
+
+        def sigmoid(x):
+            return 1.0 / (1.0 + np.exp(-np.asarray(x)))
+
+        approx = ChebyshevApprox.interpolate(sigmoid, -4, 4, 15)
+        z = np.random.default_rng(1).uniform(-3, 3, ctx.slots)
+        out = eval_chebyshev(ev, ev.encrypt(z), approx)
+        got = ev.decrypt(out, sk).real
+        assert np.allclose(got, sigmoid(z), atol=5e-2)
+
+    def test_moderate_degree_sine(self, stack):
+        ctx, sk, ev = stack
+        approx = ChebyshevApprox.interpolate(np.sin, -2, 2, 23)
+        z = np.random.default_rng(2).uniform(-1.8, 1.8, ctx.slots)
+        out = eval_chebyshev(ev, ev.encrypt(z), approx)
+        got = ev.decrypt(out, sk).real
+        assert np.allclose(got, np.sin(z), atol=5e-2)
+
+
+class TestDiagonals:
+    def test_diagonal_identity(self):
+        n = 8
+        rng = np.random.default_rng(3)
+        m = rng.normal(size=(n, n))
+        z = rng.normal(size=n)
+        diags = matrix_diagonals(m)
+        recon = np.zeros(n)
+        for r, d in enumerate(diags):
+            recon = recon + d * np.roll(z, -r)
+        assert np.allclose(recon, m @ z)
+
+    def test_bsgs_split(self):
+        assert bsgs_split(16) == 4
+        assert bsgs_split(64) == 8
+        assert bsgs_split(10) in (4, 8)
+
+    def test_required_rotations_subset(self):
+        rots = required_rotations(16)
+        assert all(0 < r < 16 for r in rots)
+
+
+class TestApplyMatrix:
+    def test_identity_matrix(self, stack):
+        ctx, sk, ev = stack
+        z = np.random.default_rng(4).uniform(-1, 1, ctx.slots)
+        out = apply_matrix(ev, ev.encrypt(z), np.eye(ctx.slots))
+        assert np.allclose(ev.decrypt(out, sk).real, z, atol=2e-2)
+
+    def test_random_real_matrix(self, stack):
+        ctx, sk, ev = stack
+        rng = np.random.default_rng(5)
+        m = rng.normal(0, 0.3, (ctx.slots, ctx.slots))
+        z = rng.uniform(-1, 1, ctx.slots)
+        out = apply_matrix(ev, ev.encrypt(z), m)
+        assert np.allclose(ev.decrypt(out, sk).real, m @ z, atol=5e-2)
+
+    def test_complex_matrix(self, stack):
+        ctx, sk, ev = stack
+        rng = np.random.default_rng(6)
+        m = rng.normal(0, 0.3, (ctx.slots, ctx.slots)) + \
+            1j * rng.normal(0, 0.3, (ctx.slots, ctx.slots))
+        z = rng.uniform(-1, 1, ctx.slots) + 1j * rng.uniform(-1, 1, ctx.slots)
+        out = apply_matrix(ev, ev.encrypt(z), m)
+        assert np.allclose(ev.decrypt(out, sk), m @ z, atol=5e-2)
+
+    def test_conjugation_pair(self, stack):
+        """M1 z + M2 conj(z) — the R-linear transform of CoeffToSlot."""
+        ctx, sk, ev = stack
+        rng = np.random.default_rng(7)
+        m1 = rng.normal(0, 0.3, (ctx.slots, ctx.slots)).astype(np.complex128)
+        m2 = rng.normal(0, 0.3, (ctx.slots, ctx.slots)).astype(np.complex128)
+        z = rng.uniform(-1, 1, ctx.slots) + 1j * rng.uniform(-1, 1, ctx.slots)
+        out = apply_conjugation_pair(ev, ev.encrypt(z), m1, m2)
+        want = m1 @ z + m2 @ np.conj(z)
+        assert np.allclose(ev.decrypt(out, sk), want, atol=8e-2)
+
+    def test_consumes_one_level(self, stack):
+        ctx, sk, ev = stack
+        ct = ev.encrypt(np.ones(ctx.slots))
+        out = apply_matrix(ev, ct, np.eye(ctx.slots))
+        assert out.level == ct.level - 1

@@ -1,0 +1,133 @@
+"""Tests for the CKKS canonical-embedding encoder."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoder import CkksEncoder
+from repro.errors import ParameterError
+
+N = 32
+DELTA = float(2**20)
+
+
+@pytest.fixture
+def enc():
+    return CkksEncoder(N, DELTA)
+
+
+class TestRoundTrip:
+    def test_real_vector(self, enc):
+        rng = np.random.default_rng(0)
+        z = rng.normal(0, 1, N // 2)
+        got = enc.decode(enc.encode(z))
+        assert np.allclose(got.real, z, atol=1e-4)
+        assert np.allclose(got.imag, 0, atol=1e-4)
+
+    def test_complex_vector(self, enc):
+        rng = np.random.default_rng(1)
+        z = rng.normal(0, 1, N // 2) + 1j * rng.normal(0, 1, N // 2)
+        got = enc.decode(enc.encode(z))
+        assert np.allclose(got, z, atol=1e-4)
+
+    def test_scalar_broadcast(self, enc):
+        got = enc.decode(enc.encode(2.5))
+        assert np.allclose(got, 2.5, atol=1e-4)
+
+    def test_short_vector_padded(self, enc):
+        got = enc.decode(enc.encode([1.0, 2.0]))
+        assert np.allclose(got[:2].real, [1.0, 2.0], atol=1e-4)
+        assert np.allclose(got[2:], 0, atol=1e-4)
+
+    def test_custom_scale(self, enc):
+        z = [0.5] * (N // 2)
+        got = enc.decode(enc.encode(z, scale=2.0**30), scale=2.0**30)
+        assert np.allclose(got.real, 0.5, atol=1e-6)
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_property(self, seed):
+        enc = CkksEncoder(16, 2.0**20)
+        rng = np.random.default_rng(seed)
+        z = rng.uniform(-10, 10, 8) + 1j * rng.uniform(-10, 10, 8)
+        got = enc.decode(enc.encode(z))
+        assert np.allclose(got, z, atol=1e-3)
+
+
+class TestAlgebraicStructure:
+    def test_encode_is_additive(self, enc):
+        rng = np.random.default_rng(2)
+        a = rng.normal(0, 1, N // 2)
+        b = rng.normal(0, 1, N // 2)
+        sum_coeffs = enc.encode(a) + enc.encode(b)
+        assert np.allclose(enc.decode(sum_coeffs), a + b, atol=1e-4)
+
+    def test_coefficients_are_real_integers(self, enc):
+        c = enc.encode(np.linspace(-1, 1, N // 2))
+        assert all(isinstance(v, int) for v in c)
+
+    def test_slot_product_is_negacyclic_poly_product(self, enc):
+        """Pointwise slot multiplication = ring multiplication (mod X^N+1)."""
+        rng = np.random.default_rng(3)
+        a = rng.normal(0, 1, N // 2)
+        b = rng.normal(0, 1, N // 2)
+        ca = enc.encode(a)
+        cb = enc.encode(b)
+        # Exact integer negacyclic product.
+        prod = np.zeros(N, dtype=object)
+        for i in range(N):
+            for j in range(N):
+                k = i + j
+                t = int(ca[i]) * int(cb[j])
+                if k >= N:
+                    prod[k - N] -= t
+                else:
+                    prod[k] += t
+        got = enc.decode(prod, scale=DELTA * DELTA)
+        assert np.allclose(got.real, a * b, atol=1e-3)
+
+    def test_rotation_via_automorphism(self, enc):
+        """Applying X -> X^5 to the encoding rotates slots by one position."""
+        rng = np.random.default_rng(4)
+        z = rng.normal(0, 1, N // 2)
+        c = enc.encode(z)
+        t = 5
+        rotated = np.zeros(N, dtype=object)
+        for i in range(N):
+            e = (i * t) % (2 * N)
+            if e >= N:
+                rotated[e - N] -= int(c[i])
+            else:
+                rotated[e] += int(c[i])
+        got = enc.decode(rotated)
+        assert np.allclose(got.real, np.roll(z, -1), atol=1e-4)
+
+    def test_conjugation_via_automorphism(self, enc):
+        rng = np.random.default_rng(5)
+        z = rng.normal(0, 1, N // 2) + 1j * rng.normal(0, 1, N // 2)
+        c = enc.encode(z)
+        t = 2 * N - 1
+        conj = np.zeros(N, dtype=object)
+        for i in range(N):
+            e = (i * t) % (2 * N)
+            if e >= N:
+                conj[e - N] -= int(c[i])
+            else:
+                conj[e] += int(c[i])
+        got = enc.decode(conj)
+        assert np.allclose(got, np.conj(z), atol=1e-4)
+
+
+class TestValidation:
+    def test_too_many_values(self, enc):
+        with pytest.raises(ParameterError):
+            enc.encode(np.ones(N))
+
+    def test_bad_ring_dimension(self):
+        with pytest.raises(ParameterError):
+            CkksEncoder(12, DELTA)
+
+    def test_embed_wrong_shape(self, enc):
+        with pytest.raises(ParameterError):
+            enc.embed(np.zeros(N + 1))

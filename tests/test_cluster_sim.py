@@ -1,0 +1,87 @@
+"""Tests for the message-passing multi-node bootstrap simulation."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import ParameterError
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
+from repro.switching.cluster_sim import SimulatedCluster
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                         special_limbs=2)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(501))
+    sk = gen.secret_key()
+    ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(502))
+    swk = SwitchingKeySet.generate(ctx, sk, Sampler(503), base_bits=4,
+                                   error_std=0.8)
+    return ctx, sk, ev, swk
+
+
+class TestDistributedBootstrap:
+    def test_bit_identical_to_single_node(self, stack):
+        """The hardware-agnostic claim: the distributed execution is the
+        same computation, byte for byte."""
+        ctx, sk, ev, swk = stack
+        z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        reference = SchemeSwitchBootstrapper(ctx, swk).bootstrap(ct)
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4)
+        distributed = cluster.bootstrap(ct)
+        for ref_l, got_l in zip(reference.c0.to_coeff().limbs,
+                                distributed.c0.to_coeff().limbs):
+            assert ref_l.tolist() == got_l.tolist()
+        for ref_l, got_l in zip(reference.c1.to_coeff().limbs,
+                                distributed.c1.to_coeff().limbs):
+            assert ref_l.tolist() == got_l.tolist()
+
+    def test_decrypts_correctly(self, stack):
+        ctx, sk, ev, swk = stack
+        z = np.random.default_rng(1).uniform(-1, 1, ctx.slots)
+        cluster = SimulatedCluster(ctx, swk, num_nodes=2)
+        out = cluster.bootstrap(ev.encrypt(z, level=0))
+        assert np.allclose(ev.decrypt(out, sk).real, z, atol=0.05)
+
+    def test_work_distribution(self, stack):
+        ctx, sk, ev, swk = stack
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4)
+        cluster.bootstrap(ev.encrypt(0.2, level=0))
+        util = cluster.utilisation()
+        assert sum(util.values()) == ctx.n
+        assert max(util.values()) - min(util.values()) <= 1  # balanced
+
+    def test_single_node_has_no_traffic(self, stack):
+        ctx, sk, ev, swk = stack
+        cluster = SimulatedCluster(ctx, swk, num_nodes=1)
+        cluster.bootstrap(ev.encrypt(0.2, level=0))
+        assert cluster.comm.total_bytes() == 0
+
+    def test_comm_log_structure(self, stack):
+        """Every secondary receives its LWE batch from the primary and
+        returns one accumulator per BlindRotate."""
+        ctx, sk, ev, swk = stack
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4)
+        cluster.bootstrap(ev.encrypt(0.2, level=0))
+        per_node = ctx.n // 4
+        for node_id in (1, 2, 3):
+            assert cluster.comm.messages[(0, node_id)] == per_node
+            assert cluster.comm.messages[(node_id, 0)] == per_node
+            # Results (RLWE over Qp) are much bigger than the 2N-modulus
+            # LWE inputs — the paper's asymmetric traffic pattern.
+            assert (cluster.comm.link_bytes(node_id, 0) >
+                    10 * cluster.comm.link_bytes(0, node_id))
+
+    def test_invalid_config(self, stack):
+        ctx, sk, ev, swk = stack
+        with pytest.raises(ParameterError):
+            SimulatedCluster(ctx, swk, num_nodes=0)
+        cluster = SimulatedCluster(ctx, swk, num_nodes=2)
+        with pytest.raises(ParameterError):
+            cluster.bootstrap(ev.encrypt(0.1))  # not level 0

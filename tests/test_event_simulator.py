@@ -1,0 +1,84 @@
+"""Tests for the event-level bootstrap simulation vs the analytic model."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hardware.cluster import ClusterBootstrapModel
+from repro.hardware.simulator import BootstrapEventSimulator
+
+
+@pytest.fixture(scope="module")
+def sim():
+    return BootstrapEventSimulator()
+
+
+class TestTimeline:
+    def test_phases_present(self, sim):
+        result = sim.simulate(4096, 8)
+        phases = {e.phase for e in result.events}
+        assert "modswitch+extract" in phases
+        assert "blind-rotate" in phases
+        assert "repack" in phases
+        assert "steps-4-5" in phases
+
+    def test_events_are_well_formed(self, sim):
+        result = sim.simulate(4096, 8)
+        for e in result.events:
+            assert e.end_s >= e.start_s >= 0
+
+    def test_every_node_computes(self, sim):
+        result = sim.simulate(4096, 8)
+        nodes = {e.resource for e in result.events if e.phase == "blind-rotate"}
+        assert nodes == {f"node{i}" for i in range(8)}
+
+    def test_sends_are_sequential_on_primary_port(self, sim):
+        """The paper's policy: one secondary's full batch before the next."""
+        result = sim.simulate(4096, 8)
+        sends = [e for e in result.events if e.phase.startswith("send-batch")]
+        sends.sort(key=lambda e: e.start_s)
+        for a, b in zip(sends, sends[1:]):
+            assert b.start_s >= a.end_s - 1e-12
+
+
+class TestAgreementWithAnalyticModel:
+    @pytest.mark.parametrize("n_br,nodes", [(4096, 8), (1024, 8), (4096, 4),
+                                            (256, 2)])
+    def test_total_latency_close(self, sim, n_br, nodes):
+        analytic = ClusterBootstrapModel().bootstrap_latency_s(n_br, nodes)
+        event = sim.simulate(n_br, nodes).total_s
+        assert event == pytest.approx(analytic, rel=0.35), (n_br, nodes)
+
+    def test_single_node(self, sim):
+        result = sim.simulate(4096, 1)
+        assert result.total_s > sim.simulate(4096, 8).total_s
+
+
+class TestIdleClaim:
+    def test_secondaries_not_idle(self, sim):
+        """§V: "no FPGA is sitting idle" — average secondary idle fraction
+        during the compute window stays below ~20%."""
+        idle = sim.secondary_idle_fraction(4096, 8)
+        assert idle < 0.2, idle
+
+    def test_requires_secondaries(self, sim):
+        with pytest.raises(ParameterError):
+            sim.secondary_idle_fraction(4096, 1)
+
+
+class TestUtilisationApi:
+    def test_busy_fraction_bounds(self, sim):
+        result = sim.simulate(4096, 8)
+        for node_id in range(8):
+            frac = result.busy_fraction(f"node{node_id}")
+            assert 0.0 <= frac <= 1.0
+
+    def test_empty_window_rejected(self, sim):
+        result = sim.simulate(256, 2)
+        with pytest.raises(ParameterError):
+            result.busy_fraction("node1", 1.0, 1.0)
+
+    def test_events_for_sorted(self, sim):
+        result = sim.simulate(4096, 8)
+        events = result.events_for("primary")
+        starts = [e.start_s for e in events]
+        assert starts == sorted(starts)

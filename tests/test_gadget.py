@@ -1,0 +1,85 @@
+"""Tests for gadget decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.math.gadget import GadgetVector, exact_digits
+from repro.math.modular import find_ntt_primes
+
+Q = find_ntt_primes(28, 16, 1)[0]
+
+
+class TestGadgetVector:
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ParameterError):
+            GadgetVector(q=Q, base_bits=0, digits=2)
+        with pytest.raises(ParameterError):
+            GadgetVector(q=Q, base_bits=20, digits=3)  # 60 bits > 28
+
+    def test_factors_descending(self):
+        g = GadgetVector(q=Q, base_bits=9, digits=3)
+        f = g.factors()
+        assert f == sorted(f, reverse=True)
+        assert all(x > 0 for x in f)
+
+    def test_recompose_error_bound(self):
+        g = GadgetVector(q=Q, base_bits=9, digits=3)
+        rng = np.random.default_rng(0)
+        vals = np.asarray([int(v) for v in rng.integers(0, Q, 64)], dtype=object)
+        digits = g.decompose(vals)
+        back = g.recompose(digits)
+        half = Q // 2
+        for v, b in zip(vals, back):
+            diff = (int(b) - int(v)) % Q
+            diff = diff - Q if diff > half else diff
+            assert abs(diff) <= g.max_error(), (v, b, diff)
+
+    def test_digits_are_balanced(self):
+        g = GadgetVector(q=Q, base_bits=8, digits=3)
+        rng = np.random.default_rng(1)
+        vals = np.asarray([int(v) for v in rng.integers(0, Q, 128)], dtype=object)
+        digits = g.decompose(vals)
+        half_b = g.base // 2
+        # Low digits strictly balanced; the top digit may carry one extra.
+        for d in digits[1:]:
+            assert all(-half_b <= int(x) <= half_b for x in d)
+        assert all(-half_b - 1 <= int(x) <= half_b + 1 for x in digits[0])
+
+    def test_full_precision_gadget_is_exact(self):
+        """When digits*base_bits covers log q, recomposition is exact."""
+        q = 2**20 + 7  # not prime but gadget doesn't care; bit_length = 21
+        g = GadgetVector(q=q, base_bits=7, digits=3)
+        vals = np.asarray([0, 1, q - 1, q // 2, 12345], dtype=object)
+        back = g.recompose(g.decompose(vals))
+        assert list(back) == [int(v) % q for v in vals]
+
+    def test_digit_count_mismatch_rejected(self):
+        g = GadgetVector(q=Q, base_bits=9, digits=3)
+        with pytest.raises(ParameterError):
+            g.recompose([np.zeros(4, dtype=object)] * 2)
+
+    @given(st.integers(0, 2**27))
+    @settings(max_examples=100)
+    def test_scalar_roundtrip_property(self, v):
+        g = GadgetVector(q=Q, base_bits=9, digits=3)
+        vals = np.asarray([v % Q], dtype=object)
+        back = int(g.recompose(g.decompose(vals))[0])
+        diff = (back - (v % Q)) % Q
+        diff = diff - Q if diff > Q // 2 else diff
+        assert abs(diff) <= g.max_error()
+
+
+class TestExactDigits:
+    def test_reconstruction(self):
+        vals = np.asarray([0, 1, 255, 256, 65535], dtype=object)
+        digits = exact_digits(vals, 256, 2)
+        recon = digits[0] + digits[1] * 256
+        assert list(recon) == list(vals)
+
+    def test_digit_range(self):
+        vals = np.asarray([123456789], dtype=object)
+        for d in exact_digits(vals, 1 << 10, 3):
+            assert 0 <= int(d[0]) < (1 << 10)

@@ -1,0 +1,65 @@
+"""Tests for hoisted rotations (shared ModUp across a rotation set)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import KeyError_
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+
+PARAMS = make_toy_params(n=32, limbs=4, limb_bits=28, scale_bits=26)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(601))
+    sk = gen.secret_key()
+    keys = gen.keyset(sk, rotations=[1, 2, 3, 5])
+    ev = CkksEvaluator(ctx, keys, Sampler(602))
+    return ctx, sk, ev
+
+
+class TestHoistedRotations:
+    def test_matches_plain_rotations(self, stack):
+        ctx, sk, ev = stack
+        z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z)
+        hoisted = ev.rotate_hoisted(ct, [1, 2, 5])
+        for r, out in hoisted.items():
+            want = ev.decrypt(ev.rotate(ct, r), sk).real
+            got = ev.decrypt(out, sk).real
+            assert np.allclose(got, want, atol=1e-3), r
+            assert np.allclose(got, np.roll(z, -r), atol=1e-3), r
+
+    def test_single_rotation(self, stack):
+        ctx, sk, ev = stack
+        z = np.random.default_rng(1).uniform(-1, 1, ctx.slots)
+        out = ev.rotate_hoisted(ev.encrypt(z), [3])[3]
+        assert np.allclose(ev.decrypt(out, sk).real, np.roll(z, -3), atol=1e-3)
+
+    def test_at_lower_level(self, stack):
+        ctx, sk, ev = stack
+        z = np.random.default_rng(2).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=1)
+        out = ev.rotate_hoisted(ct, [1, 2])
+        for r, o in out.items():
+            assert o.level == 1
+            assert np.allclose(ev.decrypt(o, sk).real, np.roll(z, -r), atol=1e-3)
+
+    def test_missing_key_raises(self, stack):
+        ctx, sk, ev = stack
+        ct = ev.encrypt(np.zeros(ctx.slots))
+        with pytest.raises(KeyError_):
+            ev.rotate_hoisted(ct, [7])
+
+    def test_hoisted_outputs_usable_downstream(self, stack):
+        """BSGS-style usage: sum of hoisted rotations."""
+        ctx, sk, ev = stack
+        z = np.random.default_rng(3).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z)
+        outs = ev.rotate_hoisted(ct, [1, 2])
+        acc = ev.add(outs[1], outs[2])
+        want = np.roll(z, -1) + np.roll(z, -2)
+        assert np.allclose(ev.decrypt(acc, sk).real, want, atol=2e-3)

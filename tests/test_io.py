@@ -1,0 +1,124 @@
+"""Serialization round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import ParameterError
+from repro.io import (
+    deserialize_ciphertext,
+    deserialize_lwe,
+    rns_poly_from_dict,
+    rns_poly_to_dict,
+    serialize_ciphertext,
+    serialize_lwe,
+)
+from repro.math.modular import find_ntt_primes
+from repro.math.rns import RnsBasis, RnsPoly
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.tfhe.lwe import LweSecretKey, lwe_decrypt, lwe_encrypt
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                         special_limbs=2)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(401))
+    sk = gen.secret_key()
+    ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(402))
+    return ctx, sk, ev
+
+
+class TestRnsPolyRoundtrip:
+    def test_roundtrip(self):
+        basis = RnsBasis(find_ntt_primes(30, 16, 3))
+        rng = np.random.default_rng(0)
+        p = RnsPoly.from_int_coeffs(
+            16, basis,
+            np.asarray([int(v) for v in rng.integers(0, 2**60, 16)], dtype=object))
+        back = rns_poly_from_dict(rns_poly_to_dict(p))
+        assert back == p
+
+    def test_eval_domain_normalised(self):
+        basis = RnsBasis(find_ntt_primes(30, 16, 2))
+        p = RnsPoly.from_int_coeffs(16, basis, np.arange(16, dtype=object)).to_eval()
+        back = rns_poly_from_dict(rns_poly_to_dict(p))
+        assert back == p  # equality compares coefficient domains
+
+
+class TestCkksCiphertextRoundtrip:
+    def test_decrypts_identically(self, stack):
+        ctx, sk, ev = stack
+        z = np.random.default_rng(1).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z)
+        blob = serialize_ciphertext(ct)
+        back = deserialize_ciphertext(blob, expected_moduli=ctx.params.moduli)
+        assert back.scale == ct.scale
+        assert np.allclose(ev.decrypt(back, sk), ev.decrypt(ct, sk))
+
+    def test_partial_level_roundtrip(self, stack):
+        ctx, sk, ev = stack
+        ct = ev.encrypt(0.5, level=1)
+        back = deserialize_ciphertext(serialize_ciphertext(ct))
+        assert back.level == 1
+
+    def test_wrong_params_rejected(self, stack):
+        ctx, sk, ev = stack
+        blob = serialize_ciphertext(ev.encrypt(0.5))
+        with pytest.raises(ParameterError):
+            deserialize_ciphertext(blob, expected_moduli=[17, 97, 193])
+
+    def test_operations_on_deserialized(self, stack):
+        ctx, sk, ev = stack
+        a = np.random.default_rng(2).uniform(-1, 1, ctx.slots)
+        ct = deserialize_ciphertext(serialize_ciphertext(ev.encrypt(a)))
+        out = ev.add(ct, ev.encrypt(a))
+        assert np.allclose(ev.decrypt(out, sk).real, 2 * a, atol=1e-2)
+
+
+class TestLweRoundtrip:
+    def test_roundtrip(self):
+        q = find_ntt_primes(28, 16, 1)[0]
+        s = Sampler(3)
+        sk = LweSecretKey.generate(12, s)
+        ct = lwe_encrypt(12345, sk, q, s)
+        back = deserialize_lwe(serialize_lwe(ct))
+        assert lwe_decrypt(back, sk) == lwe_decrypt(ct, sk)
+
+    def test_kind_mismatch_rejected(self, stack):
+        ctx, sk, ev = stack
+        blob = serialize_ciphertext(ev.encrypt(0.1))
+        with pytest.raises(ParameterError):
+            deserialize_lwe(blob)
+
+    def test_version_check(self):
+        import json
+        bad = json.dumps({"version": 99, "kind": "lwe"}).encode()
+        with pytest.raises(ParameterError):
+            deserialize_lwe(bad)
+
+
+class TestGlweRoundtrip:
+    def test_roundtrip(self):
+        from repro.io import deserialize_glwe, serialize_glwe
+        from repro.math.rns import RnsBasis, RnsPoly
+        from repro.tfhe.glwe import GlweSecretKey, glwe_decrypt_coeffs, glwe_encrypt
+        q = find_ntt_primes(28, 16, 1)[0]
+        basis = RnsBasis([q])
+        s = Sampler(5)
+        sk = GlweSecretKey.generate(16, 1, s)
+        m = np.zeros(16, dtype=object)
+        m[0] = 12345
+        ct = glwe_encrypt(RnsPoly.from_int_coeffs(16, basis, m), sk, s)
+        back = deserialize_glwe(serialize_glwe(ct))
+        assert (glwe_decrypt_coeffs(back, sk).tolist()
+                == glwe_decrypt_coeffs(ct, sk).tolist())
+
+    def test_type_check(self):
+        from repro.errors import ParameterError
+        from repro.io import serialize_glwe
+        with pytest.raises(ParameterError):
+            serialize_glwe("not a ciphertext")

@@ -1,0 +1,124 @@
+"""Tests for the Fig. 2/3 memory layouts and §IV-D address generation."""
+
+import math
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.hardware.config import HeapHwConfig
+from repro.hardware.memory_layout import (
+    BramLayout,
+    NttAddressGenerator,
+    UramLayout,
+)
+from repro.params import make_heap_params
+
+HW = HeapHwConfig()
+HEAP = make_heap_params().ckks
+
+
+class TestUramLayout:
+    def test_paper_block_count(self):
+        layout = UramLayout(HW, HEAP.n, HEAP.max_limbs)
+        assert layout.blocks_per_ciphertext == 12  # paper Section IV-C
+
+    def test_pair_shares_word(self):
+        """Fig. 2: the same-modulus limbs of a and b share one word, so a
+        single fetch serves both NTT passes (one twiddle read)."""
+        layout = UramLayout(HW, HEAP.n, HEAP.max_limbs)
+        a, b = layout.fetch_pair(limb=2, coeff=100)
+        assert (a.block, a.word) == (b.block, b.word)
+        assert {a.half, b.half} == {0, 1}
+
+    def test_all_coefficients_fit(self):
+        layout = UramLayout(HW, HEAP.n, HEAP.max_limbs)
+        last = layout.locate(1, HEAP.max_limbs - 1, HEAP.n - 1)
+        assert last.block < layout.blocks_per_ciphertext
+
+    def test_no_collisions_within_limb(self):
+        layout = UramLayout(HW, 64, 2)
+        seen = set()
+        for limb in range(2):
+            for coeff in range(64):
+                loc = layout.locate(0, limb, coeff)
+                key = (loc.block, loc.word)
+                assert key not in seen
+                seen.add(key)
+
+    def test_bounds_checked(self):
+        layout = UramLayout(HW, HEAP.n, HEAP.max_limbs)
+        with pytest.raises(ParameterError):
+            layout.locate(2, 0, 0)
+        with pytest.raises(ParameterError):
+            layout.locate(0, HEAP.max_limbs, 0)
+
+
+class TestBramLayout:
+    def test_paper_block_count(self):
+        layout = BramLayout(HW, HEAP.n, HEAP.max_limbs)
+        assert layout.blocks_per_ciphertext == 192  # paper Section IV-C
+
+    def test_paired_blocks_adjacent(self):
+        layout = BramLayout(HW, HEAP.n, HEAP.max_limbs)
+        lo, hi = layout.blocks_for(0, 0, 0)
+        assert hi == lo + 1
+
+    def test_capacity(self):
+        layout = BramLayout(HW, HEAP.n, HEAP.max_limbs)
+        assert HW.bram_blocks_used // layout.blocks_per_ciphertext == 20
+
+
+class TestNttAddressGeneration:
+    @pytest.mark.parametrize("n", [16, 64, 1 << 13])
+    def test_stage_coverage_is_bijection(self, n):
+        """Every stage's address map covers [0, N) exactly once."""
+        gen = NttAddressGenerator(n)
+        for cs in range(int(math.log2(n))):
+            addrs = gen.stage_coverage(cs)
+            assert sorted(addrs) == list(range(n)), f"stage {cs}"
+
+    def test_paper_formula(self):
+        gen = NttAddressGenerator(64)
+        # address = i_g + i_nc * 2^cs
+        assert gen.address(cs=2, i_g=3, i_nc=5) == 3 + 5 * 4
+
+    def test_group_counts(self):
+        gen = NttAddressGenerator(1 << 13)
+        for cs in (0, 5, 12):
+            assert gen.group_size(cs) * gen.num_groups(cs) == 1 << 13
+
+    def test_butterfly_partners_stride(self):
+        """Partners within a group sit exactly group_size/2 * 2^cs apart —
+        a single adder in hardware."""
+        gen = NttAddressGenerator(64)
+        for cs in range(5):
+            stride = (gen.group_size(cs) // 2) << cs
+            for g in range(gen.num_groups(cs)):
+                for lo, hi in gen.butterfly_pairs(cs, g):
+                    assert hi - lo == stride
+
+    def test_first_stage_single_group(self):
+        gen = NttAddressGenerator(32)
+        assert gen.num_groups(0) == 1
+        assert gen.group_size(0) == 32
+
+    def test_bad_indices_rejected(self):
+        gen = NttAddressGenerator(32)
+        with pytest.raises(ParameterError):
+            gen.address(1, 99, 0)
+        with pytest.raises(ParameterError):
+            NttAddressGenerator(33)
+
+    def test_group_shares_twiddle_semantics(self):
+        """Cross-check against the software NTT: members of one §IV-D
+        group correspond to butterflies using one twiddle factor.  In the
+        DIT implementation (tests/test_ntt), stage with half-size m uses
+        twiddle index (j % m) * (n/2m) for position j; the generator's
+        groups must be constant in that index."""
+        n = 32
+        gen = NttAddressGenerator(n)
+        for cs in range(1, 5):
+            m = n >> cs  # group size
+            for g in range(gen.num_groups(cs)):
+                pairs = list(gen.butterfly_pairs(cs, g))
+                assert len(pairs) == m // 2

@@ -1,0 +1,95 @@
+"""The paper's headline (abstract/intro) claims, recomputed end to end.
+
+One test per quotable sentence of the abstract, so a reader can map the
+paper's claims onto this reproduction directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import heap_t_mult_a_slot, table5_bootstrap, table6_lr
+from repro.hardware import (
+    ClusterBootstrapModel,
+    SingleFpgaModel,
+    key_traffic_reduction,
+    speedup,
+)
+from repro.hardware.baselines import TABLE5_REFERENCES, TABLE6_REFERENCES, reference_by_name
+from repro.params import make_heap_params
+
+
+@pytest.fixture(scope="module")
+def models():
+    return SingleFpgaModel(), ClusterBootstrapModel()
+
+
+class TestAbstractClaims:
+    def test_18x_less_key_data(self):
+        """"we require smaller-sized bootstrapping keys leading to about
+        18x less amount of data to be read from the main memory"."""
+        p = make_heap_params()
+        r = key_traffic_reduction(p.tfhe, p.ckks.log_q_total)
+        assert 15 < r < 22
+
+    def test_bootstrapping_beats_fab(self, models):
+        """"a 15.39x improvement when compared to FAB" — our
+        Eq.-3-faithful model gives ~6x; direction and decisiveness hold
+        (see EXPERIMENTS.md for the metric discrepancy)."""
+        fpga, cluster = models
+        ours = heap_t_mult_a_slot(fpga, cluster)
+        fab = reference_by_name(TABLE5_REFERENCES, "FAB").metrics["t_mult_a_slot"]
+        assert speedup(fab, ours) > 4
+
+    def test_lr_beats_fab_and_fab2(self, models):
+        """"14.71x and 11.57x improvement when compared to FAB and FAB-2"."""
+        fpga, cluster = models
+        from repro.apps import lr_iteration_model
+        ours, _ = lr_iteration_model(fpga, cluster)
+        fab = reference_by_name(TABLE6_REFERENCES, "FAB").metrics["lr_iter"]
+        fab2 = reference_by_name(TABLE6_REFERENCES, "FAB-2").metrics["lr_iter"]
+        assert speedup(fab, ours) == pytest.approx(14.71, rel=0.25)
+        assert speedup(fab2, ours) == pytest.approx(11.57, rel=0.25)
+
+    def test_small_parameters_suffice(self):
+        """"real-world practical applications are feasible using small
+        parameters such as N = 2^13": the hybrid set leaves the same 5
+        usable levels as the conventional N = 2^16 set."""
+        p = make_heap_params()
+        conventional_usable = 24 - 19   # paper Section VI-C
+        heap_usable = p.ckks.max_limbs - 1  # depth-1 bootstrap
+        assert heap_usable == conventional_usable == 5
+
+    def test_parallelism_claim(self, models):
+        """"there are no data dependencies between distinct LWE
+        ciphertexts": 8 FPGAs give near-linear bootstrap scaling."""
+        _, cluster = models
+        curve = cluster.scaling_curve(4096, 8)
+        assert curve[1] / curve[8] > 4  # vs FAB's ~1.2x
+
+    def test_single_limb_bootstrap(self):
+        """"our bootstrapping utilizes only a single limb": verified
+        structurally on the functional pipeline at toy scale in
+        tests/test_switching_bootstrap.py (output level == max)."""
+        # The structural property is asserted functionally elsewhere;
+        # here: the parameter accounting it enables.
+        p = make_heap_params()
+        assert p.ckks.levels == 5  # L=6 minus depth-1 bootstrap
+
+
+class TestModswitchIdentityProperty:
+    """The exact integer identity behind Algorithm 2 steps 1-2."""
+
+    @given(st.integers(0, 2**36 - 1), st.integers(4, 10))
+    @settings(max_examples=200)
+    def test_decomposition_identity(self, x, logn):
+        q = (1 << 36) - 91  # any modulus works for the identity
+        x = x % q
+        two_n = 1 << logn
+        ct_prime = (two_n * x) % q
+        ct_ms = (two_n * x - ct_prime) // q
+        # Exactness and ranges.
+        assert two_n * x == q * ct_ms + ct_prime
+        assert 0 <= ct_ms < two_n
+        assert 0 <= ct_prime < q

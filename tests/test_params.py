@@ -1,0 +1,97 @@
+"""Tests for parameter-set construction and the paper's Section III-C
+accounting."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import (
+    CkksParams,
+    TfheParams,
+    make_conventional_params,
+    make_heap_params,
+    make_toy_params,
+)
+from repro.switching.keys import KeySizeAudit
+
+
+class TestHeapParams:
+    @pytest.fixture(scope="class")
+    def heap(self):
+        return make_heap_params()
+
+    def test_ring_dimension(self, heap):
+        assert heap.ckks.n == 1 << 13
+        assert heap.tfhe.n == heap.ckks.n
+
+    def test_log_q_matches_paper(self, heap):
+        # Six 36-bit limbs -> logQ = 216.
+        assert heap.ckks.log_q_total == 216
+        assert len(heap.ckks.moduli) == 6
+        assert all(q.bit_length() == 36 for q in heap.ckks.moduli)
+
+    def test_levels(self, heap):
+        # "L = 6, implying we can perform 5 multiplications".
+        assert heap.ckks.levels == 5
+
+    def test_slots(self, heap):
+        assert heap.ckks.slots == 4096
+
+    def test_rlwe_ciphertext_size(self, heap):
+        # Paper: 2 * 216 * 8192 bits ~ 0.44 MB.
+        assert heap.ckks.ciphertext_bytes() == pytest.approx(0.44e6, rel=0.02)
+
+    def test_lwe_ciphertext_size(self, heap):
+        # Paper: ~2.3 KB with n_t = 500 and log q = 36.
+        assert heap.tfhe.lwe_ciphertext_bytes == pytest.approx(2.3e3, rel=0.05)
+
+    def test_rgsw_shape(self, heap):
+        # (h+1)*d x (h+1) with h=1, d=2.
+        assert heap.tfhe.rgsw_matrix_shape == (4, 2)
+
+    def test_all_primes_ntt_friendly(self, heap):
+        for q in list(heap.ckks.moduli) + list(heap.ckks.special_moduli):
+            assert q % (2 * heap.ckks.n) == 1
+
+
+class TestKeySizeAudit:
+    def test_paper_numbers(self):
+        heap = make_heap_params()
+        audit = KeySizeAudit.from_params(heap.tfhe, heap.ckks.log_q_total)
+        assert audit.rlwe_ciphertext_bytes == pytest.approx(0.44e6, rel=0.02)
+        assert audit.lwe_ciphertext_bytes == pytest.approx(2.3e3, rel=0.05)
+        assert audit.rgsw_key_bytes == pytest.approx(3.52e6, rel=0.02)
+        assert audit.total_brk_bytes == pytest.approx(1.76e9, rel=0.02)
+
+
+class TestConventionalParams:
+    def test_structure(self):
+        p = make_conventional_params()
+        assert p.n == 1 << 16
+        assert p.max_limbs == 24
+
+
+class TestToyParams:
+    def test_structure_preserved(self):
+        p = make_toy_params(n=32, limbs=5, special_limbs=3)
+        assert p.ckks.n == 32
+        assert p.ckks.max_limbs == 5
+        assert len(p.ckks.special_moduli) == 3
+        assert p.tfhe.q == p.ckks.moduli[0]
+
+    def test_basis_prefixing(self):
+        p = make_toy_params()
+        b = p.ckks.basis(level=1)
+        assert b.moduli == p.ckks.moduli[:2]
+
+    def test_invalid_level_rejected(self):
+        p = make_toy_params()
+        with pytest.raises(ParameterError):
+            p.ckks.basis(level=99)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            CkksParams(n=24, moduli=[97], special_moduli=[193], scale_bits=10)
+
+    def test_tfhe_requires_power_of_two(self):
+        with pytest.raises(ParameterError):
+            TfheParams(n_t=10, n=24, q=97, aux_prime=193)

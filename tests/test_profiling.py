@@ -1,0 +1,92 @@
+"""Tests for the op profiler and the functional-vs-model cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.math.modular import find_ntt_primes
+from repro.math.ntt import NttEngine
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.profiling import OpStats, count_ops, estimate_hardware_seconds
+from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
+
+
+class TestCounters:
+    def test_single_ntt_counted(self):
+        n = 32
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(n))
+        with count_ops() as stats:
+            eng.forward(a)
+        assert stats.ntt_calls == 1
+        assert stats.ntt_points == n
+        assert stats.butterfly_mults == (n // 2) * 5  # log2(32) = 5
+
+    def test_batched_ntt_counted_per_row(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(3 * n).reshape(3, n) % q)
+        with count_ops() as stats:
+            eng.forward(a)
+        assert stats.ntt_calls == 3
+
+    def test_disabled_outside_context(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(n))
+        with count_ops() as stats:
+            pass
+        eng.forward(a)  # after the context: not recorded
+        assert stats.ntt_calls == 0
+
+    def test_nested_contexts_restore(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(n))
+        with count_ops() as outer:
+            with count_ops() as inner:
+                eng.forward(a)
+            eng.forward(a)
+        assert inner.ntt_calls == 1
+        assert outer.ntt_calls == 1
+
+
+class TestFunctionalVsModel:
+    def test_bootstrap_op_counts_measured(self):
+        """Profile a real toy bootstrap and sanity-check the counts the
+        performance model assumes: NTT work dominated by the blind-rotate
+        external products (N rotations x digits x limbs)."""
+        params = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                                 special_limbs=2)
+        ctx = CkksContext(params.ckks, dnum=2)
+        gen = CkksKeyGenerator(ctx, Sampler(901))
+        sk = gen.secret_key()
+        ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(902))
+        swk = SwitchingKeySet.generate(ctx, sk, Sampler(903), base_bits=8,
+                                       error_std=0.8)
+        boot = SchemeSwitchBootstrapper(ctx, swk)
+        ct = ev.encrypt(0.3, level=0)
+        with count_ops() as stats:
+            boot.bootstrap(ct)
+        # Lower bound: N blind rotates x N iterations x digit transforms,
+        # over the 4-limb raised basis.
+        digits = swk.gadget.digits
+        min_ntts = ctx.n * ctx.n * digits  # very conservative
+        assert stats.ntt_calls > min_ntts / 4
+        assert stats.pointwise_mults > 0
+        # The compute-bound hardware estimate for this toy run is far
+        # below a millisecond — the array is built for N=2^13 rings.
+        assert estimate_hardware_seconds(stats) < 1e-2
+
+    def test_hardware_estimate_scales_with_work(self):
+        a = OpStats()
+        a.record_ntt(1 << 13, 100)
+        b = OpStats()
+        b.record_ntt(1 << 13, 200)
+        assert estimate_hardware_seconds(b) == pytest.approx(
+            2 * estimate_hardware_seconds(a))

@@ -1,0 +1,129 @@
+"""Hypothesis property tests on cross-cutting invariants of the stack."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.math.modular import find_ntt_primes
+from repro.math.poly import RingPoly
+from repro.math.rns import RnsBasis, RnsPoly
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.tfhe.extract import extract_lwe, rlwe_secret_as_lwe_key
+from repro.tfhe.glwe import GlweSecretKey, glwe_decrypt_coeffs, glwe_encrypt
+from repro.tfhe.lwe import LweSecretKey, lwe_decrypt, lwe_encrypt, lwe_phase
+
+N = 16
+Q = find_ntt_primes(26, N, 1)[0]
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=28, scale_bits=22)
+_CTX = CkksContext(PARAMS.ckks, dnum=2)
+_GEN = CkksKeyGenerator(_CTX, Sampler(2718))
+_SK = _GEN.secret_key()
+_KEYS = _GEN.keyset(_SK, rotations=[1, 3])
+_EV = CkksEvaluator(_CTX, _KEYS, Sampler(2719))
+
+
+small_vecs = st.lists(st.floats(min_value=-1, max_value=1, allow_nan=False),
+                      min_size=_CTX.slots, max_size=_CTX.slots)
+
+
+class TestCkksHomomorphismProperties:
+    @given(small_vecs, small_vecs)
+    @settings(max_examples=10, deadline=None)
+    def test_addition_homomorphism(self, a, b):
+        a, b = np.asarray(a), np.asarray(b)
+        got = _EV.decrypt(_EV.add(_EV.encrypt(a), _EV.encrypt(b)), _SK)
+        assert np.allclose(got.real, a + b, atol=5e-3)
+
+    @given(small_vecs)
+    @settings(max_examples=10, deadline=None)
+    def test_negation_involution(self, a):
+        a = np.asarray(a)
+        ct = _EV.encrypt(a)
+        got = _EV.decrypt(_EV.negate(_EV.negate(ct)), _SK)
+        assert np.allclose(got.real, a, atol=5e-3)
+
+    @given(small_vecs, st.integers(0, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_rotation_permutes(self, a, r):
+        a = np.asarray(a)
+        if r not in (0, 1, 3):
+            r = 1
+        ct = _EV.rotate(_EV.encrypt(a), r) if r else _EV.encrypt(a)
+        got = _EV.decrypt(ct, _SK)
+        assert np.allclose(got.real, np.roll(a, -r), atol=5e-3)
+
+    @given(small_vecs)
+    @settings(max_examples=10, deadline=None)
+    def test_encrypt_decrypt_noise_bound(self, a):
+        a = np.asarray(a)
+        got = _EV.decrypt(_EV.encrypt(a), _SK)
+        assert np.max(np.abs(got.real - a)) < 1e-3
+
+
+class TestRingAlgebraProperties:
+    @given(st.integers(0, 2**32), st.integers(0, 2 * N - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_shift_then_unshift(self, seed, k):
+        rng = np.random.default_rng(seed)
+        p = RingPoly(N, Q, rng.integers(0, Q, N))
+        assert p.negacyclic_shift(k).negacyclic_shift(2 * N - k) == p
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_automorphism_group_closure(self, seed):
+        rng = np.random.default_rng(seed)
+        p = RingPoly(N, Q, rng.integers(0, Q, N))
+        # 5 generates a subgroup of (Z/2N)^*; 5^k for k = order gives identity.
+        t, k = 5, 1
+        while pow(5, k, 2 * N) != 1:
+            k += 1
+        out = p
+        for _ in range(k):
+            out = out.automorphism(5)
+        assert out == p
+
+    @given(st.integers(0, 2**32))
+    @settings(max_examples=20, deadline=None)
+    def test_rns_mul_commutes(self, seed):
+        rng = np.random.default_rng(seed)
+        basis = RnsBasis(find_ntt_primes(20, N, 3))
+        a = RnsPoly.from_int_coeffs(
+            N, basis, np.asarray([int(v) for v in rng.integers(0, 10**6, N)],
+                                 dtype=object))
+        b = RnsPoly.from_int_coeffs(
+            N, basis, np.asarray([int(v) for v in rng.integers(0, 10**6, N)],
+                                 dtype=object))
+        assert a * b == b * a
+
+
+class TestTfhePhaseProperties:
+    @given(st.integers(0, 2**31), st.integers(-1000, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_lwe_phase_linearity(self, seed, m):
+        s = Sampler(seed)
+        sk = LweSecretKey.generate(12, s)
+        a = lwe_encrypt(m % Q, sk, Q, s)
+        b = lwe_encrypt((2 * m) % Q, sk, Q, s)
+        got = lwe_decrypt(a + a - b, sk)
+        assert abs(got) < 200  # m + m - 2m = 0 up to noise
+
+    @given(st.integers(0, 2**31))
+    @settings(max_examples=10, deadline=None)
+    def test_extraction_commutes_with_addition(self, seed):
+        s = Sampler(seed)
+        sk = GlweSecretKey.generate(N, 1, s)
+        basis = RnsBasis([Q])
+        m1 = np.zeros(N, dtype=object)
+        m2 = np.zeros(N, dtype=object)
+        m1[0], m2[0] = 5000, 7000
+        c1 = glwe_encrypt(RnsPoly.from_int_coeffs(N, basis, m1), sk, s)
+        c2 = glwe_encrypt(RnsPoly.from_int_coeffs(N, basis, m2), sk, s)
+        lwe_key = rlwe_secret_as_lwe_key(sk.coeffs[0])
+        lhs = lwe_phase(extract_lwe(c1 + c2, 0), lwe_key)
+        rhs = (lwe_phase(extract_lwe(c1, 0), lwe_key) +
+               lwe_phase(extract_lwe(c2, 0), lwe_key)) % Q
+        assert lhs == rhs

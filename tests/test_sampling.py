@@ -1,0 +1,63 @@
+"""Tests for the seeded samplers."""
+
+import numpy as np
+
+from repro.math.sampling import Sampler
+
+
+class TestDeterminism:
+    def test_same_seed_same_streams(self):
+        a, b = Sampler(42), Sampler(42)
+        assert np.array_equal(a.ternary(100), b.ternary(100))
+        assert np.array_equal(a.uniform(100, 97), b.uniform(100, 97))
+        assert np.array_equal(a.gaussian(100), b.gaussian(100))
+
+    def test_different_seeds_differ(self):
+        a, b = Sampler(1), Sampler(2)
+        assert not np.array_equal(a.uniform(100, 2**30), b.uniform(100, 2**30))
+
+    def test_spawn_is_deterministic(self):
+        a, b = Sampler(7), Sampler(7)
+        assert np.array_equal(a.spawn().uniform(10, 101), b.spawn().uniform(10, 101))
+
+
+class TestDistributions:
+    def test_ternary_support(self):
+        s = Sampler(0).ternary(1000)
+        assert set(np.unique(s)) <= {-1, 0, 1}
+        # All three values should appear in 1000 draws.
+        assert len(np.unique(s)) == 3
+
+    def test_binary_support(self):
+        s = Sampler(0).binary(1000)
+        assert set(np.unique(s)) <= {0, 1}
+
+    def test_gaussian_moments(self):
+        s = Sampler(0).gaussian(50000)
+        assert abs(float(np.mean(s))) < 0.1
+        assert 2.8 < float(np.std(s)) < 3.6  # sigma = 3.2
+
+    def test_gaussian_custom_std(self):
+        s = Sampler(0).gaussian(50000, std=1.0)
+        assert 0.9 < float(np.std(s)) < 1.1
+
+    def test_uniform_range_small_q(self):
+        q = 97
+        s = Sampler(0).uniform(10000, q)
+        assert int(np.min(s)) >= 0 and int(np.max(s)) < q
+
+    def test_uniform_range_36bit(self):
+        q = (1 << 36) - 5
+        s = Sampler(0).uniform(1000, q)
+        assert all(0 <= int(v) < q for v in s)
+
+    def test_uniform_range_very_wide(self):
+        q = (1 << 100) + 7
+        s = Sampler(0).uniform(100, q)
+        assert all(0 <= int(v) < q for v in s)
+        # Values should actually use the high bits.
+        assert any(int(v) > (1 << 90) for v in s)
+
+    def test_uniform_scalar(self):
+        v = Sampler(3).uniform_scalar(1000)
+        assert 0 <= v < 1000

@@ -1,0 +1,64 @@
+"""Tests for the HE-standard security checks on the paper's parameters."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import make_conventional_params, make_heap_params
+from repro.security import check_params, estimate_security, max_log_q
+
+
+class TestStandardTables:
+    def test_paper_claim_n13_logq216(self):
+        """The headline claim: N = 2^13 with logQ = 216 is 128-bit secure
+        (standard bound 218)."""
+        est = estimate_security(1 << 13, 216)
+        assert est.meets_128
+        assert est.margin_bits == 2
+
+    def test_paper_conventional_set(self):
+        """FAB-style N = 2^16, logQ = 1728 against the 1772 bound."""
+        est = estimate_security(1 << 16, 1728)
+        assert est.meets_128
+
+    def test_oversized_modulus_fails(self):
+        est = estimate_security(1 << 13, 219)
+        assert not est.meets_128
+
+    def test_higher_levels(self):
+        assert estimate_security(1 << 13, 118).level == 256
+        assert estimate_security(1 << 13, 152).level >= 192
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            max_log_q(1000)
+
+    def test_below_table_rejected(self):
+        with pytest.raises(ParameterError):
+            max_log_q(512)
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ParameterError):
+            max_log_q(1 << 13, level=80)
+
+
+class TestParamChecks:
+    def test_heap_q_only_is_secure(self):
+        """The ciphertext modulus alone (216 bits at N=2^13) meets the
+        standard."""
+        p = make_heap_params().ckks
+        est = check_params(p, include_specials=False)
+        assert est.meets_128
+
+    def test_heap_with_specials_finding(self):
+        """Reproduction finding: counting the key-switch special primes
+        (as the standard says one should, since evaluation keys live mod
+        Q*P), the paper's N = 2^13 set exceeds the 218-bit bound — its
+        claim holds only for the ciphertext modulus."""
+        p = make_heap_params().ckks
+        with pytest.raises(ParameterError):
+            check_params(p, include_specials=True)
+
+    def test_conventional_params(self):
+        p = make_conventional_params()
+        est = check_params(p, include_specials=False)
+        assert est.meets_128

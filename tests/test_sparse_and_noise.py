@@ -1,0 +1,97 @@
+"""Tests for sparse packing, the noise-budget API, and area comparison."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.ckks.encoder import CkksEncoder
+from repro.errors import NoiseBudgetExceeded, ParameterError
+from repro.hardware.area import area_comparison, heap_within_asic_envelope
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+
+N = 64
+ENC = CkksEncoder(N, float(2**20))
+
+
+class TestSparseEncoding:
+    def test_roundtrip(self):
+        vals = np.array([0.5, -0.25, 0.75, 0.1])
+        coeffs = ENC.encode_sparse(vals, 4)
+        got = ENC.decode_sparse(coeffs, 4)
+        assert np.allclose(got.real, vals, atol=1e-4)
+
+    def test_coefficient_support_is_strided(self):
+        """The paper's n_br story: a sparsely-packed message lives in the
+        subring, i.e. its coefficients sit at stride N / (2 * num_slots)."""
+        num_slots = 4
+        vals = np.array([0.5, -0.25, 0.75, 0.1])
+        coeffs = ENC.encode_sparse(vals, num_slots)
+        stride = N // (2 * num_slots)
+        for j, c in enumerate(coeffs):
+            if j % stride:
+                assert abs(int(c)) <= 1, f"coefficient {j} should be ~0"
+
+    def test_full_packing_is_plain_encode(self):
+        vals = np.random.default_rng(0).uniform(-1, 1, N // 2)
+        assert np.array_equal(ENC.encode_sparse(vals, N // 2), ENC.encode(vals))
+
+    def test_invalid_slot_counts(self):
+        with pytest.raises(ParameterError):
+            ENC.encode_sparse([1.0], 3)  # does not divide N/2
+        with pytest.raises(ParameterError):
+            ENC.encode_sparse([1.0, 2.0], 4)  # wrong length
+
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=28, scale_bits=22)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(61))
+    sk = gen.secret_key()
+    ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(62))
+    return ctx, sk, ev
+
+
+class TestNoiseBudget:
+    def test_fresh_ciphertext_within_budget(self, stack):
+        ctx, sk, ev = stack
+        z = np.full(ctx.slots, 0.25)
+        ct = ev.encrypt(z)
+        ev.check_noise_budget(ct, sk, z)  # must not raise
+        assert ev.noise_bits(ct, sk, z) < -5
+
+    def test_budget_violation_raises(self, stack):
+        ctx, sk, ev = stack
+        ct = ev.encrypt(np.zeros(ctx.slots))
+        with pytest.raises(NoiseBudgetExceeded):
+            ev.check_noise_budget(ct, sk, np.ones(ctx.slots), max_error=0.5)
+
+    def test_noise_grows_with_depth(self, stack):
+        ctx, sk, ev = stack
+        z = np.full(ctx.slots, 0.5)
+        ct = ev.encrypt(z)
+        fresh_noise = ev.noise_bits(ct, sk, z)
+        prod = ev.mul_relin_rescale(ct, ev.encrypt(z))
+        deep_noise = ev.noise_bits(prod, sk, z * z)
+        assert deep_noise > fresh_noise
+
+
+class TestAreaComparison:
+    def test_heap_points_present(self):
+        names = [p.name for p in area_comparison()]
+        assert "HEAP-1" in names and "HEAP-8" in names
+
+    def test_heap1_counts(self):
+        heap1 = next(p for p in area_comparison() if p.name == "HEAP-1")
+        assert heap1.modular_multipliers == 512
+        assert 40 < heap1.onchip_memory_mb < 50  # paper: 43 MB
+
+    def test_heap8_counts(self):
+        heap8 = next(p for p in area_comparison() if p.name == "HEAP-8")
+        assert heap8.modular_multipliers == 4096  # paper Section VI-B
+
+    def test_envelope_claim(self):
+        assert heap_within_asic_envelope()

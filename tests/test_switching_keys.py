@@ -1,0 +1,149 @@
+"""Tests for switching-key generation, size audits, and the key switcher
+internals (ModUp/ModDown)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksKeyGenerator
+from repro.ckks.keyswitch import KeySwitcher
+from repro.math.rns import RnsBasis, RnsPoly, concat_bases
+from repro.math.sampling import Sampler
+from repro.params import make_heap_params, make_toy_params
+from repro.switching.keys import (
+    SwitchingKeySet,
+    conventional_bootstrap_key_bytes,
+)
+
+PARAMS = make_toy_params(n=16, limbs=4, limb_bits=28, scale_bits=22)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return CkksContext(PARAMS.ckks, dnum=2)
+
+
+@pytest.fixture(scope="module")
+def sk(ctx):
+    return CkksKeyGenerator(ctx, Sampler(3)).secret_key()
+
+
+class TestSwitchingKeySet:
+    def test_structure(self, ctx, sk):
+        swk = SwitchingKeySet.generate(ctx, sk, Sampler(4), base_bits=6)
+        assert swk.brk.n_t == ctx.n  # functional pipeline: dimension-N keys
+        # Raised basis = Q limbs + one auxiliary prime.
+        assert len(swk.raised_basis) == ctx.params.max_limbs + 1
+        assert swk.raised_basis.moduli[-1] == ctx.special_basis.moduli[0]
+        # Repack needs log2(N) automorphism keys.
+        assert len(swk.auto_keys.keys) == int(np.log2(ctx.n))
+
+    def test_gadget_covers_modulus(self, ctx, sk):
+        swk = SwitchingKeySet.generate(ctx, sk, Sampler(5), base_bits=6)
+        covered = swk.gadget.digits * swk.gadget.base_bits
+        total = swk.raised_basis.product.bit_length()
+        assert total - swk.gadget.base_bits < covered <= total
+
+    def test_brk_encrypts_secret_indicators(self, ctx, sk):
+        """RGSW(s_i^+) encrypts 1 exactly when s_i = 1 (spot check)."""
+        from repro.tfhe.glwe import glwe_decrypt_coeffs
+        from repro.tfhe.rgsw import external_product, rgsw_trivial
+        from repro.tfhe.glwe import GlweCiphertext
+        swk = SwitchingKeySet.generate(ctx, sk, Sampler(6), base_bits=4,
+                                       error_std=0.8)
+        basis = swk.raised_basis
+        probe_val = basis.product // 7
+        probe_coeffs = np.zeros(ctx.n, dtype=object)
+        probe_coeffs[0] = probe_val
+        probe = GlweCiphertext.trivial(
+            RnsPoly.from_int_coeffs(ctx.n, basis, probe_coeffs), h=1)
+        for i in range(4):
+            out = external_product(swk.brk.plus[i], probe)
+            const = int(glwe_decrypt_coeffs(out, swk.glwe_sk_ref)[0])
+            expected = probe_val if int(sk.coeffs[i]) == 1 else 0
+            assert abs(const - expected) < basis.product // 2**12, i
+
+
+class TestConventionalTraffic:
+    def test_order_of_magnitude(self):
+        # ~25 keys of ~126 MB each per unique pass.
+        assert conventional_bootstrap_key_bytes() > 1e9
+
+
+class TestKeySwitcherInternals:
+    def test_mod_down_divides_by_p(self, ctx, sk):
+        """ModDown(P * x) == x exactly for multiples of P."""
+        switcher = KeySwitcher(ctx)
+        target = ctx.full_basis
+        ext = concat_bases(target, ctx.special_basis)
+        p_prod = ctx.special_basis.product
+        rng = np.random.default_rng(8)
+        x = np.asarray([int(v) for v in rng.integers(0, 10**6, ctx.n)], dtype=object)
+        lifted = RnsPoly.from_int_coeffs(ctx.n, ext, x * p_prod)
+        down = switcher.mod_down(lifted, target)
+        assert list(down.to_int_coeffs()) == list(x % target.product)
+
+    def test_mod_down_rounds_small_values(self, ctx, sk):
+        """ModDown of a small (non-multiple) value lands within 1."""
+        switcher = KeySwitcher(ctx)
+        target = ctx.full_basis
+        ext = concat_bases(target, ctx.special_basis)
+        rng = np.random.default_rng(9)
+        x = np.asarray([int(v) for v in rng.integers(0, 1000, ctx.n)], dtype=object)
+        down = switcher.mod_down(RnsPoly.from_int_coeffs(ctx.n, ext, x), target)
+        vals = down.to_centered_int_coeffs()
+        assert all(abs(int(v)) <= len(ctx.special_basis) + 1 for v in vals)
+
+    def test_switch_key_roundtrip_per_level(self, ctx, sk):
+        """The hybrid switch is valid at every level (partial digit groups)."""
+        gen = CkksKeyGenerator(ctx, Sampler(10))
+        relin = gen.relin_key(sk)
+        switcher = KeySwitcher(ctx)
+        s2_coeffs = None
+        from repro.ckks.keys import _negacyclic_int_mul
+        s2_coeffs = _negacyclic_int_mul(sk.coeffs, sk.coeffs)
+        for level in range(ctx.max_level + 1):
+            basis = ctx.basis_at_level(level)
+            rng = np.random.default_rng(20 + level)
+            d = RnsPoly.from_int_coeffs(
+                ctx.n, basis,
+                np.asarray([int(v) for v in rng.integers(0, 10**5, ctx.n)],
+                           dtype=object)).to_eval()
+            u0, u1 = switcher.switch(d, relin)
+            s = sk.on_basis(ctx.n, basis)
+            got = (u0 + u1 * s).to_centered_int_coeffs()
+            s2 = RnsPoly.from_int_coeffs(ctx.n, basis, s2_coeffs).to_eval()
+            want = (d * s2).to_centered_int_coeffs()
+            err = max(abs(int(a) - int(b)) for a, b in zip(got, want))
+            # Key-switch noise stays far below the modulus.
+            assert err < basis.product // 2**10, (level, err)
+
+
+class TestDnumVariants:
+    """The hybrid key switch across decomposition numbers: dnum=1 (GHS,
+    one big digit), dnum=2 (the paper's d), dnum=L (BV, per-limb)."""
+
+    @pytest.mark.parametrize("dnum", [1, 2, 4])
+    def test_multiply_works_at_each_dnum(self, dnum):
+        import numpy as np
+        from repro.ckks import CkksEvaluator
+        params = make_toy_params(n=16, limbs=4, limb_bits=28, scale_bits=26,
+                                 special_limbs=4)
+        ctx = CkksContext(params.ckks, dnum=dnum)
+        gen = CkksKeyGenerator(ctx, Sampler(30 + dnum))
+        sk = gen.secret_key()
+        ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(40 + dnum))
+        z = np.random.default_rng(dnum).uniform(-1, 1, ctx.slots)
+        prod = ev.mul_relin_rescale(ev.encrypt(z), ev.encrypt(z))
+        got = ev.decrypt(prod, sk).real
+        assert np.allclose(got, z * z, atol=2e-2), dnum
+
+    def test_key_component_count_scales_with_dnum(self):
+        params = make_toy_params(n=16, limbs=4, limb_bits=28, scale_bits=26,
+                                 special_limbs=4)
+        sizes = {}
+        for dnum in (1, 2, 4):
+            ctx = CkksContext(params.ckks, dnum=dnum)
+            gen = CkksKeyGenerator(ctx, Sampler(50))
+            sk = gen.secret_key()
+            sizes[dnum] = len(gen.relin_key(sk).components)
+        assert sizes == {1: 1, 2: 2, 4: 4}

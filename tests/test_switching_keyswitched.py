@@ -1,0 +1,121 @@
+"""Tests for the n_t-dimension (LWE-keyswitched) bootstrap pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import ParameterError
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.switching import BootstrapTrace
+from repro.switching.keyswitched import (
+    KeySwitchedBootstrapper,
+    KeySwitchedKeySet,
+    make_keyswitched_toy_params,
+)
+
+N = 16
+N_T = 8
+PARAMS = make_keyswitched_toy_params(n=N, limbs=3, limb_bits=30,
+                                     scale_bits=23, special_limbs=2)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(201))
+    sk = gen.secret_key()
+    keys = gen.keyset(sk)
+    ev = CkksEvaluator(ctx, keys, Sampler(202))
+    kwk = KeySwitchedKeySet.generate(ctx, sk, n_t=N_T, sampler=Sampler(203),
+                                     base_bits=4, error_std=0.6)
+    boot = KeySwitchedBootstrapper(ctx, kwk)
+    return ctx, sk, ev, boot
+
+
+class TestParams:
+    def test_strong_prime_congruence(self):
+        p = PARAMS.special_moduli[0]
+        assert (p - 1) % (2 * N * N) == 0
+
+    def test_primes_distinct(self):
+        all_primes = list(PARAMS.moduli) + list(PARAMS.special_moduli)
+        assert len(set(all_primes)) == len(all_primes)
+
+
+class TestKeySet:
+    def test_brk_has_nt_entries(self, stack):
+        ctx, sk, ev, boot = stack
+        # The whole point: the blind-rotate key has n_t entries, not N.
+        assert boot.keys.brk.n_t == N_T
+
+    def test_nt_cannot_exceed_ring(self, stack):
+        ctx, sk, ev, boot = stack
+        with pytest.raises(ParameterError):
+            KeySwitchedKeySet.generate(ctx, sk, n_t=ctx.n + 1)
+
+    def test_requires_strong_prime(self):
+        weak = make_toy_params(n=N, limbs=3, limb_bits=30, scale_bits=23,
+                               special_limbs=2)
+        ctx = CkksContext(weak.ckks, dnum=2)
+        sk = CkksKeyGenerator(ctx, Sampler(1)).secret_key()
+        if (ctx.special_basis.moduli[0] - 1) % (2 * N * N) == 0:
+            pytest.skip("weak params happen to satisfy the congruence")
+        with pytest.raises(ParameterError):
+            KeySwitchedKeySet.generate(ctx, sk, n_t=N_T)
+
+    def test_key_size_advantage(self, stack):
+        """brk shrinks by ~N/n_t vs the direct pipeline (the paper's
+        500-entry key vs a dimension-N key)."""
+        ctx, sk, ev, boot = stack
+        from repro.switching import SwitchingKeySet
+        direct = SwitchingKeySet.generate(ctx, sk, Sampler(9), base_bits=4)
+        assert boot.keys.brk.size_bytes() * (N // N_T) == pytest.approx(
+            direct.brk.size_bytes(), rel=0.01)
+
+
+class TestBootstrap:
+    def test_refreshes_and_decrypts(self, stack):
+        ctx, sk, ev, boot = stack
+        z = np.random.default_rng(0).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        out = boot.bootstrap(ct)
+        assert out.level == ctx.max_level
+        got = ev.decrypt(out, sk)
+        # The extra LWE key switch adds noise; keep a looser bound than
+        # the direct pipeline.
+        assert np.allclose(got.real, z, atol=0.15), np.max(np.abs(got.real - z))
+
+    def test_trace(self, stack):
+        ctx, sk, ev, boot = stack
+        trace = BootstrapTrace()
+        boot.bootstrap(ev.encrypt(0.2, level=0), trace)
+        assert trace.num_lwe == ctx.n
+        assert trace.num_blind_rotates == ctx.n
+        # Two packs (kq + companion) and one ring key switch.
+        assert trace.repack_keyswitches == 2 * int(np.log2(ctx.n)) + 1
+
+    def test_blind_rotate_iterations_shrink(self, stack):
+        """Each BlindRotate now runs n_t (not N) iterations; measured via
+        the LWE dimension of the switched ciphertexts."""
+        ctx, sk, ev, boot = stack
+        ct = ev.encrypt(0.1, level=0)
+        big = boot._extract_all(ct, ct.basis.moduli[0])
+        assert all(l.dim == ctx.n for l in big)
+        from repro.tfhe.lwe import lwe_keyswitch
+        small = lwe_keyswitch(big[0], boot.keys.lwe_ksk)
+        assert small.dim == N_T
+
+    def test_rejects_non_level0(self, stack):
+        ctx, sk, ev, boot = stack
+        with pytest.raises(ParameterError):
+            boot.bootstrap(ev.encrypt(0.1))
+
+    def test_multiplication_after_refresh(self, stack):
+        ctx, sk, ev, boot = stack
+        z = np.random.default_rng(1).uniform(0.3, 0.8, ctx.slots)
+        out = boot.bootstrap(ev.encrypt(z, level=0))
+        prod = ev.mul_relin_rescale(
+            out, ev.encrypt(z, level=out.level, scale=out.scale))
+        got = ev.decrypt(prod, sk).real
+        assert np.allclose(got, z * z, atol=0.3)

@@ -1,0 +1,102 @@
+"""Tests for standalone TFHE: PBS and bootstrapped boolean gates
+(paper Section VII-A)."""
+
+import itertools
+
+import pytest
+
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.tfhe.gates import TfheScheme
+
+PARAMS = make_toy_params(n=32, limbs=1, limb_bits=28, n_t=16,
+                         decomp_base_bits=7, decomp_digits=4, special_limbs=1)
+
+
+@pytest.fixture(scope="module")
+def scheme():
+    sch = TfheScheme(PARAMS.tfhe, Sampler(2024))
+    return sch, sch.keygen()
+
+
+class TestEncryption:
+    def test_bit_roundtrip(self, scheme):
+        sch, keys = scheme
+        for bit in (True, False):
+            assert sch.decrypt_bit(sch.encrypt_bit(bit, keys), keys) == bit
+
+
+class TestBootstrapSign:
+    def test_refresh_preserves_bit(self, scheme):
+        sch, keys = scheme
+        for bit in (True, False):
+            ct = sch.encrypt_bit(bit, keys)
+            refreshed = sch.bootstrap_sign(ct, keys)
+            assert sch.decrypt_bit(refreshed, keys) == bit
+
+
+class TestGates:
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_nand(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.nand(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (not (a and b))
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_and(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.and_(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (a and b)
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_or(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.or_(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (a or b)
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_xor(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.xor_(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (a != b)
+
+    def test_not_is_free(self, scheme):
+        sch, keys = scheme
+        for bit in (True, False):
+            assert sch.decrypt_bit(sch.not_(sch.encrypt_bit(bit, keys)), keys) == (not bit)
+
+    @pytest.mark.parametrize("sel", [False, True])
+    def test_mux(self, scheme, sel):
+        sch, keys = scheme
+        out = sch.mux(sch.encrypt_bit(sel, keys),
+                      sch.encrypt_bit(True, keys),
+                      sch.encrypt_bit(False, keys), keys)
+        assert sch.decrypt_bit(out, keys) == sel
+
+    def test_gate_chain(self, scheme):
+        """A small circuit: full-adder carry = (a AND b) OR (c AND (a XOR b))."""
+        sch, keys = scheme
+        for a, b, c in itertools.product([False, True], repeat=3):
+            ea, eb, ec = (sch.encrypt_bit(v, keys) for v in (a, b, c))
+            carry = sch.or_(sch.and_(ea, eb, keys),
+                            sch.and_(ec, sch.xor_(ea, eb, keys), keys), keys)
+            assert sch.decrypt_bit(carry, keys) == ((a and b) or (c and (a != b)))
+
+
+class TestDerivedGates:
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_nor(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.nor(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (not (a or b))
+
+    @pytest.mark.parametrize("a,b", list(itertools.product([False, True], repeat=2)))
+    def test_xnor(self, scheme, a, b):
+        sch, keys = scheme
+        out = sch.xnor(sch.encrypt_bit(a, keys), sch.encrypt_bit(b, keys), keys)
+        assert sch.decrypt_bit(out, keys) == (a == b)
+
+    def test_double_negation(self, scheme):
+        sch, keys = scheme
+        ct = sch.encrypt_bit(True, keys)
+        assert sch.decrypt_bit(sch.not_(sch.not_(ct)), keys) is True

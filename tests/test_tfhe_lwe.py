@@ -1,0 +1,155 @@
+"""Tests for LWE encryption, modulus switching and key switching."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.gadget import GadgetVector
+from repro.math.modular import find_ntt_primes
+from repro.math.sampling import Sampler
+from repro.tfhe.lwe import (
+    LweCiphertext,
+    LweKeySwitchKey,
+    LweSecretKey,
+    lwe_decrypt,
+    lwe_encrypt,
+    lwe_keyswitch,
+    lwe_phase,
+    modulus_switch,
+)
+
+Q = find_ntt_primes(28, 32, 1)[0]
+DIM = 24
+
+
+@pytest.fixture(scope="module")
+def sk():
+    return LweSecretKey.generate(DIM, Sampler(7))
+
+
+def encode(x, q=Q, levels=16):
+    return x * (q // levels) % q
+
+
+class TestEncryptDecrypt:
+    def test_phase_recovers_message(self, sk):
+        s = Sampler(0)
+        m = encode(3)
+        ct = lwe_encrypt(m, sk, Q, s)
+        assert abs(lwe_phase(ct, sk) - m) < 100 or abs(lwe_phase(ct, sk) - m) > Q - 100
+
+    def test_decrypt_centred(self, sk):
+        s = Sampler(1)
+        ct = lwe_encrypt(5, sk, Q, s)
+        assert abs(lwe_decrypt(ct, sk) - 5) < 100
+
+    def test_decrypt_negative_message(self, sk):
+        s = Sampler(2)
+        ct = lwe_encrypt(-5 % Q, sk, Q, s)
+        assert abs(lwe_decrypt(ct, sk) + 5) < 100
+
+    def test_many_roundtrips(self, sk):
+        s = Sampler(3)
+        for x in range(16):
+            m = encode(x)
+            got = lwe_decrypt(lwe_encrypt(m, sk, Q, s), sk) % Q
+            err = min((got - m) % Q, (m - got) % Q)
+            assert err < 100
+
+
+class TestHomomorphic:
+    def test_addition(self, sk):
+        s = Sampler(4)
+        a = lwe_encrypt(encode(3), sk, Q, s)
+        b = lwe_encrypt(encode(5), sk, Q, s)
+        got = lwe_decrypt(a + b, sk) % Q
+        err = min((got - encode(8)) % Q, (encode(8) - got) % Q)
+        assert err < 200
+
+    def test_subtraction(self, sk):
+        s = Sampler(5)
+        a = lwe_encrypt(encode(7), sk, Q, s)
+        b = lwe_encrypt(encode(2), sk, Q, s)
+        got = lwe_decrypt(a - b, sk) % Q
+        err = min((got - encode(5)) % Q, (encode(5) - got) % Q)
+        assert err < 200
+
+    def test_negation(self, sk):
+        s = Sampler(6)
+        a = lwe_encrypt(encode(1), sk, Q, s)
+        got = lwe_decrypt(-a, sk)
+        assert abs(got + encode(1)) < 200
+
+    def test_scale(self, sk):
+        s = Sampler(7)
+        a = lwe_encrypt(encode(1), sk, Q, s)
+        got = lwe_decrypt(a.scale(3), sk) % Q
+        err = min((got - encode(3)) % Q, (encode(3) - got) % Q)
+        assert err < 300
+
+    def test_dim_mismatch_rejected(self, sk):
+        s = Sampler(8)
+        a = lwe_encrypt(0, sk, Q, s)
+        other = lwe_encrypt(0, LweSecretKey.generate(DIM + 1, s), Q, s)
+        with pytest.raises(ParameterError):
+            _ = a + other
+
+
+class TestModulusSwitch:
+    def test_phase_preserved_proportionally(self, sk):
+        s = Sampler(9)
+        n = 64
+        m = Q // 4  # phase q/4 should land near 2N/4
+        ct = lwe_encrypt(m, sk, Q, s)
+        switched = modulus_switch(ct, 2 * n)
+        assert switched.q == 2 * n
+        phase = lwe_phase(switched, sk) % (2 * n)
+        target = 2 * n // 4
+        err = min((phase - target) % (2 * n), (target - phase) % (2 * n))
+        # Rounding noise ~ ||s||_1 / 2; generous bound.
+        assert err <= DIM // 2 + 2
+
+    def test_components_in_range(self, sk):
+        s = Sampler(10)
+        ct = modulus_switch(lwe_encrypt(123, sk, Q, s), 128)
+        assert all(0 <= int(v) < 128 for v in ct.a)
+        assert 0 <= ct.b < 128
+
+    def test_size_accounting(self, sk):
+        s = Sampler(11)
+        ct = lwe_encrypt(0, sk, Q, s)
+        assert ct.size_bytes() == (DIM + 1) * Q.bit_length() // 8
+
+
+class TestKeySwitch:
+    def test_switch_preserves_message(self):
+        s = Sampler(12)
+        sk_in = LweSecretKey.generate(48, s)
+        sk_out = LweSecretKey.generate(DIM, s)
+        gadget = GadgetVector(q=Q, base_bits=7, digits=4)
+        ksk = LweKeySwitchKey.generate(sk_in, sk_out, Q, gadget, s)
+        m = encode(6)
+        ct = lwe_encrypt(m, sk_in, Q, s)
+        switched = lwe_keyswitch(ct, ksk)
+        assert switched.dim == DIM
+        got = lwe_decrypt(switched, sk_out) % Q
+        err = min((got - m) % Q, (m - got) % Q)
+        assert err < Q // 64, f"keyswitch noise too large: {err}"
+
+    def test_key_ciphertext_count(self):
+        """Paper: the key-switching key is a vector of h*N*d LWE cts."""
+        s = Sampler(13)
+        sk_in = LweSecretKey.generate(16, s)
+        sk_out = LweSecretKey.generate(8, s)
+        gadget = GadgetVector(q=Q, base_bits=9, digits=3)
+        ksk = LweKeySwitchKey.generate(sk_in, sk_out, Q, gadget, s)
+        assert ksk.num_ciphertexts() == 16 * 3
+
+    def test_dimension_mismatch_rejected(self, sk):
+        s = Sampler(14)
+        gadget = GadgetVector(q=Q, base_bits=7, digits=4)
+        ksk = LweKeySwitchKey.generate(
+            LweSecretKey.generate(10, s), sk, Q, gadget, s)
+        ct = lwe_encrypt(0, sk, Q, s)  # dim 24 != 10
+        with pytest.raises(ParameterError):
+            lwe_keyswitch(ct, ksk)

@@ -1,0 +1,189 @@
+"""Tests for GLWE encryption, RGSW, external product, CMux, InternalProduct."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.gadget import GadgetVector
+from repro.math.modular import find_ntt_primes
+from repro.math.rns import RnsBasis, RnsPoly
+from repro.math.sampling import Sampler
+from repro.tfhe.glwe import (
+    GlweCiphertext,
+    GlweSecretKey,
+    glwe_decrypt_coeffs,
+    glwe_encrypt,
+)
+from repro.tfhe.rgsw import (
+    cmux,
+    external_product,
+    internal_product,
+    rgsw_encrypt,
+    rgsw_trivial,
+)
+
+N = 32
+Q = find_ntt_primes(28, N, 1)[0]
+BASIS = RnsBasis([Q])
+GADGET = GadgetVector(q=Q, base_bits=7, digits=4)
+DELTA = Q // 64  # message scale for noise headroom
+
+
+def msg_poly(values):
+    c = np.zeros(N, dtype=object)
+    for i, v in enumerate(values):
+        c[i] = (v * DELTA) % Q
+    return RnsPoly.from_int_coeffs(N, BASIS, c)
+
+
+def decode(coeffs):
+    return [round(int(c) / DELTA) for c in coeffs]
+
+
+@pytest.fixture(scope="module")
+def sk():
+    return GlweSecretKey.generate(N, 1, Sampler(21))
+
+
+@pytest.fixture(scope="module")
+def sk_h2():
+    return GlweSecretKey.generate(N, 2, Sampler(22))
+
+
+class TestGlwe:
+    def test_encrypt_decrypt(self, sk):
+        s = Sampler(0)
+        m = msg_poly([1, 2, 3, -4])
+        ct = glwe_encrypt(m, sk, s)
+        got = decode(glwe_decrypt_coeffs(ct, sk))
+        assert got[:4] == [1, 2, 3, -4]
+        assert all(v == 0 for v in got[4:])
+
+    def test_encrypt_decrypt_h2(self, sk_h2):
+        s = Sampler(1)
+        m = msg_poly([5, -6])
+        ct = glwe_encrypt(m, sk_h2, s)
+        assert decode(glwe_decrypt_coeffs(ct, sk_h2))[:2] == [5, -6]
+
+    def test_additive_homomorphism(self, sk):
+        s = Sampler(2)
+        a = glwe_encrypt(msg_poly([1, 1]), sk, s)
+        b = glwe_encrypt(msg_poly([2, -3]), sk, s)
+        assert decode(glwe_decrypt_coeffs(a + b, sk))[:2] == [3, -2]
+
+    def test_negacyclic_shift(self, sk):
+        s = Sampler(3)
+        ct = glwe_encrypt(msg_poly([7]), sk, s)
+        shifted = ct.negacyclic_shift(2)
+        got = decode(glwe_decrypt_coeffs(shifted, sk))
+        assert got[2] == 7 and got[0] == 0
+
+    def test_shift_wraps_with_sign(self, sk):
+        s = Sampler(4)
+        ct = glwe_encrypt(msg_poly([3]), sk, s)
+        got = decode(glwe_decrypt_coeffs(ct.negacyclic_shift(N), sk))
+        assert got[0] == -3
+
+    def test_trivial_ciphertext(self, sk):
+        m = msg_poly([9, 8])
+        ct = GlweCiphertext.trivial(m, h=1)
+        assert decode(glwe_decrypt_coeffs(ct, sk))[:2] == [9, 8]
+
+    def test_mismatch_rejected(self, sk, sk_h2):
+        s = Sampler(5)
+        a = glwe_encrypt(msg_poly([0]), sk, s)
+        b = glwe_encrypt(msg_poly([0]), sk_h2, s)
+        with pytest.raises(ParameterError):
+            _ = a + b
+
+
+class TestExternalProduct:
+    @pytest.mark.parametrize("m", [0, 1, -1])
+    def test_rgsw_times_glwe(self, sk, m):
+        s = Sampler(6)
+        rgsw = rgsw_encrypt(m, sk, BASIS, GADGET, s)
+        glwe = glwe_encrypt(msg_poly([2, -5, 1]), sk, s)
+        out = external_product(rgsw, glwe)
+        got = decode(glwe_decrypt_coeffs(out, sk))
+        assert got[:3] == [2 * m, -5 * m, 1 * m]
+
+    def test_trivial_rgsw_one_is_identity(self, sk):
+        s = Sampler(7)
+        glwe = glwe_encrypt(msg_poly([4, 2]), sk, s)
+        one = rgsw_trivial(1, 1, N, BASIS, GADGET)
+        got = decode(glwe_decrypt_coeffs(external_product(one, glwe), sk))
+        assert got[:2] == [4, 2]
+
+    def test_monomial_scaled_rgsw(self, sk):
+        """(X^a) * RGSW(1) x GLWE(m) == GLWE(m * X^a): the BlindRotate step."""
+        from repro.tfhe.blind_rotate import MonomialCache
+        s = Sampler(8)
+        glwe = glwe_encrypt(msg_poly([6]), sk, s)
+        one = rgsw_trivial(1, 1, N, BASIS, GADGET)
+        cache = MonomialCache(N, BASIS)
+        # (X^3 - 1)*RGSW(1) + RGSW(1) = RGSW(X^3)
+        rgsw_x3 = one.mul_eval_vector(cache.monomial_minus_one(3)) + one
+        got = decode(glwe_decrypt_coeffs(external_product(rgsw_x3, glwe), sk))
+        assert got[3] == 6 and got[0] == 0
+
+    def test_external_product_h2(self, sk_h2):
+        s = Sampler(9)
+        rgsw = rgsw_encrypt(1, sk_h2, BASIS, GADGET, s)
+        glwe = glwe_encrypt(msg_poly([3, 3]), sk_h2, s)
+        got = decode(glwe_decrypt_coeffs(external_product(rgsw, glwe), sk_h2))
+        assert got[:2] == [3, 3]
+
+    def test_operand_mismatch_rejected(self, sk, sk_h2):
+        s = Sampler(10)
+        rgsw = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        glwe = glwe_encrypt(msg_poly([0]), sk_h2, s)
+        with pytest.raises(ParameterError):
+            external_product(rgsw, glwe)
+
+    def test_noise_growth_bounded(self, sk):
+        """Chained external products by RGSW(1) keep the message intact."""
+        s = Sampler(11)
+        glwe = glwe_encrypt(msg_poly([1, -1, 2]), sk, s)
+        rgsw = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        for _ in range(8):
+            glwe = external_product(rgsw, glwe)
+        assert decode(glwe_decrypt_coeffs(glwe, sk))[:3] == [1, -1, 2]
+
+
+class TestCmux:
+    def test_selects_true_branch(self, sk):
+        s = Sampler(12)
+        sel = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        d0 = glwe_encrypt(msg_poly([10]), sk, s)
+        d1 = glwe_encrypt(msg_poly([20]), sk, s)
+        assert decode(glwe_decrypt_coeffs(cmux(sel, d0, d1), sk))[0] == 20
+
+    def test_selects_false_branch(self, sk):
+        s = Sampler(13)
+        sel = rgsw_encrypt(0, sk, BASIS, GADGET, s)
+        d0 = glwe_encrypt(msg_poly([10]), sk, s)
+        d1 = glwe_encrypt(msg_poly([20]), sk, s)
+        assert decode(glwe_decrypt_coeffs(cmux(sel, d0, d1), sk))[0] == 10
+
+
+class TestInternalProduct:
+    def test_product_of_rgsw(self, sk):
+        """RGSW(a) x RGSW(b) acts like RGSW(a*b) in an external product."""
+        s = Sampler(14)
+        r1 = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        r0 = rgsw_encrypt(0, sk, BASIS, GADGET, s)
+        prod = internal_product(r1, r0)  # encrypts 0
+        glwe = glwe_encrypt(msg_poly([5]), sk, s)
+        assert decode(glwe_decrypt_coeffs(external_product(prod, glwe), sk))[0] == 0
+
+    def test_product_of_ones(self, sk):
+        s = Sampler(15)
+        r1 = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        prod = internal_product(r1, r1)
+        glwe = glwe_encrypt(msg_poly([5]), sk, s)
+        assert decode(glwe_decrypt_coeffs(external_product(prod, glwe), sk))[0] == 5
+
+    def test_paper_matrix_shape(self, sk):
+        s = Sampler(16)
+        r = rgsw_encrypt(1, sk, BASIS, GADGET, s)
+        assert r.matrix_shape() == ((1 + 1) * GADGET.digits, 1 + 1)
