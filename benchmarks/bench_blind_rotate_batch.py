@@ -1,0 +1,120 @@
+"""Scalar vs vectorized BlindRotate batch engine (ISSUE 1 perf gate).
+
+Times the reference per-ciphertext schedule against the structure-of-
+arrays tensor engine at N in {2^8, 2^10} and batch in {8, 32}, and emits
+``BENCH_blind_rotate.json`` at the repo root so successive PRs can track
+the speedup trajectory.  The acceptance gate is a >= 5x speedup at
+N = 2^10, batch = 32.
+
+Methodology: both engines run once untimed first — that pass doubles as
+the bit-identity check (the engines must agree on every limb of every
+output before a timing counts) and as warmup, so the one-time costs
+(key-tensor lift, monomial cache fill, workspace allocation) do not
+distort either side.  Each engine is then timed ``REPS`` times
+interleaved and the minimum is reported, which is the standard way to
+strip scheduler noise from single-core container timings.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_blind_rotate_batch.py -q``
+(the bench is excluded from tier-1 ``testpaths``).
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.math.gadget import GadgetVector
+from repro.math.modular import find_ntt_primes
+from repro.math.rns import RnsBasis
+from repro.math.sampling import Sampler
+from repro.tfhe.batch_engine import BatchBlindRotateEngine
+from repro.tfhe.blind_rotate import (
+    BlindRotateKey,
+    blind_rotate_batch_reference,
+    build_test_vector,
+)
+from repro.tfhe.glwe import GlweSecretKey
+from repro.tfhe.lwe import LweSecretKey, lwe_encrypt
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_blind_rotate.json")
+
+#: LWE dimension for the micro-benchmark: small enough that the scalar
+#: oracle finishes in seconds at N=2^10, large enough to amortise setup.
+N_T = 8
+
+#: Interleaved timed repetitions per engine; the minimum is reported.
+REPS = 3
+
+
+def _setup(n):
+    q = find_ntt_primes(28, n, 1)[0]
+    basis = RnsBasis([q])
+    gadget = GadgetVector(q=q, base_bits=14, digits=2)
+    s = Sampler(1234)
+    lwe_sk = LweSecretKey.generate(N_T, s)
+    glwe_sk = GlweSecretKey.generate(n, 1, s)
+    brk = BlindRotateKey.generate(lwe_sk, glwe_sk, basis, gadget, s)
+
+    def g(t):
+        t = t % (2 * n)
+        return (q // 8) * (1 if t < n else -1) % q
+
+    f = build_test_vector(g, n, basis)
+    return basis, lwe_sk, brk, f
+
+
+def _assert_bit_identical(vec, ref):
+    for v, r in zip(vec, ref):
+        for pv, pr in zip(list(v.mask) + [v.body], list(r.mask) + [r.body]):
+            for lv, lr in zip(pv.limbs, pr.limbs):
+                assert (lv == lr).all()
+
+
+def bench_blind_rotate_batch_engines():
+    results = []
+    for n in (1 << 8, 1 << 10):
+        basis, lwe_sk, brk, f = _setup(n)
+        s = Sampler(42)
+        engine = BatchBlindRotateEngine.for_key(brk, n, basis)
+        for batch in (8, 32):
+            cts = [lwe_encrypt(i * 5, lwe_sk, 2 * n, s, error_std=0.5)
+                   for i in range(batch)]
+            # Warmup + correctness: the engines must agree bit-for-bit.
+            _assert_bit_identical(engine.rotate_batch(f, cts),
+                                  blind_rotate_batch_reference(f, cts, brk))
+            t_vec = []
+            t_ref = []
+            for _ in range(REPS):
+                t0 = time.perf_counter()
+                engine.rotate_batch(f, cts)
+                t_vec.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                blind_rotate_batch_reference(f, cts, brk)
+                t_ref.append(time.perf_counter() - t0)
+            results.append({
+                "n": n,
+                "batch": batch,
+                "n_t": N_T,
+                "scalar_s": round(min(t_ref), 6),
+                "vectorized_s": round(min(t_vec), 6),
+                "speedup": round(min(t_ref) / min(t_vec), 2),
+            })
+
+    with open(JSON_PATH, "w") as fh:
+        json.dump({"benchmark": "blind_rotate_batch",
+                   "unit": "seconds", "reps": REPS, "timing": "min",
+                   "results": results}, fh, indent=2)
+        fh.write("\n")
+
+    lines = ["BlindRotate batch: scalar reference vs vectorized tensor engine",
+             f"{'N':>6} {'batch':>6} {'scalar (s)':>12} {'vector (s)':>12} {'speedup':>9}"]
+    for r in results:
+        lines.append(f"{r['n']:>6} {r['batch']:>6} {r['scalar_s']:>12.4f} "
+                     f"{r['vectorized_s']:>12.4f} {r['speedup']:>8.1f}x")
+    emit("blind_rotate_batch", "\n".join(lines))
+
+    gate = next(r for r in results if r["n"] == 1 << 10 and r["batch"] == 32)
+    assert gate["speedup"] >= 5.0, (
+        f"vectorized engine only {gate['speedup']}x at N=2^10, batch=32")

@@ -62,7 +62,20 @@ class GadgetVector:
         that ``sum_k d_k * g_k`` is within rounding error (< g_last) of the
         centred representative of ``values``.
         """
-        vals = np.asarray(values, dtype=object)
+        return self.decompose_tensor(np.asarray(values, dtype=object))
+
+    def decompose_tensor(self, values: np.ndarray) -> List[np.ndarray]:
+        """Shape- and dtype-preserving signed decomposition.
+
+        Identical arithmetic to :meth:`decompose` (tests assert bit-equality)
+        but the input dtype is kept: an int64 tensor of residues below
+        ``2**31`` stays int64 end to end, which is what lets the batched
+        blind-rotate engine decompose a whole ``(batch, h+1, N)`` accumulator
+        stack in a handful of vectorised passes.  numpy's ``%`` and ``>>``
+        share Python's floor semantics on negative int64, so both paths
+        produce the same digits.
+        """
+        vals = np.asarray(values)
         half_q = self.q // 2
         centered = np.where(vals > half_q, vals - self.q, vals)
         logq = self.q.bit_length()
@@ -80,8 +93,11 @@ class GadgetVector:
             if k == self.digits - 1:
                 raw.append(rem)
                 break
-            d = np.mod(rem, self.base)
-            d = np.where(d >= half_b, d - self.base, d)
+            # base is a power of two, so the floor-mod is a mask — exact for
+            # both int64 and object (Python int) lanes, including negatives.
+            # Shifting by B/2 before the mask centres the digit branch-free:
+            # ((x + B/2) mod B) - B/2 lands in [-B/2, B/2) with d = x mod B.
+            d = ((rem + half_b) & (self.base - 1)) - half_b
             raw.append(d)
             rem = (rem - d) >> self.base_bits
         # raw[0] is the *least* significant digit -> corresponds to the

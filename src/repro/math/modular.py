@@ -235,6 +235,41 @@ class ModulusEngine:
         """
         return np.mod(acc + a * b, self.q)
 
+    # -- lazy-reduction helpers (batched external-product MACs) ----------------
+
+    def lazy_sum(self, terms: np.ndarray, axis: int) -> np.ndarray:
+        """Sum residues along ``axis`` with a single final reduction.
+
+        On the fast path the inputs are canonical residues below ``2**31``,
+        so up to ``2**32`` of them accumulate in a 64-bit lane without
+        overflow — the software analogue of the MAC units' lazy reduction
+        (one Barrett reduction per accumulator drain instead of one per
+        addition).  Residues are reinterpreted as uint64 because numpy's
+        unsigned remainder is several times cheaper than signed ``np.mod``;
+        the result is bit-identical for canonical (non-negative) inputs.
+        """
+        if self.fast:
+            s = np.sum(np.asarray(terms).view(np.uint64), axis=axis)
+            return np.mod(s, np.uint64(self.q)).view(np.int64)
+        return np.mod(np.sum(terms, axis=axis), self.q)
+
+    def lazy_mac_sum(self, a: np.ndarray, b: np.ndarray, axis: int) -> np.ndarray:
+        """``sum(a * b, axis) mod q`` with lazily-reduced accumulation.
+
+        Broadcasting applies before the contraction, so e.g. a digit tensor
+        ``(batch, rows, 1, N)`` against a key tensor ``(rows, cols, N)``
+        contracts over ``rows`` in one fused call.  On the fast path each
+        product is reduced once into ``[0, q)`` (two int32 residues already
+        saturate int64, so the product reduction cannot be deferred) and the
+        accumulation itself stays lazy; on the wide path both the products
+        and the accumulation are exact big-int ops with one final reduce.
+        """
+        if self.fast:
+            qu = np.uint64(self.q)
+            p = (np.asarray(a).view(np.uint64) * np.asarray(b).view(np.uint64)) % qu
+            return np.mod(np.sum(p, axis=axis), qu).view(np.int64)
+        return np.mod(np.sum(a * b, axis=axis), self.q)
+
     def pow(self, base: int, exp: int) -> int:
         return pow(int(base), int(exp), self.q)
 

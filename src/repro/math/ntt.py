@@ -27,12 +27,17 @@ analogue of the paper's "two limbs per pass" memory layout.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ParameterError
 from .modular import ModulusEngine, root_of_unity
+
+#: Largest value an unsigned 64-bit lane can hold; the fast-path butterfly
+#: tracks an exact per-stage bound against this to decide when a deferred
+#: reduction can no longer be deferred.
+_U64_MAX = (1 << 64) - 1
 
 
 class NttEngine:
@@ -92,22 +97,125 @@ class NttEngine:
             cur = cur * omega_inv % q
         self._omega_inv = oinv_pows.astype(dtype)
 
+        # Fast-path (q < 2^31) tables in uint64.  Unsigned remainder is
+        # several times cheaper than signed np.mod in numpy, and working
+        # unsigned lets the butterfly accumulate *lazily*: sums grow by at
+        # most q per stage, so only the twiddle products are reduced
+        # eagerly and everything else is reduced once at the end — the
+        # software analogue of the lazy reduction in the paper's modular
+        # MAC datapath (Section IV-A).
+        if self.mod.fast:
+            self._qu = np.uint64(q)
+            self._psi_u = self._psi.view(np.uint64)
+            # Inverse untwist fused with the 1/N scaling: one multiply.
+            self._psi_inv_n_u = self.mod.mul(self._psi_inv, self.n_inv).view(np.uint64)
+            if twiddle_mode == "cached":
+                self._stages_fwd_u = self._stage_tables_u(self._omega)
+                self._stages_inv_u = self._stage_tables_u(self._omega_inv)
+            else:
+                self._stages_fwd_u = self._stages_inv_u = None
+            # Reusable butterfly workspaces keyed by batch width.  Fresh
+            # megabyte-sized allocations per transform land on mmap and pay
+            # soft page faults every call; a pipeline only ever uses a
+            # handful of batch widths, so the cache stays small.
+            self._work: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def _stage_tables_u(self, omega_pows: np.ndarray) -> List[np.ndarray]:
+        """Per-stage twiddle tables ``w^(j * n/(2m))`` as uint64 arrays."""
+        n = self.n
+        tables = []
+        m = 1
+        while m < n:
+            tables.append(omega_pows[np.arange(m) * (n // (2 * m))].view(np.uint64))
+            m *= 2
+        return tables
+
     # -- public API -----------------------------------------------------------
 
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
         """Coefficient -> evaluation domain (shape-preserving, last axis N)."""
         arr = np.asarray(coeffs)
         _profile_ntt(self.n, arr)
+        if self.mod.fast:
+            a = np.asarray(arr, dtype=np.int64).view(np.uint64)
+            a = (a * self._psi_u) % self._qu
+            return self._cyclic_fast(a, forward=True).view(np.int64)
         a = self.mod.mul(arr.astype(self.mod.dtype, copy=False), self._psi)
         return self._cyclic(a, self._omega)
+
+    def _work_bufs(self, batch: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Two ``(n, batch)`` ping-pong buffers plus a half-size scratch."""
+        bufs = self._work.get(batch)
+        if bufs is None:
+            bufs = (np.empty((self.n, batch), dtype=np.uint64),
+                    np.empty((self.n, batch), dtype=np.uint64),
+                    np.empty((self.n // 2, batch), dtype=np.uint64))
+            self._work[batch] = bufs
+        return bufs
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
         """Evaluation -> coefficient domain."""
         arr = np.asarray(evals)
         _profile_ntt(self.n, arr)
+        if self.mod.fast:
+            a = np.asarray(arr, dtype=np.int64).view(np.uint64)
+            a = self._cyclic_fast(a, forward=False)
+            # Untwist and scale by N^-1 in one fused multiply.
+            return ((a * self._psi_inv_n_u) % self._qu).view(np.int64)
         a = self._cyclic(arr.astype(self.mod.dtype, copy=False), self._omega_inv)
         a = self.mod.mul(a, self.n_inv)
         return self.mod.mul(a, self._psi_inv)
+
+    def forward_axis0(self, coeffs: np.ndarray) -> np.ndarray:
+        """Forward transform along axis 0 of an ``(N, ...)`` stack.
+
+        The transposed entry point for batch-major tensor pipelines (the
+        batched blind-rotate engine keeps all state ``(N, batch, ...)``):
+        on the fast path the butterfly core already works transform-axis-
+        first, so this skips the two transpose copies :meth:`forward` pays
+        per call.  Bit-identical to ``forward`` applied over the moved
+        axis.
+        """
+        arr = np.asarray(coeffs)
+        _profile_ntt(self.n, arr)
+        if self.mod.fast:
+            tail = arr.shape[1:]
+            a = np.asarray(arr, dtype=np.int64).view(np.uint64).reshape(self.n, -1)
+            wb, buf, scratch = self._work_bufs(a.shape[1])
+            np.multiply(a, self._psi_u[:, None], out=buf)
+            buf %= self._qu
+            np.take(buf, _bitrev_indices(self.n), axis=0, out=wb)
+            res, _ = self._butterfly(wb, buf, scratch, forward=True)
+            out = np.empty_like(res)
+            np.mod(res, self._qu, out=out)
+            return out.view(np.int64).reshape((self.n,) + tail)
+        out = self.mod.mul(np.moveaxis(arr, 0, -1).astype(object, copy=False), self._psi)
+        return np.moveaxis(self._cyclic(out, self._omega), -1, 0)
+
+    def inverse_axis0(self, evals: np.ndarray) -> np.ndarray:
+        """Inverse transform along axis 0 of an ``(N, ...)`` stack."""
+        arr = np.asarray(evals)
+        _profile_ntt(self.n, arr)
+        if self.mod.fast:
+            tail = arr.shape[1:]
+            a = np.asarray(arr, dtype=np.int64).view(np.uint64).reshape(self.n, -1)
+            wb, buf, scratch = self._work_bufs(a.shape[1])
+            np.take(a, _bitrev_indices(self.n), axis=0, out=wb)
+            res, bound = self._butterfly(wb, buf, scratch, forward=False)
+            # Untwist/scale the *unreduced* butterfly output: the product
+            # bound check mirrors the per-stage guard, and the single
+            # reduction lands in a fresh output array — exactly the values
+            # ((res mod q) * psi^-j/N) mod q, one full pass cheaper.
+            if (bound - 1) * (self.q - 1) > _U64_MAX:
+                res %= self._qu
+            np.multiply(res, self._psi_inv_n_u[:, None], out=res)
+            out = np.empty_like(res)
+            np.mod(res, self._qu, out=out)
+            return out.view(np.int64).reshape((self.n,) + tail)
+        a = self._cyclic(np.moveaxis(arr, 0, -1).astype(object, copy=False),
+                         self._omega_inv)
+        a = self.mod.mul(a, self.n_inv)
+        return np.moveaxis(self.mod.mul(a, self._psi_inv), -1, 0)
 
     def pointwise(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Hadamard product in the evaluation domain."""
@@ -121,6 +229,109 @@ class NttEngine:
         return self.inverse(self.pointwise(self.forward(a), self.forward(b)))
 
     # -- internals --------------------------------------------------------------
+
+    def _cyclic_fast(self, a: np.ndarray, forward: bool) -> np.ndarray:
+        """Radix-2 DIT cyclic NTT on the last axis, uint64 lazy-reduction path.
+
+        Inputs are canonical residues reinterpreted as uint64.  Per stage
+        only the twiddle product ``hi * tw`` is reduced; the butterfly sums
+        ``lo + t`` and ``lo + (q - t)`` stay unreduced, so the value bound
+        grows by ``q`` per stage.  An exact Python-int bound tracks when
+        ``hi * tw`` could exceed 2^64 and forces a full reduction first
+        (never for q below ~2^30 at practical ring sizes).  The final array
+        is reduced once, so the output residues are bit-identical to the
+        eagerly-reduced object path.  Stages ping-pong between two buffers
+        to avoid per-stage concatenation.
+        """
+        n = self.n
+        pre = a.shape[:-1]
+        batch = int(np.prod(pre, dtype=np.int64)) if pre else 1
+        # Batch-last working layout: transposing puts the transform axis
+        # FIRST, so every stage's lo/hi slice is contiguous runs of
+        # ``batch`` lanes — early stages (m = 1, 2, ...) would otherwise
+        # stride through 2m-element blocks and defeat vectorisation exactly
+        # where the batched engine wins.
+        wb, buf, scratch = self._work_bufs(batch)
+        np.take(a.reshape(batch, n).T, _bitrev_indices(n), axis=0, out=wb)
+        res, _ = self._butterfly(wb, buf, scratch, forward)
+        out = np.empty((batch, n), dtype=np.uint64)
+        # Fuse the final reduction into the transpose-out copy.
+        np.mod(res.T, self._qu, out=out)
+        return out.reshape(pre + (n,))
+
+    def _butterfly(self, w: np.ndarray, buf: np.ndarray, scratch: np.ndarray,
+                   forward: bool) -> Tuple[np.ndarray, int]:
+        """uint64 butterfly stages on a bit-reversed ``(n, batch)`` array.
+
+        ``w`` must already be row-gathered by :func:`_bitrev_indices`; the
+        stages ping-pong between ``w`` and ``buf`` (both engine-owned
+        workspaces).  Returns the buffer holding the *unreduced* result and
+        the exclusive value bound the caller must drain — fusing that last
+        reduction into the copy that materialises the caller's output is
+        what keeps every transform at one fresh allocation.
+        """
+        n = self.n
+        q = self.q
+        qu = self._qu
+        batch = w.shape[1]
+        tables = self._stages_fwd_u if forward else self._stages_inv_u
+        omega_pows = self._omega if forward else self._omega_inv
+        bound = q  # exclusive upper bound on the values currently in ``w``
+        m = 1
+        stage = 0
+        while m < n:
+            if tables is not None:
+                tw = tables[stage]
+            else:
+                # On-the-fly generation: successive powers of the stage
+                # root w^(n/(2m)) by running multiplication.
+                stage_root = int(omega_pows[n // (2 * m)])
+                tw = np.empty(m, dtype=np.uint64)
+                cur = 1
+                for j in range(m):
+                    tw[j] = cur
+                    cur = cur * stage_root % q
+            if (bound - 1) * (q - 1) > _U64_MAX:
+                w %= qu
+                bound = q
+            shape = (n // (2 * m), 2 * m, batch)
+            va = w.reshape(shape)
+            vb = buf.reshape(shape)
+            lo = va[:, :m]
+            t = scratch.reshape(n // (2 * m), m, batch)
+            if m == 1:
+                # First stage's only twiddle is w^0 = 1: the product (and
+                # its reduction) is the identity, so butterfly directly on
+                # the canonical inputs.
+                np.add(lo, va[:, m:], out=vb[:, :m])
+                np.subtract(qu, va[:, m:], out=t)
+                np.add(lo, t, out=vb[:, m:])
+                bound += q
+            elif m == 2:
+                # Second stage's twiddles are [1, w^(n/4)]: the even half
+                # skips the multiply and reduction, but then stays lazily
+                # unreduced below the entry bound — which here is always
+                # exactly 2q (stage 1 grew it from q, and the guard above
+                # cannot fire this early for q < 2^31), so the subtraction
+                # complements against 2q and the bound grows by 2q.
+                t[:, 0] = va[:, 2]
+                np.multiply(va[:, 3], tw[1], out=t[:, 1])
+                t[:, 1] %= qu
+                np.add(lo, t, out=vb[:, :m])
+                np.subtract(np.uint64(2 * q), t, out=t)
+                np.add(lo, t, out=vb[:, m:])
+                bound += 2 * q
+            else:
+                np.multiply(va[:, m:], tw[:, None], out=t)
+                t %= qu
+                np.add(lo, t, out=vb[:, :m])
+                np.subtract(qu, t, out=t)
+                np.add(lo, t, out=vb[:, m:])
+                bound += q
+            w, buf = buf, w
+            m *= 2
+            stage += 1
+        return w, bound
 
     def _cyclic(self, a: np.ndarray, omega_pows: np.ndarray) -> np.ndarray:
         """Iterative radix-2 DIT cyclic NTT on the last axis.
@@ -198,7 +409,14 @@ def naive_dft(a, q: int, root: int) -> np.ndarray:
 
 
 def _profile_ntt(n: int, arr: np.ndarray) -> None:
-    """Report transforms to the profiler (batch = product of lead dims)."""
+    """Report transforms to the profiler (batch = product of lead dims).
+
+    The batch size of every stacked call is recorded, not just the total:
+    the profiler keeps a batch histogram so a run can be audited for how
+    much of its transform work actually reached the vectorised ``(..., N)``
+    interface (one ``_cyclic`` pass per stage for the whole stack) versus
+    degenerate one-row calls.
+    """
     from ..profiling import record_ntt
 
     batch = int(arr.size // n) if arr.size else 0

@@ -31,15 +31,29 @@ class OpStats:
     ntt_calls: int = 0            # forward + inverse transforms (per limb)
     ntt_points: int = 0           # total transform points (sum of sizes)
     pointwise_mults: int = 0      # element-wise modular multiplications
+    external_products: int = 0    # RGSW x GLWE external products
     by_size: Dict[int, int] = field(default_factory=dict)
+    #: How many rows each stacked NTT invocation carried (batch -> calls).
+    #: A scalar implementation records everything under batch 1; the
+    #: vectorised engine shows up as a few large-batch entries instead —
+    #: the software mirror of HEAP keeping all 512 units busy.
+    ntt_batch_hist: Dict[int, int] = field(default_factory=dict)
+    #: External-product batch sizes (batch -> occurrences): how many
+    #: accumulators advanced together through one fused decompose-NTT-MAC.
+    ep_batch_hist: Dict[int, int] = field(default_factory=dict)
 
     def record_ntt(self, n: int, batch: int) -> None:
         self.ntt_calls += batch
         self.ntt_points += n * batch
         self.by_size[n] = self.by_size.get(n, 0) + batch
+        self.ntt_batch_hist[batch] = self.ntt_batch_hist.get(batch, 0) + 1
 
     def record_mul(self, count: int) -> None:
         self.pointwise_mults += count
+
+    def record_external_product(self, batch: int = 1) -> None:
+        self.external_products += batch
+        self.ep_batch_hist[batch] = self.ep_batch_hist.get(batch, 0) + 1
 
     @property
     def butterfly_mults(self) -> int:
@@ -65,6 +79,12 @@ def record_ntt(n: int, batch: int = 1) -> None:
 def record_mul(count: int) -> None:
     if _ACTIVE is not None:
         _ACTIVE.record_mul(count)
+
+
+def record_external_product(batch: int = 1) -> None:
+    """Record ``batch`` external products executed as one fused operation."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_external_product(batch)
 
 
 @contextlib.contextmanager

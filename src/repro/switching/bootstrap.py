@@ -44,7 +44,7 @@ from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
 from ..errors import ParameterError
 from ..math.rns import RnsBasis, RnsPoly
-from ..tfhe.blind_rotate import MonomialCache, blind_rotate_batch, build_test_vector
+from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector, get_monomial_cache
 from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext
 from ..tfhe.repack import repack
@@ -65,12 +65,19 @@ class BootstrapTrace:
 class SchemeSwitchBootstrapper:
     """Executes Algorithm 2 against a CKKS context and switching keys."""
 
-    def __init__(self, ctx: CkksContext, keys: SwitchingKeySet):
+    def __init__(self, ctx: CkksContext, keys: SwitchingKeySet,
+                 blind_rotate_engine: str = "vectorized"):
+        """``blind_rotate_engine`` selects the BlindRotate backend for the
+        N-way fan-out of step 3: ``"vectorized"`` (default) runs the whole
+        batch through :mod:`repro.tfhe.batch_engine`'s tensor engine,
+        ``"reference"`` falls back to the scalar per-ciphertext oracle.
+        Both are bit-identical; the flag exists for cross-checking."""
         self.ctx = ctx
         self.keys = keys
         self.raised_basis = keys.raised_basis
+        self.blind_rotate_engine = blind_rotate_engine
         self._test_vector = self._build_test_vector()
-        self._mono_cache = MonomialCache(ctx.n, self.raised_basis)
+        self._mono_cache = get_monomial_cache(ctx.n, self.raised_basis)
 
     # -- the public entry point ---------------------------------------------------
 
@@ -102,7 +109,8 @@ class SchemeSwitchBootstrapper:
 
         # Step 3b: BlindRotate all of them (batch schedule: each brk_i is
         # used across the whole batch before moving on).
-        accs = blind_rotate_batch(self._test_vector, lwes, self.keys.brk)
+        accs = blind_rotate_batch(self._test_vector, lwes, self.keys.brk,
+                                  engine=self.blind_rotate_engine)
         trace.num_blind_rotates = len(accs)
 
         # Step 3c: repack the N constant coefficients into one RLWE over Qp.

@@ -1,11 +1,15 @@
 """The TFHE scheme: LWE/GLWE/RGSW, BlindRotate, Extract, repack, gates."""
 
+from .batch_engine import BatchBlindRotateEngine, blind_rotate_batch_vectorized
 from .blind_rotate import (
     BlindRotateKey,
     MonomialCache,
     blind_rotate,
     blind_rotate_batch,
+    blind_rotate_batch_reference,
     build_test_vector,
+    get_monomial_cache,
+    get_rgsw_one,
 )
 from .extract import (
     RnsLweCiphertext,
@@ -38,11 +42,16 @@ from .rgsw import (
 )
 
 __all__ = [
+    "BatchBlindRotateEngine",
     "BlindRotateKey",
     "MonomialCache",
     "blind_rotate",
     "blind_rotate_batch",
+    "blind_rotate_batch_reference",
+    "blind_rotate_batch_vectorized",
     "build_test_vector",
+    "get_monomial_cache",
+    "get_rgsw_one",
     "RnsLweCiphertext",
     "embed_lwe",
     "extract_lwe",

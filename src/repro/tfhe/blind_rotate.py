@@ -19,7 +19,7 @@ where ``s_i^+ = [s_i = 1]`` and ``s_i^- = [s_i = -1]``.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -73,6 +73,10 @@ class MonomialCache:
     """Evaluation-domain monomials ``X^a`` per limb, built by repeated
     squaring from the transform of ``X`` (no NTT per rotation step)."""
 
+    #: Largest ``2N * N`` dense-table size (elements, per limb) we are
+    #: willing to hold; 2^21 is 16 MiB of int64 at N = 1024.
+    _DENSE_LIMIT = 1 << 21
+
     def __init__(self, n: int, basis: RnsBasis):
         self.n = n
         self.basis = basis
@@ -83,6 +87,7 @@ class MonomialCache:
             x[1] = 1
             self._x_eval.append(eng.forward(x))
         self._cache: Dict[int, List[np.ndarray]] = {}
+        self._dense: Optional[List[np.ndarray]] = None
 
     def monomial_minus_one(self, a: int) -> List[np.ndarray]:
         """Per-limb eval vectors of ``X^a - 1`` with ``a`` taken mod 2N."""
@@ -96,6 +101,62 @@ class MonomialCache:
                 vecs.append(eng.mod.sub(mono, eng.mod.zeros(self.n) + 1))
             self._cache[a] = vecs
         return vecs
+
+    def minus_one_matrix(self, a_vals: np.ndarray) -> Optional[List[np.ndarray]]:
+        """Per-limb ``(N, len(a_vals))`` matrices of ``X^a - 1`` columns.
+
+        Backed by a dense ``(N, 2N)`` table per limb so a whole batch of
+        rotation amounts is one column gather; the table is filled once by
+        running products ``X^(a+1) = X^a * X`` in the evaluation domain —
+        the same modular arithmetic as :meth:`monomial_minus_one`, so the
+        two paths agree bit-for-bit.  Returns ``None`` (callers fall back
+        to stacking :meth:`monomial_minus_one` vectors) when the table
+        would outgrow ``_DENSE_LIMIT``.
+        """
+        two_n = 2 * self.n
+        if two_n * self.n > self._DENSE_LIMIT:
+            return None
+        if self._dense is None:
+            dense = []
+            for q, x_eval in zip(self.basis.moduli, self._x_eval):
+                eng = get_ntt_engine(self.n, q)
+                rows = eng.mod.zeros((two_n, self.n))
+                rows[0] = 1  # X^0
+                for a in range(1, two_n):
+                    rows[a] = eng.mod.mul(rows[a - 1], x_eval)
+                rows = eng.mod.sub(rows, eng.mod.zeros(self.n) + 1)
+                # Column-major gathers want (N, 2N) contiguous columns.
+                dense.append(np.ascontiguousarray(rows.T))
+            self._dense = dense
+        return [d[:, a_vals] for d in self._dense]
+
+
+#: Process-wide caches: twiddle-style state that every BlindRotate over the
+#: same ``(N, moduli)`` ring can share.  Building a MonomialCache costs one
+#: NTT per limb and each ``X^a - 1`` entry a pow-chain; rebuilding them per
+#: call (the seed behaviour) wasted that work on every batch.
+_MONO_CACHE: Dict[Tuple[int, Tuple[int, ...]], MonomialCache] = {}
+_RGSW_ONE_CACHE: Dict[Tuple[int, int, Tuple[int, ...], GadgetVector], RgswCiphertext] = {}
+
+
+def get_monomial_cache(n: int, basis: RnsBasis) -> MonomialCache:
+    """Shared :class:`MonomialCache` for ``(n, basis.moduli)``."""
+    key = (n, tuple(basis.moduli))
+    cache = _MONO_CACHE.get(key)
+    if cache is None:
+        cache = MonomialCache(n, basis)
+        _MONO_CACHE[key] = cache
+    return cache
+
+
+def get_rgsw_one(h: int, n: int, basis: RnsBasis, gadget: GadgetVector) -> RgswCiphertext:
+    """Shared ``rgsw_trivial(1, ...)`` — safe because RGSW ops never mutate."""
+    key = (h, n, tuple(basis.moduli), gadget)
+    one = _RGSW_ONE_CACHE.get(key)
+    if one is None:
+        one = rgsw_trivial(1, h, n, basis, gadget)
+        _RGSW_ONE_CACHE[key] = one
+    return one
 
 
 def build_test_vector(g: Callable[[int], int], n: int, basis: RnsBasis) -> RnsPoly:
@@ -131,11 +192,11 @@ def blind_rotate(test_vector: RnsPoly, ct: LweCiphertext, brk: BlindRotateKey,
     if ct.dim != brk.n_t:
         raise ParameterError("LWE dimension does not match blind-rotate key")
     basis = test_vector.basis
-    cache = cache or MonomialCache(n, basis)
+    cache = cache or get_monomial_cache(n, basis)
     acc = GlweCiphertext.trivial(
         _shift(test_vector, int(ct.b)).to_eval(), h=brk.h
     )
-    one = rgsw_trivial(1, brk.h, n, basis, brk.gadget)
+    one = get_rgsw_one(brk.h, n, basis, brk.gadget)
     for i in range(ct.dim):
         a_i = int(ct.a[i]) % (2 * n)
         if a_i == 0:
@@ -150,7 +211,8 @@ def blind_rotate(test_vector: RnsPoly, ct: LweCiphertext, brk: BlindRotateKey,
 
 
 def blind_rotate_batch(test_vector: RnsPoly, cts: Sequence[LweCiphertext],
-                       brk: BlindRotateKey) -> List[GlweCiphertext]:
+                       brk: BlindRotateKey,
+                       engine: str = "vectorized") -> List[GlweCiphertext]:
     """BlindRotate a batch, iterating keys in the outer loop.
 
     This is the paper's optimised schedule (Section IV-E): all
@@ -158,18 +220,39 @@ def blind_rotate_batch(test_vector: RnsPoly, cts: Sequence[LweCiphertext],
     fetched once per batch instead of once per ciphertext — the source of
     the claimed memory-traffic reduction.  Functionally identical to
     mapping :func:`blind_rotate` over the batch (tests assert this).
+
+    ``engine`` selects the execution backend:
+
+    * ``"vectorized"`` (default) — :mod:`repro.tfhe.batch_engine`'s
+      structure-of-arrays tensor engine: the whole batch advances through
+      each iteration as dense numpy tensors, bit-identical to the
+      reference path but with the batch dimension inside every NTT
+      butterfly and external-product MAC.
+    * ``"reference"`` — the scalar per-ciphertext loop (the test oracle).
     """
+    if engine == "vectorized":
+        from .batch_engine import blind_rotate_batch_vectorized
+
+        return blind_rotate_batch_vectorized(test_vector, cts, brk)
+    if engine != "reference":
+        raise ParameterError(f"unknown blind-rotate engine {engine!r}")
+    return blind_rotate_batch_reference(test_vector, cts, brk)
+
+
+def blind_rotate_batch_reference(test_vector: RnsPoly, cts: Sequence[LweCiphertext],
+                                 brk: BlindRotateKey) -> List[GlweCiphertext]:
+    """Scalar reference schedule: brk_i outer loop, one ciphertext at a time."""
     if not cts:
         return []
     n = test_vector.n
     basis = test_vector.basis
-    cache = MonomialCache(n, basis)
+    cache = get_monomial_cache(n, basis)
     for ct in cts:
         if ct.q != 2 * n or ct.dim != brk.n_t:
             raise ParameterError("batch contains an incompatible LWE ciphertext")
     accs = [GlweCiphertext.trivial(_shift(test_vector, int(ct.b)).to_eval(), h=brk.h)
             for ct in cts]
-    one = rgsw_trivial(1, brk.h, n, basis, brk.gadget)
+    one = get_rgsw_one(brk.h, n, basis, brk.gadget)
     for i in range(brk.n_t):
         plus_i, minus_i = brk.plus[i], brk.minus[i]  # fetched once per batch
         for j, ct in enumerate(cts):

@@ -75,6 +75,51 @@ class RgswCiphertext:
             gadget=self.gadget,
         )
 
+    # -- dense tensor export (batched blind-rotate engine) --------------------
+
+    def to_limb_tensors(self) -> List[np.ndarray]:
+        """Export the RGSW matrix as one dense evaluation-domain tensor per
+        limb, shape ``((h+1)*d, h+1, N)``.
+
+        Row ``r = c*d + k`` holds the GLWE row for component ``c``, digit
+        ``k`` — the same flattening the batched engine uses for its
+        decomposed-digit tensors, so the external-product MAC becomes a
+        single contraction over ``r``.  Column ``h`` is the body.
+        """
+        n = self.n
+        basis = self.basis
+        d = self.gadget.digits
+        r_dim, c_dim = self.matrix_shape()
+        out = [e.zeros((r_dim, c_dim, n)) for e in basis.engines]
+        for c, comp in enumerate(self.rows):
+            for k, row in enumerate(comp):
+                row = row.to_eval()
+                r = c * d + k
+                for col, poly in enumerate(list(row.mask) + [row.body]):
+                    for l, limb in enumerate(poly.limbs):
+                        out[l][r, col] = limb
+        return out
+
+    @classmethod
+    def from_limb_tensors(cls, tensors: List[np.ndarray], basis: RnsBasis,
+                          gadget: GadgetVector) -> "RgswCiphertext":
+        """Inverse of :meth:`to_limb_tensors` (evaluation domain)."""
+        r_dim, c_dim, n = tensors[0].shape
+        d = gadget.digits
+        if r_dim != c_dim * d:
+            raise ParameterError("tensor row count does not match gadget digits")
+        h = c_dim - 1
+        rows: List[List[GlweCiphertext]] = []
+        for c in range(c_dim):
+            comp_rows = []
+            for k in range(d):
+                r = c * d + k
+                polys = [RnsPoly(n, basis, [t[r, col].copy() for t in tensors], "eval")
+                         for col in range(c_dim)]
+                comp_rows.append(GlweCiphertext(mask=polys[:h], body=polys[h]))
+            rows.append(comp_rows)
+        return cls(rows=rows, gadget=gadget)
+
 
 def rgsw_encrypt(m: int, sk: GlweSecretKey, basis: RnsBasis,
                  gadget: GadgetVector, sampler: Sampler,
@@ -130,6 +175,9 @@ def external_product(rgsw: RgswCiphertext, glwe: GlweCiphertext) -> GlweCipherte
     """
     if rgsw.h != glwe.h or rgsw.basis.moduli != glwe.basis.moduli:
         raise ParameterError("external product operand mismatch")
+    from ..profiling import record_external_product
+
+    record_external_product(1)
     basis = glwe.basis
     n = glwe.n
     h = glwe.h

@@ -168,3 +168,53 @@ class TestCrt:
         moduli = [97]
         residues = crt_decompose(np.asarray([5, 96], dtype=object), moduli)
         assert list(crt_compose(residues, moduli)) == [5, 96]
+
+
+class TestLazyReduction:
+    """The batched external-product MAC helpers: one reduction per drain."""
+
+    @pytest.mark.parametrize("q", [97, 1073741441, 68719474049])
+    def test_lazy_mac_sum_matches_naive(self, q):
+        eng = ModulusEngine(q)
+        rng = np.random.default_rng(0)
+        a = eng.asarray(rng.integers(0, min(q, 1 << 62), size=(3, 5, 4), dtype=np.int64))
+        b = eng.asarray(rng.integers(0, min(q, 1 << 62), size=(3, 5, 4), dtype=np.int64))
+        got = eng.lazy_mac_sum(a, b, axis=1)
+        want = np.zeros((3, 4), dtype=object)
+        for i in range(3):
+            for r in range(5):
+                for j in range(4):
+                    want[i, j] = (want[i, j] + int(a[i, r, j]) * int(b[i, r, j])) % q
+        assert np.array_equal(got.astype(object), want)
+
+    def test_lazy_mac_sum_broadcasts(self):
+        q = 97
+        eng = ModulusEngine(q)
+        rng = np.random.default_rng(1)
+        digits = eng.asarray(rng.integers(0, q, size=(2, 3, 1, 4)))
+        key = eng.asarray(rng.integers(0, q, size=(3, 2, 4)))
+        got = eng.lazy_mac_sum(digits, key, axis=1)
+        assert got.shape == (2, 2, 4)
+        for bi in range(2):
+            for c in range(2):
+                for j in range(4):
+                    want = sum(int(digits[bi, r, 0, j]) * int(key[r, c, j])
+                               for r in range(3)) % q
+                    assert int(got[bi, c, j]) == want
+
+    def test_lazy_sum_matches_mod_sum(self):
+        eng = ModulusEngine(1073741441)
+        rng = np.random.default_rng(2)
+        terms = eng.asarray(rng.integers(0, eng.q, size=(64, 8), dtype=np.int64))
+        got = eng.lazy_sum(terms, axis=0)
+        want = np.array([sum(int(terms[r, j]) for r in range(64)) % eng.q
+                         for j in range(8)], dtype=np.int64)
+        assert np.array_equal(got, want)
+
+    def test_fast_path_no_overflow_at_31_bit_bound(self):
+        """Accumulating many near-2^31 residues must stay exact in int64."""
+        eng = ModulusEngine(1073741441)
+        big = eng.asarray(np.full((4096, 2), eng.q - 1, dtype=np.int64))
+        got = eng.lazy_mac_sum(big, big, axis=0)
+        want = (4096 * pow(eng.q - 1, 2, eng.q)) % eng.q
+        assert np.array_equal(got, np.full(2, want, dtype=np.int64))

@@ -116,6 +116,47 @@ class TestWideModulus:
         ]
 
 
+class TestStackedMultiLimb:
+    """Regression for the batched blind-rotate engine: a 3-D stacked
+    transform (e.g. ``(batch, h+1, N)`` accumulators) must be element-wise
+    identical to transforming each row on its own, in both twiddle modes."""
+
+    @pytest.mark.parametrize("twiddle_mode", ["cached", "on_the_fly"])
+    def test_forward_3d_matches_per_row(self, twiddle_mode):
+        n = 64
+        q = find_ntt_primes(26, n, 1)[0]
+        eng = NttEngine(n, q, twiddle_mode=twiddle_mode)
+        rng = np.random.default_rng(20)
+        a = eng.mod.asarray(rng.integers(0, q, (4, 3, n)))
+        stacked = eng.forward(a)
+        assert stacked.shape == a.shape
+        for i in range(4):
+            for j in range(3):
+                assert np.array_equal(stacked[i, j], eng.forward(a[i, j]))
+
+    @pytest.mark.parametrize("twiddle_mode", ["cached", "on_the_fly"])
+    def test_inverse_3d_matches_per_row(self, twiddle_mode):
+        n = 32
+        q = find_ntt_primes(26, n, 1)[0]
+        eng = NttEngine(n, q, twiddle_mode=twiddle_mode)
+        rng = np.random.default_rng(21)
+        a = eng.mod.asarray(rng.integers(0, q, (2, 5, n)))
+        stacked = eng.inverse(a)
+        assert stacked.shape == a.shape
+        for i in range(2):
+            for j in range(5):
+                assert np.array_equal(stacked[i, j], eng.inverse(a[i, j]))
+
+    def test_4d_roundtrip(self):
+        """The digit tensors are 4-D ``(batch, h+1, d, N)`` stacks."""
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = get_ntt_engine(n, q)
+        rng = np.random.default_rng(22)
+        a = eng.mod.asarray(rng.integers(0, q, (3, 2, 2, n)))
+        assert np.array_equal(eng.inverse(eng.forward(a)), a)
+
+
 class TestEngineCache:
     def test_cache_returns_same_object(self):
         q = find_ntt_primes(24, 32, 1)[0]

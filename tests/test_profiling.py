@@ -56,6 +56,76 @@ class TestCounters:
         assert outer.ntt_calls == 1
 
 
+class TestExternalProductCounters:
+    def _blind_rotate_setup(self):
+        from repro.math.gadget import GadgetVector
+        from repro.math.rns import RnsBasis
+        from repro.tfhe.blind_rotate import BlindRotateKey, build_test_vector
+        from repro.tfhe.glwe import GlweSecretKey
+        from repro.tfhe.lwe import LweSecretKey, lwe_encrypt
+
+        n = 16
+        q = find_ntt_primes(26, n, 1)[0]
+        basis = RnsBasis([q])
+        gadget = GadgetVector(q=q, base_bits=6, digits=3)
+        s = Sampler(5)
+        lwe_sk = LweSecretKey.generate(4, s)
+        glwe_sk = GlweSecretKey.generate(n, 1, s)
+        brk = BlindRotateKey.generate(lwe_sk, glwe_sk, basis, gadget, s)
+
+        def g(t):
+            t = t % (2 * n)
+            return (q // 8) * (1 if t < n else -1) % q
+
+        f = build_test_vector(g, n, basis)
+        cts = [lwe_encrypt(i, lwe_sk, 2 * n, s, error_std=0.5) for i in range(3)]
+        return f, cts, brk
+
+    def test_scalar_path_records_batch_one(self):
+        from repro.tfhe.blind_rotate import blind_rotate
+
+        f, cts, brk = self._blind_rotate_setup()
+        with count_ops() as stats:
+            blind_rotate(f, cts[0], brk)
+        assert stats.external_products > 0
+        # The scalar oracle advances one accumulator at a time.
+        assert set(stats.ep_batch_hist) == {1}
+        assert stats.ep_batch_hist[1] == stats.external_products
+
+    def test_vectorized_path_records_batch_sizes(self):
+        from repro.tfhe.blind_rotate import blind_rotate_batch
+
+        f, cts, brk = self._blind_rotate_setup()
+        with count_ops() as stats:
+            blind_rotate_batch(f, cts, brk, engine="vectorized")
+        assert stats.external_products > 0
+        # At least one fused iteration advanced the whole batch at once.
+        assert max(stats.ep_batch_hist) > 1
+        assert sum(b * c for b, c in stats.ep_batch_hist.items()) == stats.external_products
+
+    def test_engines_record_equal_totals(self):
+        from repro.tfhe.blind_rotate import blind_rotate_batch
+
+        f, cts, brk = self._blind_rotate_setup()
+        with count_ops() as vec_stats:
+            blind_rotate_batch(f, cts, brk, engine="vectorized")
+        with count_ops() as ref_stats:
+            blind_rotate_batch(f, cts, brk, engine="reference")
+        # Same schedule, same skipped iterations -> same ciphertext-level
+        # external-product count, just different batching.
+        assert vec_stats.external_products == ref_stats.external_products
+
+    def test_ntt_batch_histogram(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(4 * n).reshape(4, n) % q)
+        with count_ops() as stats:
+            eng.forward(a)
+            eng.forward(a[0])
+        assert stats.ntt_batch_hist == {4: 1, 1: 1}
+
+
 class TestFunctionalVsModel:
     def test_bootstrap_op_counts_measured(self):
         """Profile a real toy bootstrap and sanity-check the counts the
