@@ -59,8 +59,13 @@ def bench_fig1_step_structure(benchmark):
     lines.append(f"    ModulusSwitch ({ss_trace.modswitch_ops} scalar ops)")
     lines.append(f"    Extract -> {ss_trace.num_lwe} LWE ciphertexts")
     lines.append(f"    BlindRotate x {ss_trace.num_blind_rotates} (parallel)")
-    lines.append(f"    Repack ({ss_trace.repack_keyswitches} key-switch levels)")
+    lines.append(f"    Repack ({ss_trace.repack_keyswitches} key switches: "
+                 f"{ss_trace.repack_merge_keyswitches} merge + "
+                 f"{ss_trace.repack_trace_keyswitches} trace)")
     lines.append("    Add ct' + Rescale by p")
+    shares = ", ".join(f"{k} {v * 1e3:.1f}ms"
+                       for k, v in ss_trace.step_seconds.items())
+    lines.append(f"    step breakdown: {shares}")
     lines.append(f"    levels consumed: {ctx.max_level - ss_out.level + 1} "
                  "(bootstrap depth 1)")
     emit("fig1_steps", "\n".join(lines))

@@ -55,7 +55,7 @@ def main() -> None:
     refreshed = boot.bootstrap(ct, trace)
     print(f"bootstrap: {trace.num_lwe} LWE ciphertexts extracted, "
           f"{trace.num_blind_rotates} parallel BlindRotates, "
-          f"{trace.repack_keyswitches} repack levels")
+          f"{trace.repack_keyswitches} repack key switches")
     print(f"refreshed ciphertext level: {refreshed.level}")
 
     err = np.max(np.abs(ev.decrypt(refreshed, sk).real - expected))

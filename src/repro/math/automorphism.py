@@ -1,0 +1,76 @@
+"""Cached signed-permutation form of the ring automorphisms ``X -> X^t``.
+
+On ``Z_q[X]/(X^N + 1)`` an odd-exponent automorphism is a *signed
+permutation* of the coefficient vector: coefficient ``i`` lands at
+position ``i*t mod N`` and is negated when ``i*t mod 2N >= N``.  In the
+evaluation (NTT) domain the same map is an *unsigned* permutation of the
+transform slots: slot ``k`` holds the evaluation at ``psi^(2k+1)``, and
+``phi_t(a)(psi^(2k+1)) = a(psi^(t*(2k+1) mod 2N))``, so the output slot
+reads input slot ``(t*(2k+1) mod 2N - 1) / 2`` with no sign at all.
+
+Every consumer of an automorphism — key generation
+(:func:`repro.tfhe.keyswitch._int_automorphism`), ciphertext rotation
+(:meth:`repro.math.rns.RnsPoly.automorphism`) and the batched repack
+engine (:mod:`repro.tfhe.repack_engine`) — shares the tables built here,
+cached per ``(n, t)``: the per-coefficient Python loop the seed used for
+key generation becomes a single numpy gather, and the repack engine gets
+the eval-domain slot gather plus the inverse (gather-form) coefficient
+permutation its hoisted decomposition path needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..errors import ParameterError
+
+
+@dataclass(frozen=True)
+class AutomorphismPerm:
+    """Index/sign tables realising ``X -> X^t`` on a dimension-``n`` ring.
+
+    Scatter form (input position ``i``):
+      ``out[dest[i]] = -in[i] if dest_flip[i] else in[i]``
+    Gather form (output position ``j``):
+      ``out[j] = -in[src[j]] if src_flip[j] else in[src[j]]``
+    Evaluation domain (NTT slot ``k``, natural order):
+      ``out[k] = in[eval_src[k]]`` — sign-free.
+    """
+
+    n: int
+    t: int
+    dest: np.ndarray
+    dest_flip: np.ndarray
+    src: np.ndarray
+    src_flip: np.ndarray
+    eval_src: np.ndarray
+
+
+_PERM_CACHE: Dict[Tuple[int, int], AutomorphismPerm] = {}
+
+
+def get_automorphism_perm(n: int, t: int) -> AutomorphismPerm:
+    """Shared :class:`AutomorphismPerm` for ``(n, t)`` (``t`` odd)."""
+    t = int(t) % (2 * n)
+    if t % 2 == 0:
+        raise ParameterError("automorphism exponent must be odd")
+    key = (n, t)
+    perm = _PERM_CACHE.get(key)
+    if perm is None:
+        i = np.arange(n)
+        e = (i * t) % (2 * n)
+        dest = e % n
+        dest_flip = e >= n
+        # t is invertible mod 2N, so dest is a permutation of [0, n).
+        src = np.empty(n, dtype=np.int64)
+        src[dest] = i
+        src_flip = np.empty(n, dtype=bool)
+        src_flip[dest] = dest_flip
+        eval_src = ((t * (2 * i + 1)) % (2 * n) - 1) // 2
+        perm = AutomorphismPerm(n=n, t=t, dest=dest, dest_flip=dest_flip,
+                                src=src, src_flip=src_flip, eval_src=eval_src)
+        _PERM_CACHE[key] = perm
+    return perm

@@ -21,6 +21,7 @@ from typing import Iterable, List, Optional, Sequence
 import numpy as np
 
 from ..errors import ParameterError
+from .automorphism import get_automorphism_perm
 from .modular import ModulusEngine, crt_compose, crt_decompose
 from .ntt import get_ntt_engine
 
@@ -164,16 +165,13 @@ class RnsPoly:
 
     def automorphism(self, t: int) -> "RnsPoly":
         """Apply ``X -> X^t`` limb-wise (used by Rotate/Conjugate)."""
-        src = self.to_coeff()
+        src_poly = self.to_coeff()
         n = self.n
-        idx = (np.arange(n) * t) % (2 * n)
-        dest = idx % n
-        sign = idx >= n
+        perm = get_automorphism_perm(n, t)
         limbs = []
-        for e, limb in zip(self.basis.engines, src.limbs):
-            out = e.zeros(n)
-            out[dest] = np.where(sign, np.where(limb == 0, limb, e.q - limb), limb)
-            limbs.append(out)
+        for e, limb in zip(self.basis.engines, src_poly.limbs):
+            picked = limb[perm.src]
+            limbs.append(np.where(perm.src_flip, e.neg(picked), picked))
         return RnsPoly(n, self.basis, limbs, COEFF)
 
     # -- limb management (Rescale / level handling) ------------------------------------

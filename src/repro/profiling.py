@@ -41,6 +41,17 @@ class OpStats:
     #: External-product batch sizes (batch -> occurrences): how many
     #: accumulators advanced together through one fused decompose-NTT-MAC.
     ep_batch_hist: Dict[int, int] = field(default_factory=dict)
+    # -- repack engine counters (LWE -> RLWE packing) --------------------
+    repack_merge_keyswitches: int = 0   # merge-phase keyswitches (n_cts - 1 total)
+    repack_trace_keyswitches: int = 0   # trace-phase keyswitches (log2(N/n_cts))
+    repack_levels: int = 0              # batched automorphism levels executed
+    repack_hoisted_decomposes: int = 0  # digit tensors reused via signed gather
+    repack_fresh_decomposes: int = 0    # digit tensors decomposed from scratch
+    repack_ntt_saved: int = 0           # per-limb NTT calls avoided by batching
+    #: Keyswitches executed per repack level (level index -> count); in a
+    #: full pack level ``k`` merges ``n/2^(k+1)`` pairs, then each trace
+    #: level is a single fold — the counters make the pyramid visible.
+    repack_level_hist: Dict[int, int] = field(default_factory=dict)
 
     def record_ntt(self, n: int, batch: int) -> None:
         self.ntt_calls += batch
@@ -54,6 +65,21 @@ class OpStats:
     def record_external_product(self, batch: int = 1) -> None:
         self.external_products += batch
         self.ep_batch_hist[batch] = self.ep_batch_hist.get(batch, 0) + 1
+
+    def record_repack_level(self, level: int, keyswitches: int, *,
+                            phase: str, hoisted: int, fresh: int,
+                            ntt_saved: int) -> None:
+        if phase == "merge":
+            self.repack_merge_keyswitches += keyswitches
+        else:
+            self.repack_trace_keyswitches += keyswitches
+        self.repack_levels += 1
+        self.repack_hoisted_decomposes += hoisted
+        self.repack_fresh_decomposes += fresh
+        self.repack_ntt_saved += ntt_saved
+        self.repack_level_hist[level] = (
+            self.repack_level_hist.get(level, 0) + keyswitches
+        )
 
     @property
     def butterfly_mults(self) -> int:
@@ -85,6 +111,16 @@ def record_external_product(batch: int = 1) -> None:
     """Record ``batch`` external products executed as one fused operation."""
     if _ACTIVE is not None:
         _ACTIVE.record_external_product(batch)
+
+
+def record_repack_level(level: int, keyswitches: int, *, phase: str = "merge",
+                        hoisted: int = 0, fresh: int = 0,
+                        ntt_saved: int = 0) -> None:
+    """Record one batched repack level (``keyswitches`` merged into one pass)."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_repack_level(level, keyswitches, phase=phase,
+                                    hoisted=hoisted, fresh=fresh,
+                                    ntt_saved=ntt_saved)
 
 
 @contextlib.contextmanager

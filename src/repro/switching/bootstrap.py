@@ -35,8 +35,9 @@ partitions them over compute nodes.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
@@ -47,18 +48,29 @@ from ..math.rns import RnsBasis, RnsPoly
 from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector, get_monomial_cache
 from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext
-from ..tfhe.repack import repack
+from ..tfhe.repack import repack_with_counters
 from .keys import SwitchingKeySet
 
 
 @dataclass
 class BootstrapTrace:
-    """Step-by-step record (drives the Figure-1 bench and the scheduler)."""
+    """Step-by-step record (drives the Figure-1 bench and the scheduler).
+
+    ``repack_keyswitches`` is the *true* keyswitch count sourced from the
+    repack engine's counters: ``n - 1`` merge-tree nodes plus one per
+    trace level (earlier revisions reported only the ``log2 n`` level
+    count).  ``step_seconds`` holds wall-clock per pipeline step
+    (``extract`` / ``blind_rotate`` / ``repack`` / ``finish``) — the
+    Figure-1-style share breakdown.
+    """
 
     num_lwe: int = 0
     num_blind_rotates: int = 0
     modswitch_ops: int = 0
     repack_keyswitches: int = 0
+    repack_merge_keyswitches: int = 0
+    repack_trace_keyswitches: int = 0
+    step_seconds: Dict[str, float] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
 
 
@@ -66,16 +78,20 @@ class SchemeSwitchBootstrapper:
     """Executes Algorithm 2 against a CKKS context and switching keys."""
 
     def __init__(self, ctx: CkksContext, keys: SwitchingKeySet,
-                 blind_rotate_engine: str = "vectorized"):
+                 blind_rotate_engine: str = "vectorized",
+                 repack_engine: str = "vectorized"):
         """``blind_rotate_engine`` selects the BlindRotate backend for the
         N-way fan-out of step 3: ``"vectorized"`` (default) runs the whole
         batch through :mod:`repro.tfhe.batch_engine`'s tensor engine,
         ``"reference"`` falls back to the scalar per-ciphertext oracle.
-        Both are bit-identical; the flag exists for cross-checking."""
+        ``repack_engine`` does the same for step 3c's LWE->RLWE packing
+        (:mod:`repro.tfhe.repack_engine` vs the scalar recursion).  All
+        combinations are bit-identical; the flags exist for cross-checking."""
         self.ctx = ctx
         self.keys = keys
         self.raised_basis = keys.raised_basis
         self.blind_rotate_engine = blind_rotate_engine
+        self.repack_engine = repack_engine
         self._test_vector = self._build_test_vector()
         self._mono_cache = get_monomial_cache(ctx.n, self.raised_basis)
 
@@ -95,6 +111,7 @@ class SchemeSwitchBootstrapper:
 
         # Steps 1 & 2: ModulusSwitch -- exact integer identity
         # 2N*x = q*floor(2N*x/q) + [2N*x]_q applied componentwise.
+        t0 = time.perf_counter()
         c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
         c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
         c0_prime = (two_n * c0) % q
@@ -106,16 +123,22 @@ class SchemeSwitchBootstrapper:
         # Step 3a: Extract N LWE ciphertexts over Z_2N (Eq. 2).
         lwes = [self._extract_mod_2n(c1_ms, c0_ms, i, two_n) for i in range(n)]
         trace.num_lwe = len(lwes)
+        t1 = time.perf_counter()
 
         # Step 3b: BlindRotate all of them (batch schedule: each brk_i is
         # used across the whole batch before moving on).
         accs = blind_rotate_batch(self._test_vector, lwes, self.keys.brk,
                                   engine=self.blind_rotate_engine)
         trace.num_blind_rotates = len(accs)
+        t2 = time.perf_counter()
 
         # Step 3c: repack the N constant coefficients into one RLWE over Qp.
-        packed = repack(accs, self.keys.auto_keys)
-        trace.repack_keyswitches = int(math.log2(n)) if n > 1 else 0
+        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
+                                                  engine=self.repack_engine)
+        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
+        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
+        trace.repack_keyswitches = repack_ctr.total_keyswitches
+        t3 = time.perf_counter()
 
         # Step 4: raise ct' to Qp and add.
         ct_prime = GlweCiphertext(
@@ -130,6 +153,9 @@ class SchemeSwitchBootstrapper:
         body = (ct_dprime.body * w).rescale_last_limb().to_eval()
         mask = (ct_dprime.mask[0] * w).rescale_last_limb().to_eval()
         trace.notes.append(f"rescaled by p={p}, w=(p-1)/2N={w}")
+        t4 = time.perf_counter()
+        trace.step_seconds = {"extract": t1 - t0, "blind_rotate": t2 - t1,
+                              "repack": t3 - t2, "finish": t4 - t3}
         return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
 
     # -- helpers ---------------------------------------------------------------------

@@ -47,7 +47,7 @@ from ..errors import ParameterError
 from ..math.rns import RnsPoly
 from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector
 from ..tfhe.lwe import LweCiphertext
-from ..tfhe.repack import repack
+from ..tfhe.repack import repack_with_counters
 from .bootstrap import BootstrapTrace
 from .keys import SwitchingKeySet
 
@@ -55,10 +55,12 @@ from .keys import SwitchingKeySet
 class FunctionalEvaluator:
     """Evaluate arbitrary real functions through the TFHE LUT path."""
 
-    def __init__(self, ctx: CkksContext, keys: SwitchingKeySet):
+    def __init__(self, ctx: CkksContext, keys: SwitchingKeySet,
+                 repack_engine: str = "vectorized"):
         self.ctx = ctx
         self.keys = keys
         self.raised_basis = keys.raised_basis
+        self.repack_engine = repack_engine
 
     def max_abs_input(self) -> float:
         """Largest |v| the quantised phase can represent faithfully."""
@@ -105,8 +107,11 @@ class FunctionalEvaluator:
         tv = self._build_lut(f, ct.scale)
         accs = blind_rotate_batch(tv, lwes, self.keys.brk)
         trace.num_blind_rotates = len(accs)
-        packed = repack(accs, self.keys.auto_keys)
-        trace.repack_keyswitches = int(math.log2(n)) if n > 1 else 0
+        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
+                                                  engine=self.repack_engine)
+        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
+        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
+        trace.repack_keyswitches = repack_ctr.total_keyswitches
 
         # Rescale by p: Delta * f(v) lands over the full basis Q.
         body = packed.body.rescale_last_limb().to_eval()

@@ -35,7 +35,7 @@ of the smaller key).
 
 from __future__ import annotations
 
-import math
+import time
 from dataclasses import dataclass
 from typing import List, Optional
 
@@ -55,7 +55,7 @@ from ..tfhe.extract import RnsLweCiphertext, embed_lwe, rlwe_secret_as_lwe_key
 from ..tfhe.glwe import GlweCiphertext, GlweSecretKey
 from ..tfhe.keyswitch import AutomorphismKeySet, GlweKeySwitchKey, glwe_keyswitch
 from ..tfhe.lwe import LweCiphertext, LweKeySwitchKey, LweSecretKey, lwe_keyswitch
-from ..tfhe.repack import repack, repack_exponents
+from ..tfhe.repack import repack_exponents, repack_with_counters
 from .bootstrap import BootstrapTrace
 
 
@@ -152,10 +152,12 @@ class KeySwitchedKeySet:
 class KeySwitchedBootstrapper:
     """Algorithm 2 with the paper's n_t-dimension blind rotation."""
 
-    def __init__(self, ctx: CkksContext, keys: KeySwitchedKeySet):
+    def __init__(self, ctx: CkksContext, keys: KeySwitchedKeySet,
+                 repack_engine: str = "vectorized"):
         self.ctx = ctx
         self.keys = keys
         self.raised_basis = keys.raised_basis
+        self.repack_engine = repack_engine
         self._test_vector = self._build_test_vector()
 
     def bootstrap(self, ct: CkksCiphertext,
@@ -166,6 +168,7 @@ class KeySwitchedBootstrapper:
         two_n = 2 * n
         q = ct.basis.moduli[0]
         trace = trace if trace is not None else BootstrapTrace()
+        t0 = time.perf_counter()
 
         # Step 0: Extract + LWE key switch down to n_t.
         big_lwes = self._extract_all(ct, q)
@@ -185,17 +188,28 @@ class KeySwitchedBootstrapper:
                                           q=two_n))
             companions.append(self._embed_companion(a_p, b_p))
         trace.modswitch_ops = 2 * n
+        t1 = time.perf_counter()
 
         # Step 3: n_t-iteration BlindRotates under s + repack.
         accs = blind_rotate_batch(self._test_vector, switched, self.keys.brk)
         trace.num_blind_rotates = len(accs)
-        packed_kq = repack(accs, self.keys.auto_keys_s)
+        t2 = time.perf_counter()
+        packed_kq, ctr_s = repack_with_counters(accs, self.keys.auto_keys_s,
+                                                engine=self.repack_engine)
 
         # Companion: pack under s_t(X), then one ring key switch to s.
-        packed_comp_st = repack(companions, self.keys.auto_keys_st)
+        packed_comp_st, ctr_st = repack_with_counters(
+            companions, self.keys.auto_keys_st, engine=self.repack_engine)
         packed_comp = glwe_keyswitch(packed_comp_st.mask[0], packed_comp_st.body,
                                      self.keys.ring_ksk)
-        trace.repack_keyswitches = 2 * int(math.log2(n)) + 1
+        trace.repack_merge_keyswitches = (ctr_s.merge_keyswitches
+                                          + ctr_st.merge_keyswitches)
+        trace.repack_trace_keyswitches = (ctr_s.trace_keyswitches
+                                          + ctr_st.trace_keyswitches)
+        # +1 for the final s_t(X) -> s ring key switch.
+        trace.repack_keyswitches = (ctr_s.total_keyswitches
+                                    + ctr_st.total_keyswitches + 1)
+        t3 = time.perf_counter()
 
         # Steps 4-5: add, divide by 2N * N exactly, rescale by p.
         ct_dprime = packed_kq + packed_comp
@@ -203,6 +217,9 @@ class KeySwitchedBootstrapper:
         w = (p - 1) // (two_n * n)
         body = (ct_dprime.body * w).rescale_last_limb().to_eval()
         mask = (ct_dprime.mask[0] * w).rescale_last_limb().to_eval()
+        t4 = time.perf_counter()
+        trace.step_seconds = {"extract": t1 - t0, "blind_rotate": t2 - t1,
+                              "repack": t3 - t2, "finish": t4 - t3}
         return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
 
     # -- helpers --------------------------------------------------------------------

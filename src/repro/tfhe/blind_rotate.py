@@ -87,7 +87,25 @@ class MonomialCache:
             x[1] = 1
             self._x_eval.append(eng.forward(x))
         self._cache: Dict[int, List[np.ndarray]] = {}
+        self._plain_cache: Dict[int, List[np.ndarray]] = {}
         self._dense: Optional[List[np.ndarray]] = None
+
+    def monomial(self, a: int) -> List[np.ndarray]:
+        """Per-limb eval vectors of ``X^a`` with ``a`` taken mod 2N.
+
+        The repack engine multiplies odd-branch ciphertexts by plain
+        ``X^(N/l)`` shifts; caching the eval vector makes that a pointwise
+        multiply with no NTT and no pow-chain after the first use.
+        """
+        a = a % (2 * self.n)
+        vecs = self._plain_cache.get(a)
+        if vecs is None:
+            vecs = []
+            for q, x_eval in zip(self.basis.moduli, self._x_eval):
+                eng = get_ntt_engine(self.n, q)
+                vecs.append(eng.mod.pow_vec(x_eval, a))
+            self._plain_cache[a] = vecs
+        return vecs
 
     def monomial_minus_one(self, a: int) -> List[np.ndarray]:
         """Per-limb eval vectors of ``X^a - 1`` with ``a`` taken mod 2N."""

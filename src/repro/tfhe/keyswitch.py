@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from ..errors import KeyError_, ParameterError
+from ..math.automorphism import get_automorphism_perm
 from ..math.gadget import GadgetVector
 from ..math.rns import RnsBasis, RnsPoly
 from ..math.sampling import Sampler
@@ -99,14 +100,15 @@ def eval_automorphism(ct: GlweCiphertext, t: int,
 
 
 def _int_automorphism(coeffs: np.ndarray, t: int) -> np.ndarray:
-    n = len(coeffs)
-    if t % 2 == 0:
-        raise ParameterError("automorphism exponent must be odd")
-    out = np.zeros(n, dtype=object)
-    for i in range(n):
-        e = (i * t) % (2 * n)
-        if e >= n:
-            out[e - n] -= int(coeffs[i])
-        else:
-            out[e] += int(coeffs[i])
-    return out
+    """``X -> X^t`` on exact integer coefficients as one signed gather.
+
+    The seed walked the ``n`` coefficients in a Python loop; the cached
+    :class:`~repro.math.automorphism.AutomorphismPerm` (shared with
+    :meth:`RnsPoly.automorphism` and the repack engine) turns it into a
+    fancy-index gather plus a sign select.  Raises for even ``t`` (not a
+    ring automorphism), exactly as before.
+    """
+    coeffs = np.asarray(coeffs, dtype=object)
+    perm = get_automorphism_perm(len(coeffs), t)
+    picked = coeffs[perm.src]
+    return np.where(perm.src_flip, -picked, picked)

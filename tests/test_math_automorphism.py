@@ -1,0 +1,93 @@
+"""Tests for the cached signed-permutation automorphism tables."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.math.automorphism import get_automorphism_perm
+from repro.math.modular import find_ntt_primes
+from repro.math.ntt import get_ntt_engine
+from repro.math.rns import RnsBasis, RnsPoly
+from repro.tfhe.keyswitch import _int_automorphism
+
+N = 32
+Q = find_ntt_primes(28, N, 1)[0]
+
+
+def _naive_automorphism(coeffs, t):
+    """The seed's per-coefficient scatter loop (exact integers)."""
+    n = len(coeffs)
+    out = np.zeros(n, dtype=object)
+    for i in range(n):
+        e = (i * t) % (2 * n)
+        if e >= n:
+            out[e - n] -= int(coeffs[i])
+        else:
+            out[e] += int(coeffs[i])
+    return out
+
+
+@pytest.mark.parametrize("t", [3, 5, 9, 17, 33, 63, 2 * N - 1])
+def test_int_automorphism_matches_naive_loop(t):
+    rng = np.random.default_rng(t)
+    coeffs = np.asarray([int(v) for v in rng.integers(-10**9, 10**9, N)],
+                        dtype=object)
+    assert np.array_equal(_int_automorphism(coeffs, t),
+                          _naive_automorphism(coeffs, t))
+
+
+def test_even_exponent_rejected():
+    with pytest.raises(ParameterError):
+        _int_automorphism(np.zeros(N, dtype=object), 4)
+    with pytest.raises(ParameterError):
+        get_automorphism_perm(N, 2 * N)  # 0 mod 2N is even too
+
+
+def test_perm_is_cached():
+    assert get_automorphism_perm(N, 5) is get_automorphism_perm(N, 5)
+    # Exponents are normalised mod 2N before lookup.
+    assert get_automorphism_perm(N, 5) is get_automorphism_perm(N, 5 + 2 * N)
+
+
+def test_gather_and_scatter_forms_agree():
+    perm = get_automorphism_perm(N, 9)
+    rng = np.random.default_rng(0)
+    x = rng.integers(0, Q, N)
+    scatter = np.zeros(N, dtype=np.int64)
+    scatter[perm.dest] = np.where(perm.dest_flip, (Q - x) % Q, x)
+    gather = np.where(perm.src_flip, (Q - x[perm.src]) % Q, x[perm.src])
+    assert np.array_equal(scatter, gather)
+
+
+@pytest.mark.parametrize("t", [3, 5, 9, 17, 33])
+def test_eval_domain_gather_matches_coeff_permute(t):
+    """NTT(phi_t(x)) equals the sign-free slot gather of NTT(x)."""
+    eng = get_ntt_engine(N, Q)
+    perm = get_automorphism_perm(N, t)
+    rng = np.random.default_rng(t)
+    x = rng.integers(0, Q, N)
+    permuted = np.where(perm.src_flip, (Q - x[perm.src]) % Q, x[perm.src])
+    assert np.array_equal(eng.forward(permuted), eng.forward(x)[perm.eval_src])
+
+
+@pytest.mark.parametrize("t", [3, 5, 2 * N - 1])
+def test_rns_poly_automorphism_matches_naive(t):
+    basis = RnsBasis(find_ntt_primes(30, N, 2))
+    rng = np.random.default_rng(t)
+    coeffs = np.asarray([int(v) for v in rng.integers(0, 10**12, N)],
+                        dtype=object)
+    poly = RnsPoly.from_int_coeffs(N, basis, coeffs)
+    got = poly.automorphism(t)
+    want = RnsPoly.from_int_coeffs(
+        N, basis, np.mod(_naive_automorphism(coeffs, t), basis.product))
+    assert got == want
+
+
+def test_automorphism_from_eval_domain_input():
+    """RnsPoly.automorphism must round-trip through coeff when handed an
+    eval-domain polynomial."""
+    basis = RnsBasis([Q])
+    rng = np.random.default_rng(1)
+    coeffs = np.asarray([int(v) for v in rng.integers(0, Q, N)], dtype=object)
+    poly = RnsPoly.from_int_coeffs(N, basis, coeffs)
+    assert poly.to_eval().automorphism(5) == poly.automorphism(5)

@@ -80,7 +80,12 @@ class TestBootstrapCorrectness:
         assert trace.num_lwe == ctx.n
         assert trace.num_blind_rotates == ctx.n
         assert trace.modswitch_ops == 2 * ctx.n
-        assert trace.repack_keyswitches == int(np.log2(ctx.n))
+        # Full pack: n - 1 merge-tree keyswitches, no trace levels.
+        assert trace.repack_merge_keyswitches == ctx.n - 1
+        assert trace.repack_trace_keyswitches == 0
+        assert trace.repack_keyswitches == ctx.n - 1
+        assert set(trace.step_seconds) == {"extract", "blind_rotate",
+                                           "repack", "finish"}
 
     def test_bootstrap_twice(self, stack):
         """Bootstrap output, burn levels back to 0, bootstrap again."""

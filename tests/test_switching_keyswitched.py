@@ -92,8 +92,11 @@ class TestBootstrap:
         boot.bootstrap(ev.encrypt(0.2, level=0), trace)
         assert trace.num_lwe == ctx.n
         assert trace.num_blind_rotates == ctx.n
-        # Two packs (kq + companion) and one ring key switch.
-        assert trace.repack_keyswitches == 2 * int(np.log2(ctx.n)) + 1
+        # Two full packs (kq + companion) at n - 1 keyswitches each, plus
+        # one ring key switch.
+        assert trace.repack_merge_keyswitches == 2 * (ctx.n - 1)
+        assert trace.repack_trace_keyswitches == 0
+        assert trace.repack_keyswitches == 2 * (ctx.n - 1) + 1
 
     def test_blind_rotate_iterations_shrink(self, stack):
         """Each BlindRotate now runs n_t (not N) iterations; measured via
