@@ -10,11 +10,11 @@
 """
 
 import pytest
-from conftest import emit
 
-from repro.hardware import ClusterBootstrapModel, HeapHwConfig, SingleFpgaModel
-from repro.params import TfheParams, make_heap_params
+from conftest import emit
+from repro.hardware import HeapHwConfig, SingleFpgaModel
 from repro.hardware.traffic import scheme_switching_key_bytes
+from repro.params import TfheParams, make_heap_params
 
 
 def bench_ablation_d_h_key_scaling(benchmark):

@@ -6,8 +6,6 @@ tracing enabled and prints the recovered step lists side by side, along
 with the level budgets — the conventional path consumes most of the
 chain, the scheme-switching path exactly one level."""
 
-import numpy as np
-import pytest
 from conftest import emit
 
 from repro.ckks import (

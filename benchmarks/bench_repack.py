@@ -29,12 +29,6 @@ import time
 
 import numpy as np
 
-try:
-    from conftest import emit
-except ImportError:  # running as a plain script, not under pytest
-    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-    from conftest import emit
-
 from repro.math.gadget import GadgetVector
 from repro.math.modular import find_ntt_primes
 from repro.math.rns import RnsBasis, RnsPoly
@@ -47,6 +41,12 @@ from repro.tfhe.repack import (
     repack_reference,
 )
 from repro.tfhe.repack_engine import RepackEngine
+
+try:
+    from conftest import emit
+except ImportError:  # running as a plain script, not under pytest
+    sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+    from conftest import emit
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_repack.json")

@@ -4,10 +4,9 @@ scaling series, and a measured end-to-end scheme-switching bootstrap of
 this repo's functional implementation at toy ring size."""
 
 import numpy as np
-import pytest
 from conftest import emit
 
-from repro.analysis import format_table, heap_t_mult_a_slot, table5_bootstrap
+from repro.analysis import format_table, table5_bootstrap
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
 from repro.math.sampling import Sampler
 from repro.params import make_toy_params

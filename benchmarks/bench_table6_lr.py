@@ -3,7 +3,6 @@
 and the compute-to-bootstrap ratio claim of Section VI-F1."""
 
 import numpy as np
-import pytest
 from conftest import emit
 
 from repro.analysis import format_table, table6_lr

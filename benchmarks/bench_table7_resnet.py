@@ -3,7 +3,6 @@ model, plus a measured encrypted convolution block (the functional
 miniature of Lee et al.'s multiplexed convolutions)."""
 
 import numpy as np
-import pytest
 from conftest import emit
 
 from repro.analysis import format_table, table7_resnet
@@ -22,7 +21,7 @@ def bench_table7_model(benchmark, fpga_model, cluster_model):
              format_table(headers, rows),
              f"\nbootstrap share: {share:.2%} "
              f"(paper: ~{BOOTSTRAP_SHARE['resnet_heap']:.0%}); "
-             f"{sum(l.bootstraps for l in layers)} bootstraps across "
+             f"{sum(layer.bootstraps for layer in layers)} bootstraps across "
              f"{len(layers)} homomorphic layers"]
     emit("table7_resnet", "\n".join(lines))
     by = {r["Work"]: r for r in rows}

@@ -19,8 +19,6 @@ This bench produces three independent views:
 
 import time
 
-import numpy as np
-import pytest
 from conftest import emit
 
 from repro.analysis import bootstrap_op_comparison, format_table, table8_ablation

@@ -20,8 +20,8 @@ magnitude — the standard the HE literature holds such heuristics to.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 
 
 def gaussian_tail(x: float) -> float:
@@ -71,7 +71,7 @@ class SwitchingNoiseModel:
         levels = max(1, int(math.log2(self.n)))
         ks = self.external_product_noise_std()  # keyswitch ~ ext product
         amplified_payload = self.n * self.blind_rotate_noise_std()
-        amplified_ks = ks * math.sqrt(sum(4.0 ** l for l in range(levels)))
+        amplified_ks = ks * math.sqrt(sum(4.0 ** lv for lv in range(levels)))
         return math.sqrt(amplified_payload ** 2 + amplified_ks ** 2)
 
     def final_slot_error(self, delta: float) -> float:

@@ -21,8 +21,8 @@ under, and memory traffic — not from doing fewer multiplications.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 
 
 def ntt_mults(n: int) -> int:

@@ -10,11 +10,10 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from ..apps.logistic_regression import LrOpCounts, lr_iteration_model
+from ..apps.resnet import resnet_inference_model
 from ..hardware.baselines import (
-    BOOTSTRAP_SHARE,
-    HEAP_BOOTSTRAP_SPLIT_MS,
     HEAP_LR_ITER_S,
-    HEAP_NTT_THROUGHPUT,
     HEAP_RESNET_S,
     HEAP_TABLE3,
     HEAP_TABLE5,
@@ -34,8 +33,6 @@ from ..hardware.traffic import (
     key_traffic_reduction,
     scheme_switching_key_bytes,
 )
-from ..apps.logistic_regression import LrOpCounts, lr_iteration_model
-from ..apps.resnet import resnet_inference_model
 from ..params import make_heap_params
 
 Row = Dict[str, object]

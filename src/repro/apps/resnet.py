@@ -17,7 +17,7 @@ Two layers:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 import numpy as np
 
@@ -78,7 +78,7 @@ def resnet_inference_model(fpga_model, cluster_model,
 
 
 def total_bootstrap_count() -> int:
-    return sum(l.bootstraps for l in resnet20_op_counts())
+    return sum(layer.bootstraps for layer in resnet20_op_counts())
 
 
 # -- functional miniature ------------------------------------------------------------

@@ -1,11 +1,19 @@
 """The RNS-CKKS scheme: encoder, keys, evaluator, and bootstrapping."""
 
+from .bootstrap import (
+    ConventionalBootstrapConfig,
+    ConventionalBootstrapper,
+    ConventionalBootstrapTrace,
+    make_bootstrappable_toy_params,
+)
+from .chebyshev import ChebyshevApprox, eval_chebyshev
 from .ciphertext import CkksCiphertext
 from .context import CkksContext
 from .encoder import CkksEncoder
 from .evaluator import CkksEvaluator
 from .keys import CkksKeyGenerator, KeySet, PublicKey, SecretKey, SwitchKey
 from .keyswitch import KeySwitcher
+from .linear_transform import apply_conjugation_pair, apply_matrix, required_rotations
 
 __all__ = [
     "CkksCiphertext",
@@ -18,18 +26,6 @@ __all__ = [
     "SecretKey",
     "SwitchKey",
     "KeySwitcher",
-]
-
-from .bootstrap import (
-    ConventionalBootstrapConfig,
-    ConventionalBootstrapper,
-    ConventionalBootstrapTrace,
-    make_bootstrappable_toy_params,
-)
-from .chebyshev import ChebyshevApprox, eval_chebyshev
-from .linear_transform import apply_conjugation_pair, apply_matrix, required_rotations
-
-__all__ += [
     "ConventionalBootstrapConfig",
     "ConventionalBootstrapper",
     "ConventionalBootstrapTrace",

@@ -20,8 +20,8 @@ Implementation notes
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
+import math
 from typing import List, Optional, Tuple
 
 import numpy as np

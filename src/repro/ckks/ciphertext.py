@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+import math
 from typing import Tuple
 
 from ..errors import ParameterError
@@ -56,4 +57,7 @@ class CkksCiphertext:
         return 2 * bits * self.n // 8
 
     def __repr__(self) -> str:  # pragma: no cover
-        return f"CkksCiphertext(n={self.n}, level={self.level}, scale=2^{self.scale and __import__('math').log2(self.scale):.1f})"
+        # Shapes and scale only — ciphertext/limb data never reaches repr.
+        log_scale = math.log2(self.scale) if self.scale else 0.0
+        return (f"CkksCiphertext(n={self.n}, level={self.level}, "
+                f"scale=2^{log_scale:.1f})")

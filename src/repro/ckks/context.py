@@ -10,7 +10,7 @@ another's.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..errors import ParameterError
 from ..math.rns import RnsBasis, concat_bases

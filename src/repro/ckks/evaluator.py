@@ -9,7 +9,7 @@ hybrid key switcher for everything that changes the effective secret.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 

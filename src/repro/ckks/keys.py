@@ -18,7 +18,6 @@ import numpy as np
 from ..errors import KeyError_, ParameterError
 from ..math.rns import RnsBasis, RnsPoly
 from ..math.sampling import Sampler
-from .ciphertext import CkksCiphertext
 from .context import CkksContext
 
 
@@ -37,6 +36,10 @@ class SecretKey:
             poly = RnsPoly.from_int_coeffs(n, basis, self.coeffs).to_eval()
             self._cache[key] = poly
         return poly
+
+    def __repr__(self) -> str:
+        """Redacted: dimension only, never the coefficient payload."""
+        return f"SecretKey(n={len(self.coeffs)}, coeffs=<redacted>)"
 
 
 @dataclass
@@ -122,7 +125,6 @@ class CkksKeyGenerator:
 
     def relin_key(self, sk: SecretKey) -> SwitchKey:
         """Switching key for ``s^2 -> s`` (used after Mult)."""
-        n, q = self.ctx.n, None
         # s^2 as integer coefficients: negacyclic square of the ternary vector.
         s2 = _negacyclic_int_mul(sk.coeffs, sk.coeffs)
         return self.switch_key(SecretKey(s2), sk)
@@ -149,7 +151,7 @@ class CkksKeyGenerator:
 
     def _uniform_poly(self, n: int, basis: RnsBasis) -> RnsPoly:
         limbs = [self.sampler.uniform(n, q) for q in basis.moduli]
-        limbs = [e.asarray(l) for e, l in zip(basis.engines, limbs)]
+        limbs = [e.asarray(limb) for e, limb in zip(basis.engines, limbs)]
         return RnsPoly(n, basis, limbs, "eval")
 
     def _error_poly(self, n: int, basis: RnsBasis) -> RnsPoly:

@@ -20,7 +20,6 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
-import numpy as np
 
 from ..errors import ParameterError
 from ..math.rns import RnsBasis, RnsPoly, basis_convert, concat_bases

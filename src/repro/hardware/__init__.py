@@ -1,5 +1,6 @@
 """HEAP accelerator performance model: single FPGA, cluster, baselines."""
 
+from .area import AreaPoint, area_comparison, heap_area, heap_within_asic_envelope
 from .baselines import (
     BOOTSTRAP_SHARE,
     HEAP_BOOTSTRAP_SPLIT_MS,
@@ -17,10 +18,10 @@ from .baselines import (
     ReferencePoint,
     reference_by_name,
 )
-from .area import AreaPoint, area_comparison, heap_area, heap_within_asic_envelope
 from .cluster import BootstrapBreakdown, ClusterBootstrapModel
 from .config import EIGHT_FPGA, SINGLE_FPGA, ClusterConfig, HeapHwConfig
 from .fpga import CalibrationEntry, SingleFpgaModel
+from .memory_layout import BramLayout, NttAddressGenerator, UramLayout, WordCoordinate
 from .metrics import (
     compute_to_bootstrap_ratio,
     cycle_speedup,
@@ -29,9 +30,8 @@ from .metrics import (
     t_mult_a_slot,
 )
 from .opmodel import HeapOpModel, OpCost
-from .memory_layout import BramLayout, NttAddressGenerator, UramLayout, WordCoordinate
-from .simulator import BootstrapEventSimulator, SimulationResult, TimelineEvent
 from .resources import PAPER_UTILIZED, U280_AVAILABLE, ResourceModel, ResourceReport
+from .simulator import BootstrapEventSimulator, SimulationResult, TimelineEvent
 from .traffic import (
     ConventionalKeyTraffic,
     bootstrap_hbm_seconds,

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from .config import ClusterConfig, EIGHT_FPGA, HeapHwConfig, SINGLE_FPGA
+from .config import ClusterConfig, EIGHT_FPGA, SINGLE_FPGA
 
 
 @dataclass(frozen=True)

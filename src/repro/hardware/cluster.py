@@ -15,15 +15,15 @@ factor is fit on the step-3 anchor and reported.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
+import math
 from typing import Dict, Optional
 
 from ..errors import ParameterError
 from ..params import HeapParams, make_heap_params
 from ..switching.scheduler import make_schedule
 from .baselines import HEAP_BOOTSTRAP_SPLIT_MS
-from .config import ClusterConfig, EIGHT_FPGA, HeapHwConfig
+from .config import ClusterConfig, EIGHT_FPGA
 from .fpga import SingleFpgaModel
 
 

@@ -11,7 +11,6 @@ URAM/BRAM geometry of Figures 2-3.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
 
 from ..errors import ParameterError
 

@@ -18,12 +18,11 @@ describes (see the discussion there).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from ..errors import ParameterError
-from ..params import CkksParams, HeapParams, TfheParams, make_heap_params
+from ..params import HeapParams, make_heap_params
 from .baselines import HEAP_NTT_THROUGHPUT, HEAP_TABLE3
 from .config import HeapHwConfig
 from .opmodel import HeapOpModel, OpCost

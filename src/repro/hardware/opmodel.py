@@ -16,9 +16,9 @@ for the comparison of raw model vs. paper for every op.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 import math
-from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Optional
 
 from ..errors import ParameterError
 from ..params import CkksParams, TfheParams

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..params import CkksParams, TfheParams
+from ..params import TfheParams
 
 GB = float(2**30)
 MB = float(2**20)

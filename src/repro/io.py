@@ -10,7 +10,6 @@ producing garbage).
 from __future__ import annotations
 
 import json
-from typing import Union
 
 import numpy as np
 
@@ -37,8 +36,8 @@ def rns_poly_to_dict(poly: RnsPoly) -> dict:
 def rns_poly_from_dict(data: dict) -> RnsPoly:
     basis = RnsBasis(data["moduli"])
     n = data["n"]
-    limbs = [e.asarray(np.asarray(l, dtype=object))
-             for e, l in zip(basis.engines, data["limbs"])]
+    limbs = [e.asarray(np.asarray(limb, dtype=object))
+             for e, limb in zip(basis.engines, data["limbs"])]
     return RnsPoly(n, basis, limbs, "coeff")
 
 

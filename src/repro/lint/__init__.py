@@ -1,0 +1,54 @@
+"""heaplint: AST-based crypto-invariant checks for this repository.
+
+The hot paths bought their speedups with tricks whose correctness rests
+on invariants Python never checks — uint64 accumulation bounds, eval-
+versus coefficient-domain operand discipline, fixed-width versus
+object-dtype arrays, secret-key hygiene, validated parameter
+construction.  This package encodes those invariants as static rules
+over the repo's own AST (stdlib :mod:`ast` only, no third-party
+dependencies) with per-rule codes, an inline suppression syntax and a
+checked-in baseline for pre-existing findings.
+
+Run it as ``python -m repro.lint src tests benchmarks``; see
+``DESIGN.md`` section 8 for the rule catalogue and workflow.
+"""
+
+from __future__ import annotations
+
+from .core import (
+    BAD_SUPPRESSION_CODE,
+    Baseline,
+    FileContext,
+    Finding,
+    Rule,
+    all_rules,
+    analyze_file,
+    analyze_paths,
+    analyze_source,
+    iter_python_files,
+)
+from .rules import (
+    HotPathObjectDtypeRule,
+    LazyBoundProofRule,
+    NttDomainDisciplineRule,
+    ParamConstructionRule,
+    SecretHygieneRule,
+)
+
+__all__ = [
+    "BAD_SUPPRESSION_CODE",
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "all_rules",
+    "analyze_file",
+    "analyze_paths",
+    "analyze_source",
+    "iter_python_files",
+    "HotPathObjectDtypeRule",
+    "LazyBoundProofRule",
+    "NttDomainDisciplineRule",
+    "ParamConstructionRule",
+    "SecretHygieneRule",
+]

@@ -1,0 +1,116 @@
+"""CLI for heaplint: ``python -m repro.lint [paths...]``.
+
+Exit codes: 0 = clean (or everything baselined/suppressed), 1 = new
+findings, 2 = usage error.  ``--update-baseline`` rewrites the baseline
+from the current tree instead of failing, which is the intended workflow
+when a rule lands with known pre-existing findings.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .core import Baseline, Finding, all_rules, analyze_paths
+
+DEFAULT_BASELINE = "heaplint-baseline.json"
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="heaplint: AST-based crypto-invariant checks",
+    )
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to analyze (default: src)")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="baseline JSON of accepted findings (default: "
+                             f"./{DEFAULT_BASELINE} when it exists)")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore any baseline file")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline from the current findings "
+                             "and exit 0")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="output format (default: text)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    parser.add_argument("--statistics", action="store_true",
+                        help="print per-rule finding counts")
+    return parser
+
+
+def _list_rules() -> None:
+    for rule in all_rules():
+        print(f"{rule.code}  {rule.name:<24} {rule.description}")
+
+
+def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
+    if args.no_baseline:
+        return None
+    if args.baseline is not None:
+        return Path(args.baseline)
+    default = Path(DEFAULT_BASELINE)
+    return default if default.exists() or args.update_baseline else None
+
+
+def _emit(findings: Sequence[Finding], fmt: str) -> None:
+    if fmt == "json":
+        print(json.dumps(
+            [{"rule": f.rule, "path": f.path, "line": f.line, "col": f.col,
+              "message": f.message, "fingerprint": f.fingerprint()}
+             for f in findings],
+            indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_rules:
+        _list_rules()
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"error: no such path: {', '.join(map(str, missing))}",
+              file=sys.stderr)
+        return 2
+
+    findings = analyze_paths(paths, root=Path.cwd())
+
+    if args.statistics:
+        by_rule: Dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule] = by_rule.get(f.rule, 0) + 1
+        for code in sorted(by_rule):
+            print(f"{code}: {by_rule[code]}", file=sys.stderr)
+
+    baseline_path = _resolve_baseline(args)
+    if args.update_baseline:
+        if baseline_path is None:
+            baseline_path = Path(DEFAULT_BASELINE)
+        Baseline.dump(findings, baseline_path)
+        print(f"baseline updated: {baseline_path} "
+              f"({len(findings)} finding(s))", file=sys.stderr)
+        return 0
+
+    new: List[Finding] = findings
+    if baseline_path is not None and baseline_path.exists():
+        new = Baseline.load(baseline_path).filter_new(findings)
+
+    _emit(new, args.format)
+    if new:
+        print(f"heaplint: {len(new)} new finding(s) "
+              f"({len(findings)} total before baseline)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

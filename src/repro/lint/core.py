@@ -1,0 +1,318 @@
+"""heaplint engine: file contexts, suppressions, baseline, runner.
+
+The engine is deliberately small: a :class:`FileContext` bundles one
+parsed module (source, lines, AST, suppression table); a :class:`Rule`
+walks the AST and yields :class:`Finding` objects; the runner applies
+inline suppressions, then subtracts the checked-in baseline so CI fails
+only on *new* findings.
+
+Suppression syntax (same line as the finding, or a standalone comment
+line directly above it)::
+
+    x = np.zeros(n, dtype=object)  # heaplint: disable=HL001 exact big-int table
+
+The reason text after the code list is mandatory — a suppression without
+one is itself reported (code ``HL000``), so every waiver carries its
+justification in the diff.
+
+Baseline fingerprints hash ``(path, rule, normalized source line)`` so
+they survive unrelated edits that renumber lines; the baseline stores a
+count per fingerprint, so adding a *second* identical offence on a new
+line still fails.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+import hashlib
+import json
+from pathlib import Path
+import re
+import tokenize
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+#: Reported when a suppression comment is malformed or has no reason.
+BAD_SUPPRESSION_CODE = "HL000"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*heaplint:\s*disable=(?P<codes>HL\d{3}(?:\s*,\s*HL\d{3})*)(?P<reason>.*)$"
+)
+_SUPPRESS_ANY_RE = re.compile(r"#\s*heaplint:\s*disable")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> str:
+        """Stable identity for baselining: path + rule + normalized line.
+
+        Line *numbers* are deliberately excluded so unrelated edits above
+        a baselined finding do not resurrect it.
+        """
+        payload = f"{self.path}|{self.rule}|{self.snippet.strip()}"
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class Suppression:
+    """A parsed ``# heaplint: disable=...`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    standalone: bool  # comment-only line: applies to the next code line
+
+
+class FileContext:
+    """One parsed module plus everything rules need to inspect it."""
+
+    def __init__(self, path: str, source: str) -> None:
+        self.path = path.replace("\\", "/")
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source, filename=path)
+        self.suppressions: List[Suppression] = []
+        self.bad_suppressions: List[Finding] = []
+        self._suppressed_lines: Dict[int, Set[str]] = {}
+        self._collect_suppressions()
+
+    # -- suppression handling ----------------------------------------------
+
+    def _comment_tokens(self) -> Iterator[Tuple[int, int, str, str]]:
+        """Yield ``(line, col, comment_text, full_line)`` for every comment."""
+        readline = iter(self.source.splitlines(keepends=True)).__next__
+        try:
+            for tok in tokenize.generate_tokens(readline):
+                if tok.type == tokenize.COMMENT:
+                    yield tok.start[0], tok.start[1], tok.string, tok.line
+        except tokenize.TokenError:  # pragma: no cover - ast.parse catches first
+            return
+
+    def _collect_suppressions(self) -> None:
+        for lineno, col, comment, full_line in self._comment_tokens():
+            if not _SUPPRESS_ANY_RE.search(comment):
+                continue
+            snippet = full_line.rstrip("\n")
+            match = _SUPPRESS_RE.search(comment)
+            reason = match.group("reason").strip() if match else ""
+            if match is None or not reason:
+                self.bad_suppressions.append(
+                    Finding(
+                        rule=BAD_SUPPRESSION_CODE,
+                        path=self.path,
+                        line=lineno,
+                        col=col,
+                        message=(
+                            "malformed heaplint suppression: expected "
+                            "'# heaplint: disable=HLxxx[,HLyyy] <reason>' "
+                            "with a non-empty reason"
+                        ),
+                        snippet=snippet,
+                    )
+                )
+                continue
+            codes = tuple(c.strip() for c in match.group("codes").split(","))
+            standalone = full_line[:col].strip() == ""
+            sup = Suppression(
+                line=lineno, codes=codes, reason=reason, standalone=standalone
+            )
+            self.suppressions.append(sup)
+            target = lineno
+            if standalone:
+                target = self._next_code_line(lineno)
+            self._suppressed_lines.setdefault(target, set()).update(codes)
+
+    def _next_code_line(self, after: int) -> int:
+        """First non-blank, non-comment line after ``after`` (1-based)."""
+        for i in range(after, len(self.lines)):
+            stripped = self.lines[i].strip()
+            if stripped and not stripped.startswith("#"):
+                return i + 1
+        return after
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        return code in self._suppressed_lines.get(line, set())
+
+    # -- helpers for rules --------------------------------------------------
+
+    def line_text(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1]
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        return Finding(
+            rule=rule,
+            path=self.path,
+            line=lineno,
+            col=col,
+            message=message,
+            snippet=self.line_text(lineno),
+        )
+
+
+class Rule:
+    """Base class: subclasses set the class attributes and yield findings."""
+
+    code: str = "HL999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+
+def all_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, ordered by code."""
+    from .rules import (
+        HotPathObjectDtypeRule,
+        LazyBoundProofRule,
+        NttDomainDisciplineRule,
+        ParamConstructionRule,
+        SecretHygieneRule,
+    )
+
+    rules: List[Rule] = [
+        HotPathObjectDtypeRule(),
+        LazyBoundProofRule(),
+        NttDomainDisciplineRule(),
+        SecretHygieneRule(),
+        ParamConstructionRule(),
+    ]
+    return sorted(rules, key=lambda r: r.code)
+
+
+# -- baseline ---------------------------------------------------------------
+
+
+@dataclass
+class Baseline:
+    """Counts of accepted pre-existing findings, keyed by fingerprint."""
+
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        data = json.loads(path.read_text(encoding="utf-8"))
+        entries = data.get("findings", {})
+        counts: Dict[str, int] = {}
+        for fp, entry in entries.items():
+            counts[fp] = int(entry["count"]) if isinstance(entry, dict) else int(entry)
+        return cls(counts=counts)
+
+    @staticmethod
+    def dump(findings: Sequence[Finding], path: Path) -> None:
+        """Write ``findings`` as the new baseline (sorted, annotated)."""
+        entries: Dict[str, Dict[str, object]] = {}
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+            fp = f.fingerprint()
+            if fp in entries:
+                entries[fp]["count"] = int(str(entries[fp]["count"])) + 1
+            else:
+                entries[fp] = {
+                    "count": 1,
+                    "rule": f.rule,
+                    "path": f.path,
+                    "snippet": f.snippet.strip(),
+                }
+        payload = {
+            "comment": (
+                "heaplint baseline: pre-existing findings accepted as-is. "
+                "Regenerate with 'python -m repro.lint --update-baseline ...'; "
+                "new findings beyond these counts fail CI."
+            ),
+            "findings": entries,
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+
+    def filter_new(self, findings: Sequence[Finding]) -> List[Finding]:
+        """Findings beyond the baselined count for their fingerprint."""
+        budget = dict(self.counts)
+        fresh: List[Finding] = []
+        for f in sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule)):
+            fp = f.fingerprint()
+            if budget.get(fp, 0) > 0:
+                budget[fp] -= 1
+            else:
+                fresh.append(f)
+        return fresh
+
+
+# -- runner -----------------------------------------------------------------
+
+
+def analyze_source(source: str, path: str,
+                   rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """All unsuppressed findings for one module's source text."""
+    try:
+        ctx = FileContext(path, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=BAD_SUPPRESSION_CODE,
+                path=path.replace("\\", "/"),
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                message=f"file does not parse: {exc.msg}",
+                snippet=(exc.text or "").rstrip(),
+            )
+        ]
+    found: List[Finding] = list(ctx.bad_suppressions)
+    for rule in rules if rules is not None else all_rules():
+        for f in rule.check(ctx):
+            if not ctx.is_suppressed(f.rule, f.line):
+                found.append(f)
+    return found
+
+
+def analyze_file(path: Path, root: Optional[Path] = None,
+                 rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    rel = str(path)
+    if root is not None:
+        try:
+            rel = str(path.resolve().relative_to(root.resolve()))
+        except ValueError:
+            rel = str(path)
+    return analyze_source(path.read_text(encoding="utf-8"), rel, rules)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files pass through), sorted."""
+    seen: Set[Path] = set()
+    for p in paths:
+        if p.is_dir():
+            candidates: Iterable[Path] = sorted(p.rglob("*.py"))
+        else:
+            candidates = [p]
+        for c in candidates:
+            if any(part.startswith(".") for part in c.parts):
+                continue
+            if c not in seen:
+                seen.add(c)
+                yield c
+
+
+def analyze_paths(paths: Sequence[Path], root: Optional[Path] = None,
+                  rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
+    """Run every rule over every python file under ``paths``."""
+    findings: List[Finding] = []
+    rule_set = list(rules) if rules is not None else all_rules()
+    for f in iter_python_files(paths):
+        findings.extend(analyze_file(f, root=root, rules=rule_set))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings

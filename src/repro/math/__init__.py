@@ -1,5 +1,6 @@
 """Mathematical substrate: modular arithmetic, NTT, rings, RNS, sampling."""
 
+from .gadget import GadgetVector, exact_digits
 from .modular import (
     BarrettConstant,
     ModulusEngine,
@@ -14,7 +15,6 @@ from .modular import (
 from .ntt import NttEngine, get_ntt_engine, naive_dft, naive_negacyclic_mul
 from .poly import RingPoly
 from .rns import RnsBasis, RnsPoly, basis_convert, concat_bases
-from .gadget import GadgetVector, exact_digits
 from .sampling import Sampler, DEFAULT_ERROR_STD
 
 __all__ = [

@@ -196,6 +196,22 @@ class ModulusEngine:
             return arr.astype(np.int64) if self.fast else arr
         return self.reduce(arr.astype(self.dtype) if self.fast else arr.astype(object))
 
+    def power_table(self, base: int, count: int) -> np.ndarray:
+        """Successive powers ``base**j mod q`` for ``j in [0, count)``.
+
+        Computed with exact Python-int arithmetic and returned as this
+        engine's canonical residue array, so table construction never
+        materialises an object-dtype ndarray on the fast path (the NTT
+        twiddle/twist tables are built through here).
+        """
+        b = int(base) % self.q
+        powers: List[int] = []
+        cur = 1
+        for _ in range(count):
+            powers.append(cur)
+            cur = cur * b % self.q
+        return self.asarray(powers)
+
     def zeros(self, shape) -> np.ndarray:
         if self.fast:
             return np.zeros(shape, dtype=np.int64)
@@ -249,6 +265,8 @@ class ModulusEngine:
         the result is bit-identical for canonical (non-negative) inputs.
         """
         if self.fast:
+            # lazy-bound: canonical residues are < 2^31, so up to 2^32 of
+            # them accumulate in a uint64 lane before overflow could occur.
             s = np.sum(np.asarray(terms).view(np.uint64), axis=axis)
             return np.mod(s, np.uint64(self.q)).view(np.int64)
         return np.mod(np.sum(terms, axis=axis), self.q)
@@ -265,6 +283,9 @@ class ModulusEngine:
         and the accumulation are exact big-int ops with one final reduce.
         """
         if self.fast:
+            # lazy-bound: each product of two residues < 2^31 fits uint64
+            # and is reduced into [0, q) immediately; the deferred sum then
+            # has the same 2^32-term capacity as lazy_sum.
             qu = np.uint64(self.q)
             p = (np.asarray(a).view(np.uint64) * np.asarray(b).view(np.uint64)) % qu
             return np.mod(np.sum(p, axis=axis), qu).view(np.int64)

@@ -27,7 +27,7 @@ analogue of the paper's "two limbs per pass" memory layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -65,37 +65,14 @@ class NttEngine:
         self.omega = self.psi * self.psi % q
         self.n_inv = self.mod.inv(n)
 
-        dtype = self.mod.dtype
-        # psi^j and psi^-j twist vectors.
-        psi_pows = np.empty(n, dtype=object)
-        cur = 1
-        for j in range(n):
-            psi_pows[j] = cur
-            cur = cur * self.psi % q
-        self._psi = psi_pows.astype(dtype)
-        psi_inv = self.mod.inv(self.psi)
-        inv_pows = np.empty(n, dtype=object)
-        cur = 1
-        for j in range(n):
-            inv_pows[j] = cur
-            cur = cur * psi_inv % q
-        self._psi_inv = inv_pows.astype(dtype)
-
-        # omega^k tables for each stage of the cyclic transform, and their
-        # inverses for the inverse transform.
-        omega_pows = np.empty(n, dtype=object)
-        cur = 1
-        for j in range(n):
-            omega_pows[j] = cur
-            cur = cur * self.omega % q
-        self._omega = omega_pows.astype(dtype)
-        omega_inv = self.mod.inv(self.omega)
-        oinv_pows = np.empty(n, dtype=object)
-        cur = 1
-        for j in range(n):
-            oinv_pows[j] = cur
-            cur = cur * omega_inv % q
-        self._omega_inv = oinv_pows.astype(dtype)
+        # psi^j / psi^-j twist vectors and omega^k stage tables (plus the
+        # inverse direction's), all built through the engine's exact
+        # Python-int power_table so no object-dtype intermediate exists on
+        # the fast path.
+        self._psi = self.mod.power_table(self.psi, n)
+        self._psi_inv = self.mod.power_table(self.mod.inv(self.psi), n)
+        self._omega = self.mod.power_table(self.omega, n)
+        self._omega_inv = self.mod.power_table(self.mod.inv(self.omega), n)
 
         # Fast-path (q < 2^31) tables in uint64.  Unsigned remainder is
         # several times cheaper than signed np.mod in numpy, and working
@@ -189,7 +166,8 @@ class NttEngine:
             out = np.empty_like(res)
             np.mod(res, self._qu, out=out)
             return out.view(np.int64).reshape((self.n,) + tail)
-        out = self.mod.mul(np.moveaxis(arr, 0, -1).astype(object, copy=False), self._psi)
+        out = self.mod.mul(np.moveaxis(arr, 0, -1).astype(self.mod.dtype, copy=False),
+                           self._psi)
         return np.moveaxis(self._cyclic(out, self._omega), -1, 0)
 
     def inverse_axis0(self, evals: np.ndarray) -> np.ndarray:
@@ -212,7 +190,7 @@ class NttEngine:
             out = np.empty_like(res)
             np.mod(res, self._qu, out=out)
             return out.view(np.int64).reshape((self.n,) + tail)
-        a = self._cyclic(np.moveaxis(arr, 0, -1).astype(object, copy=False),
+        a = self._cyclic(np.moveaxis(arr, 0, -1).astype(self.mod.dtype, copy=False),
                          self._omega_inv)
         a = self.mod.mul(a, self.n_inv)
         return np.moveaxis(self.mod.mul(a, self._psi_inv), -1, 0)
@@ -377,10 +355,10 @@ class NttEngine:
 
 def naive_negacyclic_mul(a, b, q: int) -> np.ndarray:
     """Schoolbook ``O(N^2)`` negacyclic convolution — test reference only."""
-    a = np.asarray(a, dtype=object)
-    b = np.asarray(b, dtype=object)
+    a = np.asarray(a, dtype=object)  # heaplint: disable=HL001 exact big-int test reference, never on a hot path
+    b = np.asarray(b, dtype=object)  # heaplint: disable=HL001 exact big-int test reference, never on a hot path
     n = a.shape[-1]
-    out = np.zeros(n, dtype=object)
+    out = np.zeros(n, dtype=object)  # heaplint: disable=HL001 exact big-int test reference, never on a hot path
     for i in range(n):
         ai = int(a[i])
         if ai == 0:
@@ -397,9 +375,9 @@ def naive_negacyclic_mul(a, b, q: int) -> np.ndarray:
 
 def naive_dft(a, q: int, root: int) -> np.ndarray:
     """Quadratic-time cyclic DFT used to validate the fast transform."""
-    a = np.asarray(a, dtype=object)
+    a = np.asarray(a, dtype=object)  # heaplint: disable=HL001 exact big-int test reference, never on a hot path
     n = len(a)
-    out = np.zeros(n, dtype=object)
+    out = np.zeros(n, dtype=object)  # heaplint: disable=HL001 exact big-int test reference, never on a hot path
     for k in range(n):
         acc = 0
         for j in range(n):

@@ -16,13 +16,13 @@ polynomial per prime ``q_i`` (paper Section II-A).  This module provides
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
 from ..errors import ParameterError
 from .automorphism import get_automorphism_perm
-from .modular import ModulusEngine, crt_compose, crt_decompose
+from .modular import ModulusEngine, crt_compose
 from .ntt import get_ntt_engine
 
 COEFF = "coeff"
@@ -207,7 +207,7 @@ class RnsPoly:
     def to_int_coeffs(self) -> np.ndarray:
         """CRT-compose into big-int coefficients in ``[0, Q)`` (object array)."""
         src = self.to_coeff()
-        stack = np.stack([np.asarray(l, dtype=object) for l in src.limbs])
+        stack = np.stack([np.asarray(limb, dtype=object) for limb in src.limbs])
         return crt_compose(stack, self.basis.moduli)
 
     def to_centered_int_coeffs(self) -> np.ndarray:
@@ -218,7 +218,7 @@ class RnsPoly:
         return np.where(vals > half, vals - big_q, vals)
 
     def copy(self) -> "RnsPoly":
-        return RnsPoly(self.n, self.basis, [l.copy() for l in self.limbs], self.domain)
+        return RnsPoly(self.n, self.basis, [limb.copy() for limb in self.limbs], self.domain)
 
     def __eq__(self, other) -> bool:
         if not isinstance(other, RnsPoly):

@@ -9,7 +9,7 @@ single seed makes whole protocol runs reproducible in tests.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Optional
 
 import numpy as np
 

@@ -18,8 +18,8 @@ keeping every structural knob, so the same code paths execute.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from .errors import ParameterError
 from .math.modular import find_ntt_primes
@@ -36,7 +36,7 @@ class CkksParams:
     scale_bits: int        # log2(Delta)
     error_std: float = 3.2
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n & (self.n - 1):
             raise ParameterError("N must be a power of two")
         if not self.moduli:
@@ -101,7 +101,7 @@ class TfheParams:
     decomp_base_bits: int = 12
     error_std: float = 3.2
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.n & (self.n - 1):
             raise ParameterError("N must be a power of two")
 
@@ -111,7 +111,7 @@ class TfheParams:
         return (self.n_t + 1) * self.q.bit_length() // 8
 
     @property
-    def rgsw_matrix_shape(self):
+    def rgsw_matrix_shape(self) -> Tuple[int, int]:
         """(h+1)*d rows x (h+1) cols of degree N-1 polynomials."""
         return ((self.glwe_mask + 1) * self.decomp_digits, self.glwe_mask + 1)
 

@@ -16,9 +16,8 @@ FAB, BTS, ARK, SHARP) justify their choices.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict
+import math
 
 from .errors import ParameterError
 from .params import CkksParams

@@ -1,8 +1,8 @@
 """The paper's core contribution: scheme-switching CKKS bootstrapping."""
 
 from .bootstrap import BootstrapTrace, SchemeSwitchBootstrapper, expected_k_prime_std
-from .keys import KeySizeAudit, SwitchingKeySet, conventional_bootstrap_key_bytes
 from .functional import FunctionalEvaluator, relu_fn, sigmoid_fn, sign_fn
+from .keys import KeySizeAudit, SwitchingKeySet, conventional_bootstrap_key_bytes
 from .keyswitched import (
     KeySwitchedBootstrapper,
     KeySwitchedKeySet,

@@ -34,17 +34,17 @@ partitions them over compute nodes.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
 from ..errors import ParameterError
-from ..math.rns import RnsBasis, RnsPoly
+from ..math.rns import RnsPoly
 from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector, get_monomial_cache
 from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext

@@ -19,7 +19,7 @@ system with multiple compute nodes".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -29,10 +29,9 @@ from ..errors import ParameterError
 from ..io import deserialize_glwe, deserialize_lwe, serialize_glwe, serialize_lwe
 from ..tfhe.blind_rotate import blind_rotate_batch
 from ..tfhe.glwe import GlweCiphertext
-from ..tfhe.lwe import LweCiphertext
 from .bootstrap import SchemeSwitchBootstrapper
 from .keys import SwitchingKeySet
-from .scheduler import BootstrapSchedule, make_schedule
+from .scheduler import make_schedule
 
 
 @dataclass
@@ -114,7 +113,7 @@ class SimulatedCluster:
         accs: List[GlweCiphertext] = []
         for assignment, node in zip(schedule.nodes, self.nodes):
             part = lwes[assignment.start: assignment.stop]
-            wire_in = [serialize_lwe(l) for l in part]
+            wire_in = [serialize_lwe(lwe) for lwe in part]
             if not assignment.is_primary:
                 for blob in wire_in:
                     self.comm.record(0, node.node_id, blob)

@@ -34,11 +34,10 @@ import numpy as np
 
 from ..ckks.context import CkksContext
 from ..ckks.keys import SecretKey
-from ..errors import ParameterError
 from ..math.gadget import GadgetVector
 from ..math.rns import RnsBasis, concat_bases
 from ..math.sampling import Sampler
-from ..params import HeapParams, TfheParams
+from ..params import TfheParams
 from ..tfhe.blind_rotate import BlindRotateKey
 from ..tfhe.glwe import GlweSecretKey
 from ..tfhe.keyswitch import AutomorphismKeySet

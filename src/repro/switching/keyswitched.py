@@ -35,8 +35,8 @@ of the smaller key).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
+import time
 from typing import List, Optional
 
 import numpy as np
@@ -172,7 +172,7 @@ class KeySwitchedBootstrapper:
 
         # Step 0: Extract + LWE key switch down to n_t.
         big_lwes = self._extract_all(ct, q)
-        small_lwes = [lwe_keyswitch(l, self.keys.lwe_ksk) for l in big_lwes]
+        small_lwes = [lwe_keyswitch(lwe, self.keys.lwe_ksk) for lwe in big_lwes]
         trace.num_lwe = len(small_lwes)
 
         # Steps 1-2 per LWE: ct'_i and ct_ms,i.

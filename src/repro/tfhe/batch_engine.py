@@ -125,10 +125,10 @@ class BatchBlindRotateEngine:
         tensors = [e.zeros((n_t, self.n, self.rows, 2 * self.cols))
                    for e in self.engines]
         for i, (rp, rm) in enumerate(zip(plus, minus)):
-            for l, limb in enumerate(rp.to_limb_tensors()):
-                tensors[l][i, :, :, :self.cols] = np.moveaxis(limb, 2, 0)
-            for l, limb in enumerate(rm.to_limb_tensors()):
-                tensors[l][i, :, :, self.cols:] = np.moveaxis(limb, 2, 0)
+            for li, limb in enumerate(rp.to_limb_tensors()):
+                tensors[li][i, :, :, :self.cols] = np.moveaxis(limb, 2, 0)
+            for li, limb in enumerate(rm.to_limb_tensors()):
+                tensors[li][i, :, :, self.cols:] = np.moveaxis(limb, 2, 0)
         return tensors
 
     # -- execution ------------------------------------------------------------
@@ -174,18 +174,22 @@ class BatchBlindRotateEngine:
                 mono_p = [self.mono.monomial_minus_one(int(a)) for a in a_vals]
                 mono_m = [self.mono.monomial_minus_one(two_n - int(a))
                           for a in a_vals]
-                mats_p = [np.stack([m[l] for m in mono_p], axis=1)
-                          for l in range(len(self.engines))]
-                mats_m = [np.stack([m[l] for m in mono_m], axis=1)
-                          for l in range(len(self.engines))]
-            for l, e in enumerate(self.engines):
-                deval = digits[l]                      # (N, bsel, rows)
-                key_i = self.key_pm[l][i]              # (N, rows, 2*cols)
-                mp = mats_p[l]                         # (N, bsel)
-                mm = mats_m[l]
+                mats_p = [np.stack([m[li] for m in mono_p], axis=1)
+                          for li in range(len(self.engines))]
+                mats_m = [np.stack([m[li] for m in mono_m], axis=1)
+                          for li in range(len(self.engines))]
+            for li, e in enumerate(self.engines):
+                deval = digits[li]                      # (N, bsel, rows)
+                key_i = self.key_pm[li][i]              # (N, rows, 2*cols)
+                mp = mats_p[li]                         # (N, bsel)
+                mm = mats_m[li]
                 # recomp = sum_k digits[c*d+k] * g_k: the RGSW(1) term.
                 dv4 = deval.reshape(n, sel.size, self.cols, self.d)
-                if self._lazy[l]:
+                if self._lazy[li]:
+                    # lazy-bound: (rows + 2) * (q - 1)^2 <= 2^64 - 1 is
+                    # checked per limb in __init__ (self._lazy gates this
+                    # branch), covering the row sum and the three-term
+                    # accumulator drain below.
                     qu = np.uint64(e.q)
                     du = deval.view(np.uint64)
                     ep = np.matmul(du, key_i.view(np.uint64))
@@ -200,22 +204,22 @@ class BatchBlindRotateEngine:
                         # Exact decomposition: sum_k d_k g_k == ACC mod q,
                         # so the RGSW(1) term is the accumulator unchanged.
                         out = ep[..., :self.cols] + ep[..., self.cols:]
-                        out += acc[l][:, idx, :].view(np.uint64)
+                        out += acc[li][:, idx, :].view(np.uint64)
                     else:
                         out = np.matmul(dv4.view(np.uint64),
-                                        self.g_mod[l].view(np.uint64))
+                                        self.g_mod[li].view(np.uint64))
                         out += ep[..., :self.cols]
                         out += ep[..., self.cols:]
                     out %= qu
-                    acc[l][:, idx, :] = out.view(np.int64)
+                    acc[li][:, idx, :] = out.view(np.int64)
                 else:
                     ep = e.lazy_mac_sum(deval[:, :, :, None],
                                         key_i[:, None, :, :], axis=2)
-                    recomp = e.lazy_mac_sum(dv4, self.g_mod[l], axis=3)
+                    recomp = e.lazy_mac_sum(dv4, self.g_mod[li], axis=3)
                     out = e.add(recomp,
                                 e.add(e.mul(ep[..., :self.cols], mp[:, :, None]),
                                       e.mul(ep[..., self.cols:], mm[:, :, None])))
-                    acc[l][:, idx, :] = out
+                    acc[li][:, idx, :] = out
         return self._export(acc, batch)
 
     # -- stages ---------------------------------------------------------------
@@ -225,8 +229,8 @@ class BatchBlindRotateEngine:
         """``ACC_j = (0, .., 0, f * X^{b_j})`` as eval-domain limb tensors."""
         shifted = [_shift_rns(test_vector, int(ct.b)) for ct in cts]
         acc = []
-        for l, (e, eng) in enumerate(zip(self.engines, self.ntts)):
-            stack = np.stack([s.limbs[l] for s in shifted], axis=1)  # (N, batch)
+        for li, (e, eng) in enumerate(zip(self.engines, self.ntts)):
+            stack = np.stack([s.limbs[li] for s in shifted], axis=1)  # (N, batch)
             a = e.zeros((self.n, len(cts), self.cols))
             a[:, :, self.h] = eng.forward_axis0(stack)
             acc.append(a)
@@ -240,12 +244,12 @@ class BatchBlindRotateEngine:
         tensor per limb, with row ``r = c*d + k`` matching the key tensors'
         layout.
         """
-        coeff = [eng.inverse_axis0(acc[l][:, idx, :])
-                 for l, eng in enumerate(self.ntts)]  # (N, bsel, h+1) each
+        coeff = [eng.inverse_axis0(acc[li][:, idx, :])
+                 for li, eng in enumerate(self.ntts)]  # (N, bsel, h+1) each
         if len(self.basis) == 1:
             big = coeff[0]  # residues mod q ARE the [0, Q) integers
         else:
-            stack = np.stack([np.asarray(c, dtype=object) for c in coeff])
+            stack = np.stack([np.asarray(c, dtype=object) for c in coeff])  # heaplint: disable=HL001 CRT compose needs exact big ints on the wide-modulus path
             big = crt_compose(stack, self.basis.moduli)
         # (N, bsel, h+1, d): component-major, digit k matching factors()[k],
         # so flattening the last two axes gives the r = c*d + k row order.
@@ -268,8 +272,8 @@ class BatchBlindRotateEngine:
         results = []
         for j in range(batch):
             polys = [RnsPoly(self.n, self.basis,
-                             [np.ascontiguousarray(acc[l][:, j, c])
-                              for l in range(len(self.basis))],
+                             [np.ascontiguousarray(acc[li][:, j, c])
+                              for li in range(len(self.basis))],
                              "eval")
                      for c in range(self.cols)]
             results.append(GlweCiphertext(mask=polys[:self.h], body=polys[self.h]))

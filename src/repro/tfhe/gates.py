@@ -18,9 +18,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from ..errors import ParameterError
 from ..math.gadget import GadgetVector
-from ..math.rns import RnsBasis, RnsPoly
+from ..math.rns import RnsBasis
 from ..math.sampling import Sampler
 from ..params import TfheParams
 from .blind_rotate import BlindRotateKey, MonomialCache, blind_rotate, build_test_vector

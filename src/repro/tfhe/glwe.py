@@ -42,6 +42,10 @@ class GlweSecretKey:
     def on_basis(self, basis: RnsBasis) -> List[RnsPoly]:
         return [RnsPoly.from_int_coeffs(self.n, basis, c).to_eval() for c in self.coeffs]
 
+    def __repr__(self) -> str:
+        """Redacted: structure only, never the coefficient payload."""
+        return f"GlweSecretKey(h={self.h}, n={self.n}, coeffs=<redacted>)"
+
 
 @dataclass
 class GlweCiphertext:

@@ -38,6 +38,10 @@ class LweSecretKey:
     def generate(cls, n: int, sampler: Sampler) -> "LweSecretKey":
         return cls(coeffs=sampler.ternary(n).astype(object))
 
+    def __repr__(self) -> str:
+        """Redacted: dimensions only, never the coefficient payload."""
+        return f"LweSecretKey(dim={self.dim}, coeffs=<redacted>)"
+
 
 @dataclass
 class LweCiphertext:

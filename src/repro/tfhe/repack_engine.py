@@ -122,9 +122,9 @@ class RepackEngine:
             cached = [e.zeros((self.n, self.d, 2)) for e in self.engines]
             for k, row in enumerate(ksk.rows):
                 row = row.to_eval()
-                for l in range(len(self.engines)):
-                    cached[l][:, k, 0] = row.mask[0].limbs[l]
-                    cached[l][:, k, 1] = row.body.limbs[l]
+                for li in range(len(self.engines)):
+                    cached[li][:, k, 0] = row.mask[0].limbs[li]
+                    cached[li][:, k, 1] = row.body.limbs[li]
             self._keys_lifted[t] = cached
         return cached
 
@@ -167,10 +167,10 @@ class RepackEngine:
             t = l_block + 1
             mono = self.mono.monomial(s)
             addend, v_mask, v_body = [], [], []
-            for l, e in enumerate(self.engines):
-                even = state[l][:, :p, :]
-                odd = state[l][:, p:, :]
-                shifted = e.mul(odd, mono[l][:, None, None])
+            for li, e in enumerate(self.engines):
+                even = state[li][:, :p, :]
+                odd = state[li][:, p:, :]
+                shifted = e.mul(odd, mono[li][:, None, None])
                 addend.append(e.add(even, shifted))
                 v = e.sub(even, shifted)
                 v_mask.append(v[:, :, 0])
@@ -229,11 +229,11 @@ class RepackEngine:
         """Stack the batch into per-limb ``(N, n_cts, 2)`` eval tensors."""
         lifted = [ct.to_eval() for ct in cts]
         state = []
-        for l, e in enumerate(self.engines):
+        for li, e in enumerate(self.engines):
             st = e.zeros((self.n, len(cts), 2))
             for j, ct in enumerate(lifted):
-                st[:, j, 0] = ct.mask[0].limbs[l]
-                st[:, j, 1] = ct.body.limbs[l]
+                st[:, j, 0] = ct.mask[0].limbs[li]
+                st[:, j, 1] = ct.body.limbs[li]
             state.append(st)
         return state
 
@@ -267,7 +267,7 @@ class RepackEngine:
                                  for eng, m in zip(self.ntts, mask_eval)])
             digit_stack = np.stack(self.gadget.decompose_tensor(big), axis=2)
         out = []
-        for l, (e, eng) in enumerate(zip(self.engines, self.ntts)):
+        for li, (e, eng) in enumerate(zip(self.engines, self.ntts)):
             if e.fast and digit_stack.dtype == np.int64:
                 # Balanced digits satisfy |digit| <= q, so one shift puts
                 # them in [0, 2q] and the forward twist's reduction
@@ -276,18 +276,22 @@ class RepackEngine:
             else:
                 reduced = e.asarray(digit_stack)
             digits = eng.forward_axis0(reduced)            # (N, p, d)
-            if self._lazy[l]:
+            if self._lazy[li]:
+                # lazy-bound: d * (q - 1)^2 + 2 * (q - 1) <= 2^64 - 1 is
+                # checked per limb in __init__ (self._lazy gates this
+                # branch): the d-term row sum plus the body and merge
+                # addends all drain in one reduction.
                 qu = np.uint64(e.q)
-                acc = np.matmul(digits.view(np.uint64), key_t[l].view(np.uint64))
-                acc[:, :, 1] += body_perm[l].view(np.uint64)
-                acc += addend[l].view(np.uint64)
+                acc = np.matmul(digits.view(np.uint64), key_t[li].view(np.uint64))
+                acc[:, :, 1] += body_perm[li].view(np.uint64)
+                acc += addend[li].view(np.uint64)
                 acc %= qu
                 out.append(acc.view(np.int64))
             else:
                 ep = e.lazy_mac_sum(digits[:, :, :, None],
-                                    key_t[l][:, None, :, :], axis=2)
-                res = e.add(ep, addend[l])
-                res[:, :, 1] = e.add(res[:, :, 1], body_perm[l])
+                                    key_t[li][:, None, :, :], axis=2)
+                res = e.add(ep, addend[li])
+                res[:, :, 1] = e.add(res[:, :, 1], body_perm[li])
                 out.append(res)
         return out
 
@@ -296,7 +300,7 @@ class RepackEngine:
         single-limb residues already *are* those integers)."""
         if len(self.basis) == 1:
             return coeff[0]
-        stack = np.stack([np.asarray(c, dtype=object) for c in coeff])
+        stack = np.stack([np.asarray(c, dtype=object) for c in coeff])  # heaplint: disable=HL001 CRT compose needs exact big ints on the wide-modulus path
         return crt_compose(stack, self.basis.moduli)
 
     def _ntt_calls_saved(self, p: int, n_limbs: int) -> int:
@@ -314,11 +318,11 @@ class RepackEngine:
 
         n_limbs = len(self.basis)
         mask = RnsPoly(self.n, self.basis,
-                       [np.ascontiguousarray(state[l][:, 0, 0])
-                        for l in range(n_limbs)], "eval")
+                       [np.ascontiguousarray(state[li][:, 0, 0])
+                        for li in range(n_limbs)], "eval")
         body = RnsPoly(self.n, self.basis,
-                       [np.ascontiguousarray(state[l][:, 0, 1])
-                        for l in range(n_limbs)], "eval")
+                       [np.ascontiguousarray(state[li][:, 0, 1])
+                        for li in range(n_limbs)], "eval")
         return GlweCiphertext(mask=[mask], body=body)
 
 

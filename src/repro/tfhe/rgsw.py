@@ -96,8 +96,8 @@ class RgswCiphertext:
                 row = row.to_eval()
                 r = c * d + k
                 for col, poly in enumerate(list(row.mask) + [row.body]):
-                    for l, limb in enumerate(poly.limbs):
-                        out[l][r, col] = limb
+                    for li, limb in enumerate(poly.limbs):
+                        out[li][r, col] = limb
         return out
 
     @classmethod

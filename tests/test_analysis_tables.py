@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis import (
     format_table,
-    heap_t_mult_a_slot,
     key_size_table,
     table2_resources,
     table3_basic_ops,

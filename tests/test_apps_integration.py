@@ -6,19 +6,16 @@ import pytest
 
 from repro.apps import (
     EncryptedLogisticRegression,
-    EncryptedLrState,
     PlaintextLogisticRegression,
     TinyEncryptedCnn,
     resnet20_op_counts,
     resnet_inference_model,
-    synthetic_mnist_3v8,
     total_bootstrap_count,
 )
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
 from repro.ckks.bootstrap import make_bootstrappable_toy_params
 from repro.hardware import ClusterBootstrapModel, SingleFpgaModel
 from repro.math.sampling import Sampler
-from repro.params import make_toy_params
 from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
 
 # Small ring keeps the in-loop bootstraps (N blind rotates each) tractable;
@@ -142,7 +139,7 @@ class TestTinyCnn:
 class TestResNetModel:
     def test_layer_inventory(self):
         layers = resnet20_op_counts()
-        names = [l.name for l in layers]
+        names = [layer.name for layer in layers]
         assert names[0] == "stem-conv"
         assert sum(1 for n in names if "block" in n) == 9  # 3 stages x 3 blocks
         assert names[-1] == "avgpool-fc"

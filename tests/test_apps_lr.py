@@ -5,9 +5,7 @@ import numpy as np
 import pytest
 
 from repro.apps import (
-    Dataset,
     EncryptedLogisticRegression,
-    EncryptedLrState,
     LrOpCounts,
     PlaintextLogisticRegression,
     lr_iteration_model,
@@ -15,11 +13,14 @@ from repro.apps import (
     synthetic_mnist_3v8,
     train_test_split,
 )
-from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.ckks import (
+    CkksContext,
+    CkksEvaluator,
+    CkksKeyGenerator,
+    make_bootstrappable_toy_params,
+)
 from repro.hardware import ClusterBootstrapModel, SingleFpgaModel
 from repro.math.sampling import Sampler
-from repro.params import make_toy_params
-from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
 
 
 class TestDatasets:
@@ -60,8 +61,6 @@ class TestPlaintextLr:
         model.train(ds, iterations=10, batch_size=128)
         assert model.accuracy(ds) > acc0
 
-
-from repro.ckks import make_bootstrappable_toy_params
 
 # Fixed-point layout: rescale primes ~ Delta with a wider base limb, so a
 # deep LR iteration keeps its scale stable (same discipline as the

@@ -1,9 +1,9 @@
 """Tests for the CKKS canonical-embedding encoder."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.ckks.encoder import CkksEncoder
 from repro.errors import ParameterError

@@ -7,7 +7,7 @@ from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
 from repro.errors import ParameterError
 from repro.math.modular import find_ntt_primes
 from repro.math.sampling import Sampler
-from repro.params import CkksParams, make_toy_params
+from repro.params import CkksParams
 from repro.switching import SwitchingKeySet
 from repro.switching.functional import (
     FunctionalEvaluator,

@@ -1,9 +1,9 @@
 """Tests for gadget decomposition."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import ParameterError
 from repro.math.gadget import GadgetVector, exact_digits

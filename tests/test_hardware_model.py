@@ -1,16 +1,13 @@
 """Tests for the hardware performance model (config, ops, FPGA, cluster)."""
 
-import math
 
 import pytest
 
 from repro.errors import ParameterError
 from repro.hardware import (
-    EIGHT_FPGA,
     ClusterBootstrapModel,
     ClusterConfig,
     HeapHwConfig,
-    HeapOpModel,
     OpCost,
     ResourceModel,
     SingleFpgaModel,

@@ -1,0 +1,364 @@
+"""Fixture-driven tests for heaplint (``repro.lint``).
+
+Every rule gets three kinds of cases: offending source that must flag,
+clean source that must not, and an offending line whose inline
+suppression is honored.  A final smoke test runs the full rule set over
+the real repository tree, which must be clean — that is the same
+invariant the CI lint job enforces.
+"""
+
+from pathlib import Path
+
+from repro.lint import (
+    BAD_SUPPRESSION_CODE,
+    Baseline,
+    all_rules,
+    analyze_paths,
+    analyze_source,
+)
+from repro.lint.__main__ import main as lint_main
+
+HOT_PATH = "src/repro/math/ntt.py"
+COLD_PATH = "src/repro/analysis/tables.py"
+
+
+def codes(findings):
+    return [f.rule for f in findings]
+
+
+class TestRuleCatalogue:
+    def test_five_rules_registered(self):
+        rules = all_rules()
+        assert [r.code for r in rules] == [
+            "HL001", "HL002", "HL003", "HL004", "HL005"]
+
+    def test_descriptions_nonempty(self):
+        assert all(r.description and r.name for r in all_rules())
+
+
+class TestHl001ObjectDtype:
+    def test_flags_dtype_object_in_hot_path(self):
+        src = "import numpy as np\n\nacc = np.zeros(8, dtype=object)\n"
+        assert codes(analyze_source(src, HOT_PATH)) == ["HL001"]
+
+    def test_flags_astype_object_in_hot_path(self):
+        src = "def widen(x):\n    return x.astype(object)\n"
+        assert codes(analyze_source(src, HOT_PATH)) == ["HL001"]
+
+    def test_clean_outside_hot_path(self):
+        src = "import numpy as np\n\nacc = np.zeros(8, dtype=object)\n"
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_clean_fixed_width_dtype(self):
+        src = "import numpy as np\n\nacc = np.zeros(8, dtype=np.int64)\n"
+        assert analyze_source(src, HOT_PATH) == []
+
+    def test_suppression_honored(self):
+        src = ("import numpy as np\n\n"
+               "acc = np.zeros(8, dtype=object)"
+               "  # heaplint: disable=HL001 exact big-int reference table\n")
+        assert analyze_source(src, HOT_PATH) == []
+
+
+class TestHl002LazyBound:
+    FLAG = ("import numpy as np\n\n"
+            "def drain(acc, g):\n"
+            "    out = acc.view(np.uint64) * g.view(np.uint64)\n"
+            "    return out\n")
+
+    def test_flags_unproven_deferred_reduction(self):
+        assert codes(analyze_source(self.FLAG, COLD_PATH)) == ["HL002"]
+
+    def test_flags_lazy_helper_without_proof(self):
+        src = ("def drain(eng, a, b):\n"
+               "    return eng.lazy_mac_sum(a, b, axis=1)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL002"]
+
+    def test_one_finding_per_function(self):
+        src = ("import numpy as np\n\n"
+               "def drain(acc, g):\n"
+               "    a = acc.view(np.uint64) * g.view(np.uint64)\n"
+               "    b = acc.view(np.uint64) + g.view(np.uint64)\n"
+               "    return a + b\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL002"]
+
+    def test_bound_guard_discharges(self):
+        src = ("import numpy as np\n\n"
+               "def drain(acc, g, rows, q):\n"
+               "    assert (rows + 2) * (q - 1) ** 2 <= (1 << 64) - 1\n"
+               "    return acc.view(np.uint64) * g.view(np.uint64)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_named_u64_constant_discharges(self):
+        src = ("import numpy as np\n\n"
+               "_U64_MAX = (1 << 64) - 1\n\n"
+               "def drain(acc, g, bound):\n"
+               "    if bound > _U64_MAX:\n"
+               "        raise ValueError('overflow')\n"
+               "    return acc.view(np.uint64) * g.view(np.uint64)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_lazy_bound_annotation_discharges(self):
+        src = ("import numpy as np\n\n"
+               "def drain(acc, g):\n"
+               "    # lazy-bound: (rows + 2) * (q-1)^2 checked in __init__\n"
+               "    return acc.view(np.uint64) * g.view(np.uint64)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_plain_arithmetic_clean(self):
+        src = ("def drain(acc, g):\n"
+               "    return acc * g\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl003NttDomain:
+    def test_flags_eval_coeff_mix(self):
+        src = ("def f(ntt, a, b):\n"
+               "    ae = ntt.forward(a)\n"
+               "    bc = ntt.inverse(b)\n"
+               "    return ae * bc\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL003"]
+
+    def test_flags_mix_through_helper_call(self):
+        src = ("def f(eng, ntt, a, b):\n"
+               "    ae = ntt.forward_axis0(a)\n"
+               "    bc = ntt.inverse_axis0(b)\n"
+               "    return eng.mul(ae, bc)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL003"]
+
+    def test_same_domain_clean(self):
+        src = ("def f(ntt, a, b):\n"
+               "    ae = ntt.forward(a)\n"
+               "    be = ntt.forward(b)\n"
+               "    return ae * be\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_tags_flow_into_loop_bodies(self):
+        src = ("def f(ntt, a, b, n):\n"
+               "    ae = ntt.forward(a)\n"
+               "    for _ in range(n):\n"
+               "        bc = ntt.inverse(b)\n"
+               "        ae = ae + bc\n"
+               "    return ae\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL003"]
+
+    def test_reassignment_clears_tag(self):
+        src = ("def f(ntt, a, b):\n"
+               "    ae = ntt.forward(a)\n"
+               "    ae = b\n"
+               "    bc = ntt.inverse(b)\n"
+               "    return ae + bc\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_suppression_honored(self):
+        src = ("def f(ntt, a, b):\n"
+               "    ae = ntt.forward(a)\n"
+               "    bc = ntt.inverse(b)\n"
+               "    # heaplint: disable=HL003 negacyclic twist, domains ok\n"
+               "    return ae * bc\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl004SecretHygiene:
+    def test_flags_fstring_payload_leak(self):
+        src = ("def debug(sk):\n"
+               "    return f'key={sk.coeffs}'\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_flags_exception_message_leak(self):
+        src = ("def check(secret_key):\n"
+               "    raise ValueError(f'bad key {secret_key}')\n")
+        # Both the f-string and the exception-message sink fire here.
+        found = codes(analyze_source(src, COLD_PATH))
+        assert found and set(found) == {"HL004"}
+
+    def test_flags_logging_leak(self):
+        src = ("import logging\n\n"
+               "def trace(sk):\n"
+               "    logging.debug('key=%s', sk.coeffs)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_structural_attrs_clean(self):
+        src = ("def debug(sk):\n"
+               "    return f'dim={sk.dim} n={sk.n}'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_non_secret_values_clean(self):
+        src = ("def debug(ciphertext):\n"
+               "    return f'ct={ciphertext.body}'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_flags_secret_dataclass_without_repr(self):
+        src = ("from dataclasses import dataclass\n\n"
+               "@dataclass\n"
+               "class LweSecretKey:\n"
+               "    coeffs: object\n"
+               "    dim: int\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_secret_dataclass_with_repr_clean(self):
+        src = ("from dataclasses import dataclass\n\n"
+               "@dataclass\n"
+               "class LweSecretKey:\n"
+               "    coeffs: object\n"
+               "    dim: int\n\n"
+               "    def __repr__(self):\n"
+               "        return f'LweSecretKey(dim={self.dim})'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_suppression_honored(self):
+        src = ("def debug(sk):\n"
+               "    # heaplint: disable=HL004 test vector, not a real key\n"
+               "    return f'key={sk.coeffs}'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl005ParamConstruction:
+    def test_flags_non_power_of_two_n(self):
+        src = ("from repro.params import CkksParams\n\n"
+               "P = CkksParams(n=24, moduli=[97], special_moduli=[],"
+               " scale_bits=10)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL005"]
+
+    def test_flags_non_ntt_friendly_modulus(self):
+        # 97 % 128 != 1, so 97 has no 128th root of unity for N=64.
+        src = ("from repro.params import CkksParams\n\n"
+               "P = CkksParams(n=64, moduli=[97], special_moduli=[],"
+               " scale_bits=10)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL005"]
+
+    def test_valid_literals_clean(self):
+        # 257 = 2 * 128 + 1 is NTT-friendly for N=64.
+        src = ("from repro.params import CkksParams\n\n"
+               "P = CkksParams(n=64, moduli=[257], special_moduli=[],"
+               " scale_bits=10)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_non_literal_arguments_clean(self):
+        src = ("from repro.params import TfheParams\n\n"
+               "def build(n, primes):\n"
+               "    return TfheParams(n_t=10, n=n, q=primes[0],"
+               " aux_prime=primes[1])\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_params_module_itself_exempt(self):
+        src = ("P = CkksParams(n=24, moduli=[97], special_moduli=[],"
+               " scale_bits=10)\n")
+        assert analyze_source(src, "src/repro/params.py") == []
+
+    def test_suppression_honored(self):
+        src = ("from repro.params import TfheParams\n\n"
+               "import pytest\n\n"
+               "def test_rejects():\n"
+               "    with pytest.raises(ValueError):\n"
+               "        TfheParams(n_t=10, n=24, q=97, aux_prime=193)"
+               "  # heaplint: disable=HL005 intentionally invalid\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestSuppressionSyntax:
+    def test_standalone_comment_covers_next_code_line(self):
+        src = ("import numpy as np\n\n"
+               "# heaplint: disable=HL001 exact reference path\n"
+               "acc = np.zeros(8, dtype=object)\n")
+        assert analyze_source(src, HOT_PATH) == []
+
+    def test_missing_reason_is_reported(self):
+        src = ("import numpy as np\n\n"
+               "acc = np.zeros(8, dtype=object)  # heaplint: disable=HL001\n")
+        found = analyze_source(src, HOT_PATH)
+        assert BAD_SUPPRESSION_CODE in codes(found)
+        # The unsuppressed HL001 finding survives too.
+        assert "HL001" in codes(found)
+
+    def test_wrong_code_does_not_suppress(self):
+        src = ("import numpy as np\n\n"
+               "acc = np.zeros(8, dtype=object)"
+               "  # heaplint: disable=HL005 wrong code entirely\n")
+        assert "HL001" in codes(analyze_source(src, HOT_PATH))
+
+    def test_multi_code_suppression(self):
+        src = ("import numpy as np\n\n"
+               "def f(ntt, a, b):\n"
+               "    ae = ntt.forward(a)\n"
+               "    bc = ntt.inverse(b)\n"
+               "    out = np.asarray(ae * bc, dtype=object)"
+               "  # heaplint: disable=HL001,HL003 composed reference\n"
+               "    return out\n")
+        assert analyze_source(src, HOT_PATH) == []
+
+    def test_syntax_error_reported_not_raised(self):
+        found = analyze_source("def broken(:\n", COLD_PATH)
+        assert codes(found) == [BAD_SUPPRESSION_CODE]
+
+
+class TestBaseline:
+    SRC = ("import numpy as np\n\n"
+           "a = np.zeros(8, dtype=object)\n"
+           "b = np.zeros(8, dtype=object)\n")
+
+    def test_fingerprint_ignores_line_numbers(self):
+        one = analyze_source("import numpy as np\n\n"
+                             "a = np.zeros(8, dtype=object)\n", HOT_PATH)
+        two = analyze_source("import numpy as np\n\n\n\n"
+                             "a = np.zeros(8, dtype=object)\n", HOT_PATH)
+        assert one[0].fingerprint() == two[0].fingerprint()
+        assert one[0].line != two[0].line
+
+    def test_filter_new_subtracts_counts(self, tmp_path):
+        findings = analyze_source(self.SRC, HOT_PATH)
+        assert len(findings) == 2
+        path = tmp_path / "baseline.json"
+        Baseline.dump(findings, path)
+        assert Baseline.load(path).filter_new(findings) == []
+
+    def test_extra_identical_offence_still_fails(self, tmp_path):
+        findings = analyze_source(self.SRC, HOT_PATH)
+        path = tmp_path / "baseline.json"
+        Baseline.dump(findings[:1], path)
+        fresh = Baseline.load(path).filter_new(findings)
+        # a=... is baselined; b=... has a different snippet, so it stays.
+        assert len(fresh) == 1
+
+
+class TestCli:
+    BAD = ("from repro.params import CkksParams\n\n"
+           "P = CkksParams(n=24, moduli=[97], special_moduli=[],"
+           " scale_bits=10)\n")
+
+    def test_exit_1_on_new_finding(self, tmp_path, capsys):
+        target = tmp_path / "bad_params.py"
+        target.write_text(self.BAD)
+        assert lint_main([str(target), "--no-baseline"]) == 1
+        assert "HL005" in capsys.readouterr().out
+
+    def test_update_then_pass_with_baseline(self, tmp_path, capsys):
+        target = tmp_path / "bad_params.py"
+        target.write_text(self.BAD)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main([str(target), "--baseline", str(baseline),
+                          "--update-baseline"]) == 0
+        assert baseline.exists()
+        assert lint_main([str(target), "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+    def test_exit_2_on_missing_path(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope"), "--no-baseline"]) == 2
+        capsys.readouterr()
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("HL001", "HL002", "HL003", "HL004", "HL005"):
+            assert code in out
+
+
+class TestRepoSmoke:
+    def test_repository_tree_is_clean(self):
+        """The shipped tree must carry zero unsuppressed findings — the
+        CI lint job enforces exactly this (modulo the baseline, which is
+        empty)."""
+        root = Path(__file__).resolve().parents[1]
+        findings = analyze_paths(
+            [root / "src", root / "tests", root / "benchmarks"], root=root)
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,9 +1,9 @@
 """Unit and property tests for repro.math.modular."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.math.modular import (
     ModulusEngine,
@@ -175,6 +175,7 @@ class TestLazyReduction:
 
     @pytest.mark.parametrize("q", [97, 1073741441, 68719474049])
     def test_lazy_mac_sum_matches_naive(self, q):
+        # lazy-bound: 5 contraction terms, far below the 2^32-term capacity.
         eng = ModulusEngine(q)
         rng = np.random.default_rng(0)
         a = eng.asarray(rng.integers(0, min(q, 1 << 62), size=(3, 5, 4), dtype=np.int64))
@@ -188,6 +189,7 @@ class TestLazyReduction:
         assert np.array_equal(got.astype(object), want)
 
     def test_lazy_mac_sum_broadcasts(self):
+        # lazy-bound: 3 contraction terms, far below the 2^32-term capacity.
         q = 97
         eng = ModulusEngine(q)
         rng = np.random.default_rng(1)
@@ -203,6 +205,7 @@ class TestLazyReduction:
                     assert int(got[bi, c, j]) == want
 
     def test_lazy_sum_matches_mod_sum(self):
+        # lazy-bound: 64 summands of residues < 2^31 fit a uint64 lane.
         eng = ModulusEngine(1073741441)
         rng = np.random.default_rng(2)
         terms = eng.asarray(rng.integers(0, eng.q, size=(64, 8), dtype=np.int64))
@@ -213,6 +216,8 @@ class TestLazyReduction:
 
     def test_fast_path_no_overflow_at_31_bit_bound(self):
         """Accumulating many near-2^31 residues must stay exact in int64."""
+        # lazy-bound: 4096 * (q-1)^2 < 2^74 is held as reduced products, so
+        # the deferred sum of 4096 residues stays within the uint64 lane.
         eng = ModulusEngine(1073741441)
         big = eng.asarray(np.full((4096, 2), eng.q - 1, dtype=np.int64))
         got = eng.lazy_mac_sum(big, big, axis=0)

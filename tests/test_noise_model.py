@@ -1,6 +1,5 @@
 """Validate the noise model against measured pipeline runs."""
 
-import math
 
 import numpy as np
 import pytest

@@ -1,9 +1,9 @@
 """Tests for the negacyclic NTT engine against naive references."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.math.modular import find_ntt_primes
 from repro.math.ntt import NttEngine, get_ntt_engine, naive_negacyclic_mul

@@ -4,12 +4,11 @@ One test per quotable sentence of the abstract, so a reader can map the
 paper's claims onto this reproduction directly.
 """
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import pytest
 
-from repro.analysis import heap_t_mult_a_slot, table5_bootstrap, table6_lr
+from repro.analysis import heap_t_mult_a_slot
 from repro.hardware import (
     ClusterBootstrapModel,
     SingleFpgaModel,

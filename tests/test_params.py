@@ -90,8 +90,8 @@ class TestToyParams:
 
     def test_non_power_of_two_rejected(self):
         with pytest.raises(ParameterError):
-            CkksParams(n=24, moduli=[97], special_moduli=[193], scale_bits=10)
+            CkksParams(n=24, moduli=[97], special_moduli=[193], scale_bits=10)  # heaplint: disable=HL005 intentionally invalid: asserts the constructor rejects it
 
     def test_tfhe_requires_power_of_two(self):
         with pytest.raises(ParameterError):
-            TfheParams(n_t=10, n=24, q=97, aux_prime=193)
+            TfheParams(n_t=10, n=24, q=97, aux_prime=193)  # heaplint: disable=HL005 intentionally invalid: asserts the constructor rejects it

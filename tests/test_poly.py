@@ -1,9 +1,9 @@
 """Tests for RingPoly: ring arithmetic, rotation, automorphism."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import ParameterError
 from repro.math.modular import find_ntt_primes

@@ -1,9 +1,8 @@
 """Hypothesis property tests on cross-cutting invariants of the stack."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
 
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
 from repro.math.modular import find_ntt_primes
@@ -12,7 +11,7 @@ from repro.math.rns import RnsBasis, RnsPoly
 from repro.math.sampling import Sampler
 from repro.params import make_toy_params
 from repro.tfhe.extract import extract_lwe, rlwe_secret_as_lwe_key
-from repro.tfhe.glwe import GlweSecretKey, glwe_decrypt_coeffs, glwe_encrypt
+from repro.tfhe.glwe import GlweSecretKey, glwe_encrypt
 from repro.tfhe.lwe import LweSecretKey, lwe_decrypt, lwe_encrypt, lwe_phase
 
 N = 16

@@ -1,9 +1,9 @@
 """Tests for RNS polynomials, rescaling, and fast basis conversion."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+import numpy as np
+import pytest
 
 from repro.errors import ParameterError
 from repro.math.modular import find_ntt_primes
@@ -93,7 +93,6 @@ class TestRnsArithmetic:
         t = 5
         got = a.automorphism(t).to_int_coeffs()
         # Reference: automorphism on the composed big-int polynomial.
-        from repro.math.poly import RingPoly  # single-modulus reference at Q
         # Compose manually: apply index map on big-int coefficients.
         n = N
         coeffs = a.to_int_coeffs()

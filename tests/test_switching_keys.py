@@ -6,9 +6,9 @@ import pytest
 
 from repro.ckks import CkksContext, CkksKeyGenerator
 from repro.ckks.keyswitch import KeySwitcher
-from repro.math.rns import RnsBasis, RnsPoly, concat_bases
+from repro.math.rns import RnsPoly, concat_bases
 from repro.math.sampling import Sampler
-from repro.params import make_heap_params, make_toy_params
+from repro.params import make_toy_params
 from repro.switching.keys import (
     SwitchingKeySet,
     conventional_bootstrap_key_bytes,
@@ -45,9 +45,8 @@ class TestSwitchingKeySet:
 
     def test_brk_encrypts_secret_indicators(self, ctx, sk):
         """RGSW(s_i^+) encrypts 1 exactly when s_i = 1 (spot check)."""
-        from repro.tfhe.glwe import glwe_decrypt_coeffs
-        from repro.tfhe.rgsw import external_product, rgsw_trivial
-        from repro.tfhe.glwe import GlweCiphertext
+        from repro.tfhe.glwe import GlweCiphertext, glwe_decrypt_coeffs
+        from repro.tfhe.rgsw import external_product
         swk = SwitchingKeySet.generate(ctx, sk, Sampler(6), base_bits=4,
                                        error_std=0.8)
         basis = swk.raised_basis

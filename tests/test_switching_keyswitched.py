@@ -104,7 +104,7 @@ class TestBootstrap:
         ctx, sk, ev, boot = stack
         ct = ev.encrypt(0.1, level=0)
         big = boot._extract_all(ct, ct.basis.moduli[0])
-        assert all(l.dim == ctx.n for l in big)
+        assert all(lwe.dim == ctx.n for lwe in big)
         from repro.tfhe.lwe import lwe_keyswitch
         small = lwe_keyswitch(big[0], boot.keys.lwe_ksk)
         assert small.dim == N_T

@@ -10,7 +10,6 @@ from repro.math.rns import RnsBasis, RnsPoly
 from repro.math.sampling import Sampler
 from repro.tfhe.blind_rotate import (
     BlindRotateKey,
-    MonomialCache,
     blind_rotate,
     blind_rotate_batch,
     build_test_vector,
@@ -21,9 +20,9 @@ from repro.tfhe.extract import (
     extract_rns_lwe,
     rlwe_secret_as_lwe_key,
 )
-from repro.tfhe.glwe import GlweCiphertext, GlweSecretKey, glwe_decrypt_coeffs, glwe_encrypt
+from repro.tfhe.glwe import GlweSecretKey, glwe_decrypt_coeffs, glwe_encrypt
 from repro.tfhe.keyswitch import AutomorphismKeySet
-from repro.tfhe.lwe import LweCiphertext, LweSecretKey, lwe_encrypt, lwe_phase
+from repro.tfhe.lwe import LweSecretKey, lwe_encrypt, lwe_phase
 from repro.tfhe.repack import repack, repack_exponents
 
 N = 32

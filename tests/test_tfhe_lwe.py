@@ -1,6 +1,5 @@
 """Tests for LWE encryption, modulus switching and key switching."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ParameterError
@@ -8,7 +7,6 @@ from repro.math.gadget import GadgetVector
 from repro.math.modular import find_ntt_primes
 from repro.math.sampling import Sampler
 from repro.tfhe.lwe import (
-    LweCiphertext,
     LweKeySwitchKey,
     LweSecretKey,
     lwe_decrypt,
