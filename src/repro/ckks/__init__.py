@@ -13,6 +13,7 @@ from .encoder import CkksEncoder
 from .evaluator import CkksEvaluator
 from .keys import CkksKeyGenerator, KeySet, PublicKey, SecretKey, SwitchKey
 from .keyswitch import KeySwitcher
+from .keyswitch_engine import CkksKeyswitchEngine
 from .linear_transform import apply_conjugation_pair, apply_matrix, required_rotations
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "SecretKey",
     "SwitchKey",
     "KeySwitcher",
+    "CkksKeyswitchEngine",
     "ConventionalBootstrapConfig",
     "ConventionalBootstrapper",
     "ConventionalBootstrapTrace",

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 import math
-from typing import List, Optional, Tuple
+import time
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -85,6 +86,10 @@ class ConventionalBootstrapTrace:
     rotations: int = 0
     ct_ct_mults: int = 0
     notes: List[str] = field(default_factory=list)
+    #: Wall-clock seconds per pipeline step (note -> seconds), mirroring
+    #: the scheme-switch ``BootstrapTrace.step_seconds``; the EXPERIMENTS
+    #: step-share table is generated from this.
+    step_seconds: Dict[str, float] = field(default_factory=dict)
 
 
 class ConventionalBootstrapper:
@@ -116,12 +121,19 @@ class ConventionalBootstrapper:
         trace = trace if trace is not None else ConventionalBootstrapTrace()
         start_level = self.ctx.max_level
 
+        tick = time.perf_counter()
         raised = self._mod_raise(ct)
         trace.notes.append("ModRaise")
+        now = time.perf_counter()
+        trace.step_seconds["ModRaise"] = now - tick
+        tick = now
 
         # CoeffToSlot: slots <- (c_lo + i c_hi) of the raised phase.
         w = apply_conjugation_pair(self.ev, raised, *self._c2s)
         trace.notes.append("CoeffToSlot")
+        now = time.perf_counter()
+        trace.step_seconds["CoeffToSlot"] = now - tick
+        tick = now
 
         # Split packed real/imag coefficient streams.
         conj_w = self.ev.conjugate(w)
@@ -143,10 +155,14 @@ class ConventionalBootstrapper:
         im_i = self.ev.rescale(self.ev.mul_plain(im, np.full(self.ctx.slots, 1j)))
         re = self.ev.drop_to_level(re, im_i.level)
         w2 = self.ev.add(re, im_i)
+        now = time.perf_counter()
+        trace.step_seconds["EvalMod"] = now - tick
+        tick = now
 
         # SlotToCoeff.
         out = apply_conjugation_pair(self.ev, w2, *self._s2c)
         trace.notes.append("SlotToCoeff")
+        trace.step_seconds["SlotToCoeff"] = time.perf_counter() - tick
         trace.levels_consumed = start_level - out.level
         out.scale = ct.scale
         return out

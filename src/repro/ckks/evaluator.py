@@ -30,10 +30,11 @@ class CkksEvaluator:
 
     def __init__(self, context: CkksContext, keys: KeySet,
                  sampler: Optional[Sampler] = None,
-                 scale_rtol: float = _SCALE_RTOL):
+                 scale_rtol: float = _SCALE_RTOL,
+                 keyswitch_engine: str = "batched"):
         self.ctx = context
         self.keys = keys
-        self.switcher = KeySwitcher(context)
+        self.switcher = KeySwitcher(context, engine=keyswitch_engine)
         self.sampler = sampler or Sampler()
         # Relative tolerance for combining scales.  The conventional
         # bootstrapper runs with a loose tolerance and near-Delta primes
@@ -218,11 +219,31 @@ class CkksEvaluator:
         not bitwise identical — but they decrypt to the same values with
         the same noise class (tests assert value equality), at one ModUp
         for the whole rotation set instead of one per rotation.
+
+        With the batched engine, the whole rotation set is ONE eval-domain
+        gather on the lifted digit tensor, one stacked inner product and
+        one batched ModDown (bit-identical to the scalar hoisted loop).
         """
+        if not rotations:
+            return {}
+        two_n = 2 * self.ctx.n
+        ts = [pow(5, r % self.ctx.slots, two_n) for r in rotations]
+        eng = self.switcher.engine
+        if eng is not None and eng.handles(ct.basis):
+            keys = [self.keys.galois_key(t) for t in ts]
+            parts = eng.rotate_hoisted_parts(ct.c1, ts, keys)
+            c0_rot = eng.automorphism_eval_stack(ct.c0, ts)
+            out = {}
+            for i, r in enumerate(rotations):
+                u0, u1 = parts[i]
+                c0r = RnsPoly(ct.n, ct.basis,
+                              [c0_rot[row, i] for row in range(len(ct.basis))],
+                              "eval")
+                out[r] = CkksCiphertext(c0r + u0, u1, ct.scale)
+            return out
         ext, lifted = self.switcher.lift_digits(ct.c1.to_coeff())
         out = {}
-        for r in rotations:
-            t = pow(5, r % self.ctx.slots, 2 * self.ctx.n)
+        for t, r in zip(ts, rotations):
             key = self.keys.galois_key(t)
             rotated = [(j, lift.automorphism(t)) for j, lift in lifted]
             u0, u1 = self.switcher.inner_product_and_down(
@@ -233,6 +254,19 @@ class CkksEvaluator:
 
     def _apply_automorphism(self, ct: CkksCiphertext, t: int) -> CkksCiphertext:
         key = self.keys.galois_key(t)
+        eng = self.switcher.engine
+        if eng is not None and eng.handles(ct.basis):
+            # Permute *first*, then lift — same operation order as the
+            # scalar path (hoisting reorders it and lands different k*Q
+            # offsets), with the automorphism applied as an eval-domain
+            # gather: NTT(sigma_t(x)) == NTT(x)[eval_src] exactly.
+            rows = range(len(ct.basis))
+            c0g = eng.automorphism_eval_stack(ct.c0, [t])
+            c1g = eng.automorphism_eval_stack(ct.c1, [t])
+            c0r = RnsPoly(ct.n, ct.basis, [c0g[row, 0] for row in rows], "eval")
+            c1r = RnsPoly(ct.n, ct.basis, [c1g[row, 0] for row in rows], "eval")
+            u0, u1 = eng.switch(c1r, key)
+            return CkksCiphertext(c0r + u0, u1, ct.scale)
         c0r = ct.c0.automorphism(t).to_eval()
         c1r = ct.c1.automorphism(t).to_eval()
         u0, u1 = self.switcher.switch(c1r, key)

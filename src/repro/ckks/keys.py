@@ -50,9 +50,48 @@ class PublicKey:
 
 @dataclass
 class SwitchKey:
-    """Hybrid switching key: one (b_j, a_j) pair per digit group."""
+    """Hybrid switching key: one (b_j, a_j) pair per digit group.
+
+    Two derived views are cached on the key (ARK's key-reuse insight:
+    switching keys are long-lived, so anything derived from them should
+    be computed once):
+
+    * ``_restricted`` — per extended basis, the components' limb lists
+      restricted to that basis (what the scalar inner product consumes);
+    * ``_eval_tensors`` — per extended basis, the components stacked into
+      one ``(L_ext, dnum, 2, N)`` int64 tensor for the batched engine's
+      fused MAC.
+
+    Both are keyed on the moduli tuple and excluded from equality/repr.
+    """
 
     components: List[Tuple[RnsPoly, RnsPoly]]  # over extended basis Q*P, eval domain
+    _restricted: Dict[Tuple[int, ...], List[Tuple[RnsPoly, RnsPoly]]] = field(
+        default_factory=dict, repr=False, compare=False)
+    _eval_tensors: Dict[Tuple[int, ...], np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def restricted(self, ext: RnsBasis) -> List[Tuple[RnsPoly, RnsPoly]]:
+        """Components with limbs restricted to ``ext`` (cached per basis).
+
+        ``ext.moduli`` must be a prefix-compatible selection of the key
+        basis: limb ``i`` of the restriction is the limb of the component
+        at the position of ``ext.moduli[i]`` in the key's own basis.
+        """
+        cache_key = tuple(ext.moduli)
+        cached = self._restricted.get(cache_key)
+        if cached is None:
+            full = self.components[0][0].basis
+            pos = [full.moduli.index(q) for q in ext.moduli]
+            cached = [
+                (
+                    RnsPoly(b.n, ext, [b.limbs[i] for i in pos], b.domain),
+                    RnsPoly(a.n, ext, [a.limbs[i] for i in pos], a.domain),
+                )
+                for b, a in self.components
+            ]
+            self._restricted[cache_key] = cached
+        return cached
 
 
 @dataclass

@@ -18,20 +18,40 @@ Correctness sketch (per digit group ``j`` with sub-modulus ``Q_j``):
 
 from __future__ import annotations
 
-from typing import List, Tuple
-
+from typing import List, Optional, Tuple
 
 from ..errors import ParameterError
-from ..math.rns import RnsBasis, RnsPoly, basis_convert, concat_bases
+from ..math.rns import RnsBasis, RnsPoly, basis_convert_reference, concat_bases
 from .context import CkksContext
 from .keys import SwitchKey
 
 
 class KeySwitcher:
-    """Applies hybrid switching keys to polynomials at any level."""
+    """Applies hybrid switching keys to polynomials at any level.
 
-    def __init__(self, context: CkksContext):
+    ``engine="batched"`` (the default) routes ``switch`` and ``mod_down``
+    through :class:`~repro.ckks.keyswitch_engine.CkksKeyswitchEngine` —
+    cached BConv plans, one stacked NTT per ModUp, fused uint64 MACs —
+    whenever every extended-basis prime fits the fast-modulus bound and
+    the operand basis is a prefix of the context's limb chain; otherwise
+    it falls back to the scalar path.  ``engine="reference"`` pins the
+    frozen scalar path (the pre-engine per-limb object-dtype loops),
+    kept bit-identical as the cross-check oracle and benchmark baseline.
+    """
+
+    def __init__(self, context: CkksContext, engine: str = "batched"):
+        if engine not in ("batched", "reference"):
+            raise ParameterError(f"unknown keyswitch engine {engine!r}")
         self.ctx = context
+        self.engine_mode = engine
+        self._engine = None
+        if engine == "batched":
+            from .keyswitch_engine import CkksKeyswitchEngine
+
+            try:
+                self._engine = CkksKeyswitchEngine.for_context(context)
+            except ParameterError:
+                self._engine = None  # wide moduli: scalar fallback
         big_q = context.full_basis.product
         self._group_indices = context.digit_groups(context.max_level)
         # Q_j and Q_j_tilde for the *full* modulus; valid at every level
@@ -43,11 +63,18 @@ class KeySwitcher:
                 qj *= context.full_basis.moduli[idx]
             self._qj.append(qj)
 
+    @property
+    def engine(self) -> Optional["object"]:
+        """The batched engine, or ``None`` when running the scalar path."""
+        return self._engine
+
     # -- the main entry point ----------------------------------------------------------
 
     def switch(self, d: RnsPoly, key: SwitchKey) -> Tuple[RnsPoly, RnsPoly]:
         """Return ``(u0, u1)`` over ``d``'s basis such that
         ``u0 + u1*s_dst ~ d*s_src``."""
+        if self._engine is not None and self._engine.handles(d.basis):
+            return self._engine.switch(d, key)
         ext, lifted = self.lift_digits(d)
         return self.inner_product_and_down(lifted, key, ext, d.basis)
 
@@ -75,11 +102,12 @@ class KeySwitcher:
         n = lifted[0][1].n
         acc0 = RnsPoly.zero(n, ext, "eval")
         acc1 = RnsPoly.zero(n, ext, "eval")
+        restricted = key.restricted(ext)
         for j, lift in lifted:
-            b_j, a_j = key.components[j]
+            b_j, a_j = restricted[j]
             lift_eval = lift.to_eval()
-            acc0 = acc0 + lift_eval * self._restrict_key(b_j, ext)
-            acc1 = acc1 + lift_eval * self._restrict_key(a_j, ext)
+            acc0 = acc0 + lift_eval * b_j
+            acc1 = acc1 + lift_eval * a_j
         return self.mod_down(acc0, target), self.mod_down(acc1, target)
 
     # -- ModUp ------------------------------------------------------------------
@@ -96,7 +124,7 @@ class KeySwitcher:
             d_coeff.n, group_basis, [d_coeff.limbs[i].copy() for i in present], "coeff"
         )
         others = [q for q in ext.moduli if q not in set(group_basis.moduli)]
-        converted = basis_convert(group_poly, RnsBasis(others))
+        converted = basis_convert_reference(group_poly, RnsBasis(others))
         limb_for = {q: limb for q, limb in zip(others, converted.limbs)}
         for q, limb in zip(group_basis.moduli, group_poly.limbs):
             limb_for[q] = limb
@@ -114,10 +142,14 @@ class KeySwitcher:
         n_special = len(self.ctx.special_basis)
         if len(u.basis) != len(target) + n_special:
             raise ParameterError("ModDown basis arithmetic mismatch")
+        if self._engine is not None and self._engine.handles(target) \
+                and tuple(u.basis.moduli) == tuple(target.moduli) \
+                + tuple(self.ctx.special_basis.moduli):
+            return self._engine.mod_down_poly(u, target)
         u_coeff = u.to_coeff()
         p_basis = self.ctx.special_basis
         p_part = RnsPoly(u.n, p_basis, u_coeff.limbs[len(target):], "coeff")
-        correction = basis_convert(p_part, target)
+        correction = basis_convert_reference(p_part, target)
         p_prod = p_basis.product
         limbs = []
         for idx, (e, q) in enumerate(zip(target.engines, target.moduli)):

@@ -67,10 +67,13 @@ def apply_matrix(ev: CkksEvaluator, ct: CkksCiphertext,
     n2 = -(-n // n1)
     # Baby rotations of the input (rot_0 = identity), hoisted: one ModUp
     # serves every baby step (Halevi-Shoup; see CkksEvaluator.rotate_hoisted).
-    babies = [ct]
-    if n1 > 1:
-        hoisted = ev.rotate_hoisted(ct, list(range(1, n1)))
-        babies.extend(hoisted[i] for i in range(1, n1))
+    # Only baby steps that some non-zero diagonal actually consumes are
+    # rotated — sparse transform matrices skip the rest of the set.
+    nonzero = [r for r in range(n) if np.max(np.abs(diags[r])) >= 1e-14]
+    needed = sorted({r % n1 for r in nonzero} - {0})
+    babies = {0: ct}
+    if needed:
+        babies.update(ev.rotate_hoisted(ct, needed))
     out = None
     delta = ev.ctx.params.scale
     for j in range(n2):

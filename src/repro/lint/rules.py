@@ -20,6 +20,8 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/tfhe/repack_engine.py",
     "repro/math/ntt.py",
     "repro/math/automorphism.py",
+    "repro/math/rns.py",
+    "repro/ckks/keyswitch_engine.py",
 )
 
 #: Comment marker that discharges an HL002 proof obligation.

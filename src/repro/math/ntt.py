@@ -27,7 +27,7 @@ analogue of the paper's "two limbs per pass" memory layout.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -351,6 +351,140 @@ class NttEngine:
             a = a.reshape(a.shape[:-2] + (n,))
             m *= 2
         return a
+
+
+class StackedNttEngine:
+    """One butterfly pass for a whole stack of limbs over *distinct* moduli.
+
+    :class:`NttEngine` already vectorises over a batch axis for a single
+    modulus; an RNS polynomial, however, is a stack of limbs each with its
+    *own* prime, and transforming it limb-by-limb costs one Python-level
+    engine call per limb — at small rings the interpreter overhead of
+    those calls dominates the arithmetic.  This engine stacks the per-limb
+    twist/twiddle tables into ``(L, ...)`` arrays with a per-row modulus
+    vector and runs a single radix-2 pass over an ``(L, ..., N)`` tensor:
+    the software analogue of the paper's memory layout that streams
+    multiple limbs through the shared butterfly datapath per pass
+    (Section IV-D).
+
+    Bit-identity: every stage reduces the twiddle product eagerly and
+    accumulates lazily exactly like :meth:`NttEngine._butterfly` (the
+    bound grows by ``max(q)`` per stage and is drained once at the end),
+    and modular arithmetic is exact, so row ``i`` of the output equals
+    ``get_ntt_engine(n, moduli[i]).forward/inverse`` of row ``i``
+    bit-for-bit (tests assert it).  Fast-path moduli only (q < 2^31).
+    """
+
+    def __init__(self, n: int, moduli: Sequence[int]):
+        engines = [get_ntt_engine(n, int(q)) for q in moduli]
+        if not all(e.mod.fast for e in engines):
+            raise ParameterError("stacked NTT requires fast moduli (q < 2^31)")
+        if not engines:
+            raise ParameterError("stacked NTT needs at least one modulus")
+        self.n = n
+        self.moduli: Tuple[int, ...] = tuple(int(q) for q in moduli)
+        self.rows = len(engines)
+        self.max_q = max(self.moduli)
+        # Per-row modulus vectors broadcasting over (L, B, N) / (L, B, g, 2m).
+        qv = np.asarray(self.moduli, dtype=np.uint64)
+        self._qv3 = qv.reshape(-1, 1, 1)
+        self._qv4 = qv.reshape(-1, 1, 1, 1)
+        self._psi_u = np.stack([e._psi_u for e in engines])[:, None, :]
+        self._psi_inv_n_u = np.stack([e._psi_inv_n_u for e in engines])[:, None, :]
+        # Stage tables stacked across rows: stage s holds a (L, m) array.
+        self._stages_fwd = [np.stack(rows) for rows in
+                            zip(*(e._stages_fwd_u for e in engines))]
+        self._stages_inv = [np.stack(rows) for rows in
+                            zip(*(e._stages_inv_u for e in engines))]
+
+    # -- public API -----------------------------------------------------------
+
+    def forward(self, stack: np.ndarray) -> np.ndarray:
+        """Coefficient -> evaluation on an ``(L, ..., N)`` limb stack.
+
+        Row ``i`` is transformed modulo ``moduli[i]``; middle axes are an
+        ordinary batch.  Canonical ``int64`` in, canonical ``int64`` out.
+        """
+        arr = np.asarray(stack)
+        _profile_ntt(self.n, arr)
+        shape = arr.shape
+        a = np.ascontiguousarray(arr, dtype=np.int64).view(np.uint64)
+        a = a.reshape(self.rows, -1, self.n)
+        # lazy-bound: canonical residue times psi^j (both < 2^31) fits
+        # uint64; reduced immediately, so the butterfly starts canonical.
+        a = (a * self._psi_u) % self._qv3
+        a = a[..., _bitrev_indices(self.n)]
+        w, _ = self._butterfly(a, forward=True)
+        out = w % self._qv3
+        return out.view(np.int64).reshape(shape)
+
+    def inverse(self, stack: np.ndarray) -> np.ndarray:
+        """Evaluation -> coefficient on an ``(L, ..., N)`` limb stack."""
+        arr = np.asarray(stack)
+        _profile_ntt(self.n, arr)
+        shape = arr.shape
+        a = np.ascontiguousarray(arr, dtype=np.int64).view(np.uint64)
+        a = a.reshape(self.rows, -1, self.n)
+        a = a[..., _bitrev_indices(self.n)]
+        w, bound = self._butterfly(a, forward=False)
+        if (bound - 1) * (self.max_q - 1) > _U64_MAX:
+            w = w % self._qv3
+        # Fused untwist + 1/N scaling on the unreduced butterfly output
+        # (product bound checked above), one reduction at the end.
+        out = (w * self._psi_inv_n_u) % self._qv3
+        return out.view(np.int64).reshape(shape)
+
+    # -- internals --------------------------------------------------------------
+
+    def _butterfly(self, w: np.ndarray, forward: bool) -> Tuple[np.ndarray, int]:
+        """Radix-2 DIT stages on a bit-reversed ``(L, B, N)`` uint64 stack.
+
+        Identical lazy-reduction discipline to :meth:`NttEngine._butterfly`
+        with the bound tracked against the *largest* row modulus: only the
+        twiddle products are reduced (per row, via the broadcast modulus
+        vector), sums stay unreduced and grow the bound by ``max_q`` per
+        stage, and the guard forces a full reduction before any product
+        could overflow 64 bits.  Returns the unreduced result plus its
+        exclusive bound for the caller to drain.
+        """
+        n = self.n
+        max_q = self.max_q
+        tables = self._stages_fwd if forward else self._stages_inv
+        bound = max_q
+        m = 1
+        for tw in tables:
+            if (bound - 1) * (max_q - 1) > _U64_MAX:
+                w = w % self._qv3
+                bound = max_q
+            v = w.reshape(self.rows, -1, n // (2 * m), 2 * m)
+            lo = v[..., :m]
+            hi = v[..., m:]
+            if m == 1:
+                # Stage-1 twiddle is w^0 = 1 for every row: inputs are
+                # canonical, so the product/reduction is the identity.
+                t = hi
+            else:
+                t = (hi * tw[:, None, None, :]) % self._qv4
+            # lo - t realised as lo + (q - t) against the per-row modulus;
+            # t is canonical so the complement stays non-negative.
+            w = np.concatenate([lo + t, lo + (self._qv4 - t)], axis=-1)
+            w = w.reshape(self.rows, -1, n)
+            bound += max_q
+            m *= 2
+        return w, bound
+
+
+_STACKED_CACHE: Dict[Tuple[int, Tuple[int, ...]], StackedNttEngine] = {}
+
+
+def get_stacked_ntt_engine(n: int, moduli: Sequence[int]) -> StackedNttEngine:
+    """Process-wide cache of stacked multi-modulus NTT engines."""
+    key = (n, tuple(int(q) for q in moduli))
+    engine = _STACKED_CACHE.get(key)
+    if engine is None:
+        engine = StackedNttEngine(n, key[1])
+        _STACKED_CACHE[key] = engine
+    return engine
 
 
 def naive_negacyclic_mul(a, b, q: int) -> np.ndarray:

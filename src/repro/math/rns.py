@@ -16,17 +16,21 @@ polynomial per prime ``q_i`` (paper Section II-A).  This module provides
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ParameterError
 from .automorphism import get_automorphism_perm
 from .modular import ModulusEngine, crt_compose
-from .ntt import get_ntt_engine
+from .ntt import get_ntt_engine, get_stacked_ntt_engine
 
 COEFF = "coeff"
 EVAL = "eval"
+
+#: Exclusive bound for a uint64 lane; BConv plans check their deferred
+#: accumulation bounds exactly against this at plan-build time.
+_U64_MAX = (1 << 64) - 1
 
 
 class RnsBasis:
@@ -94,8 +98,8 @@ class RnsPoly:
     @classmethod
     def from_int_coeffs(cls, n: int, basis: RnsBasis, coeffs: Iterable[int]) -> "RnsPoly":
         """Reduce a vector of (possibly huge / signed) integers limb-wise."""
-        coeffs = np.asarray(list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs,
-                            dtype=object)
+        raw = list(coeffs) if not isinstance(coeffs, np.ndarray) else coeffs
+        coeffs = np.asarray(raw, dtype=object)  # heaplint: disable=HL001 big-int ingest, not a hot loop
         if coeffs.shape != (n,):
             raise ParameterError(f"expected {n} coefficients, got {coeffs.shape}")
         limbs = [e.asarray(coeffs) for e in basis.engines]
@@ -103,9 +107,27 @@ class RnsPoly:
 
     # -- domain management -----------------------------------------------------------
 
+    def _stackable(self):
+        """Int64 limb stack when every modulus has a fast stacked NTT."""
+        if not all(
+            isinstance(limb, np.ndarray) and limb.dtype == np.int64
+            for limb in self.limbs
+        ):
+            return None
+        try:
+            engine = get_stacked_ntt_engine(self.n, self.basis.moduli)
+        except ParameterError:
+            return None
+        return engine, np.stack(self.limbs)
+
     def to_eval(self) -> "RnsPoly":
         if self.domain == EVAL:
             return self
+        stacked = self._stackable()
+        if stacked is not None:
+            engine, stack = stacked
+            out = engine.forward(stack)
+            return RnsPoly(self.n, self.basis, list(out), EVAL)
         limbs = [
             get_ntt_engine(self.n, q).forward(limb)
             for q, limb in zip(self.basis.moduli, self.limbs)
@@ -115,6 +137,11 @@ class RnsPoly:
     def to_coeff(self) -> "RnsPoly":
         if self.domain == COEFF:
             return self
+        stacked = self._stackable()
+        if stacked is not None:
+            engine, stack = stacked
+            out = engine.inverse(stack)
+            return RnsPoly(self.n, self.basis, list(out), COEFF)
         limbs = [
             get_ntt_engine(self.n, q).inverse(limb)
             for q, limb in zip(self.basis.moduli, self.limbs)
@@ -207,7 +234,7 @@ class RnsPoly:
     def to_int_coeffs(self) -> np.ndarray:
         """CRT-compose into big-int coefficients in ``[0, Q)`` (object array)."""
         src = self.to_coeff()
-        stack = np.stack([np.asarray(limb, dtype=object) for limb in src.limbs])
+        stack = np.stack([np.asarray(limb, dtype=object) for limb in src.limbs])  # heaplint: disable=HL001 CRT big-int egress, not a hot loop
         return crt_compose(stack, self.basis.moduli)
 
     def to_centered_int_coeffs(self) -> np.ndarray:
@@ -232,6 +259,127 @@ class RnsPoly:
         return f"RnsPoly(n={self.n}, L={len(self.basis)}, domain={self.domain})"
 
 
+class BconvPlan:
+    """Cached constants for one ``(source basis, target basis)`` BConv pair.
+
+    The HPS conversion ``y_j = sum_i [x_i * (Q/q_i)^{-1}]_{q_i} * (Q/q_i)
+    mod p_j`` needs, per pair of bases, the scaling vector
+    ``q~_i = (Q/q_i)^{-1} mod q_i`` and the factor matrix
+    ``F[j, i] = (Q/q_i) mod p_j``.  The old path recomputed the big-int
+    quotients ``Q // q_i`` (and a modular inverse) on *every call*; a plan
+    computes them once, keyed on the moduli tuples, and bakes them into
+    engine-dtype tables so the whole conversion is a single stacked
+    matrix-MAC — the fused-MAC workload of paper Section IV-A.
+
+    When every modulus on both sides is a fast prime (``q < 2^31``) the
+    conversion runs as one uint64 matmul with lazy reduction; otherwise it
+    falls back to exact object-dtype accumulation (bit-identical either
+    way, since all arithmetic is exact mod ``p_j``).
+    """
+
+    def __init__(self, src_moduli: Sequence[int], dst_moduli: Sequence[int]):
+        self.src_moduli: Tuple[int, ...] = tuple(int(q) for q in src_moduli)
+        self.dst_moduli: Tuple[int, ...] = tuple(int(q) for q in dst_moduli)
+        if not self.src_moduli or not self.dst_moduli:
+            raise ParameterError("BConv bases must be non-empty")
+        big_q = 1
+        for q in self.src_moduli:
+            big_q *= q
+        self.src_product = big_q
+        # q~_i = (Q/q_i)^{-1} mod q_i  and  F[j, i] = (Q/q_i) mod p_j.
+        q_star = [big_q // q for q in self.src_moduli]
+        self.q_tilde: List[int] = [
+            pow(q_star[i] % q, -1, q) for i, q in enumerate(self.src_moduli)
+        ]
+        self.factors: List[List[int]] = [
+            [q_star[i] % pj for i in range(len(self.src_moduli))]
+            for pj in self.dst_moduli
+        ]
+        self.rows_in = len(self.src_moduli)
+        self.rows_out = len(self.dst_moduli)
+        self.fast = all(q < (1 << 31) for q in self.src_moduli + self.dst_moduli)
+        if self.fast:
+            self._q_tilde_u = np.asarray(self.q_tilde, dtype=np.uint64).reshape(-1, 1)
+            self._src_q_u = np.asarray(self.src_moduli, dtype=np.uint64).reshape(-1, 1)
+            self._dst_q_u = np.asarray(self.dst_moduli, dtype=np.uint64).reshape(-1, 1)
+            self._factors_u = np.asarray(self.factors, dtype=np.uint64)
+            # Exact (python-int) worst case of one output row of the
+            # deferred matmul: every scaled residue at its maximum q_i - 1.
+            worst = max(
+                sum((q - 1) * f for q, f in zip(self.src_moduli, row))
+                for row in self.factors
+            )
+            self._matmul_ok = worst <= _U64_MAX
+
+    def convert_stack(self, stack: np.ndarray) -> np.ndarray:
+        """Fast-path conversion of an ``(L_in, ..., N)`` canonical stack.
+
+        Row ``i`` holds residues mod ``src_moduli[i]``; returns the
+        ``(L_out, ..., N)`` stack of residues mod ``dst_moduli[j]``.
+        Canonical ``int64`` in, canonical ``int64`` out.
+        """
+        arr = np.asarray(stack)
+        trailing = arr.shape[1:]
+        a = np.ascontiguousarray(arr, dtype=np.int64).view(np.uint64)
+        a = a.reshape(self.rows_in, -1)
+        # lazy-bound: canonical residue (< q_i < 2^31) times q~_i (< q_i)
+        # stays below 2^62; reduced immediately, row-wise.
+        scaled = (a * self._q_tilde_u) % self._src_q_u
+        if self._matmul_ok:
+            # lazy-bound: output row j accumulates sum_i (q_i - 1) * F[j, i];
+            # the exact worst case was checked against 2^64 - 1 at plan
+            # build (self._matmul_ok), so the uint64 matmul cannot wrap.
+            acc = self._factors_u @ scaled
+            acc %= self._dst_q_u
+        else:
+            acc = np.empty((self.rows_out, scaled.shape[1]), dtype=np.uint64)
+            for j in range(self.rows_out):
+                pj = self._dst_q_u[j]
+                prods = (scaled * self._factors_u[j][:, None]) % pj
+                # lazy-bound: L_in canonical summands each < p_j < 2^31, so
+                # the deferred sum stays below L_in * 2^31 << 2^64.
+                acc[j] = prods.sum(axis=0) % pj
+        return acc.view(np.int64).reshape((self.rows_out,) + trailing)
+
+    def convert_limbs_wide(self, limbs: List[np.ndarray],
+                           src_engines: List[ModulusEngine],
+                           dst_engines: List[ModulusEngine]) -> List[np.ndarray]:
+        """Object-dtype fallback for moduli beyond the fast bound.
+
+        Exact accumulation then a single reduction per output limb — the
+        same value mod ``p_j`` as the fast path, in the engine's dtype.
+        """
+        scaled = [
+            e.mul(limb, tilde % e.q)
+            for e, limb, tilde in zip(src_engines, limbs, self.q_tilde)
+        ]
+        out = []
+        for e_out, row in zip(dst_engines, self.factors):
+            acc = sum(
+                np.asarray(s, dtype=object) * f for s, f in zip(scaled, row)  # heaplint: disable=HL001 wide-modulus fallback, exact big-int path
+            )
+            out.append(e_out.asarray(acc))
+        return out
+
+
+_BCONV_PLANS: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], BconvPlan] = {}
+
+
+def get_bconv_plan(src_moduli: Sequence[int], dst_moduli: Sequence[int]) -> BconvPlan:
+    """Process-wide plan cache keyed on the two moduli tuples."""
+    from ..profiling import record_bconv_plan
+
+    key = (tuple(int(q) for q in src_moduli), tuple(int(q) for q in dst_moduli))
+    plan = _BCONV_PLANS.get(key)
+    if plan is None:
+        plan = BconvPlan(key[0], key[1])
+        _BCONV_PLANS[key] = plan
+        record_bconv_plan(hit=False)
+    else:
+        record_bconv_plan(hit=True)
+    return plan
+
+
 def basis_convert(poly: RnsPoly, target: RnsBasis) -> RnsPoly:
     """Approximate fast basis conversion (HPS BConv).
 
@@ -244,6 +392,27 @@ def basis_convert(poly: RnsPoly, target: RnsBasis) -> RnsPoly:
     ``Q`` (the well-known approximation error), which the hybrid key
     switch tolerates; tests bound this error explicitly.  This is exactly
     the MAC-unit workload described for ModUp/ModDown in Section IV-A.
+
+    All per-pair constants come from a cached :class:`BconvPlan`; on fast
+    moduli the conversion is one stacked uint64 matrix-MAC.  Bit-identical
+    to :func:`basis_convert_reference` (tests cross-check).
+    """
+    src = poly.to_coeff()
+    plan = get_bconv_plan(src.basis.moduli, target.moduli)
+    if plan.fast:
+        out = plan.convert_stack(np.stack(src.limbs))
+        out_limbs = [out[j] for j in range(len(target))]
+    else:
+        out_limbs = plan.convert_limbs_wide(src.limbs, src.basis.engines, target.engines)
+    return RnsPoly(src.n, target, out_limbs, COEFF)
+
+
+def basis_convert_reference(poly: RnsPoly, target: RnsBasis) -> RnsPoly:
+    """Frozen scalar BConv oracle (the pre-engine per-limb object MAC).
+
+    Kept verbatim as the cross-check baseline for the keyswitch engine's
+    ``"reference"`` mode and the benchmark denominator; new code should
+    call :func:`basis_convert`.
     """
     src = poly.to_coeff()
     b_moduli = src.basis.moduli
@@ -259,7 +428,7 @@ def basis_convert(poly: RnsPoly, target: RnsBasis) -> RnsPoly:
         acc = e_out.zeros(src.n)
         for qi, s in zip(b_moduli, scaled):
             factor = (big_q // qi) % e_out.q
-            acc = e_out.mac(acc, np.asarray(s, dtype=object) % e_out.q, factor)
+            acc = e_out.mac(acc, np.asarray(s, dtype=object) % e_out.q, factor)  # heaplint: disable=HL001 frozen scalar oracle
         out_limbs.append(e_out.reduce(acc))
     return RnsPoly(src.n, target, out_limbs, COEFF)
 

@@ -52,6 +52,26 @@ class OpStats:
     #: full pack level ``k`` merges ``n/2^(k+1)`` pairs, then each trace
     #: level is a single fold — the counters make the pyramid visible.
     repack_level_hist: Dict[int, int] = field(default_factory=dict)
+    # -- CKKS hybrid-keyswitch engine counters ---------------------------
+    ks_modup_macs: int = 0      # limb-MACs spent lifting digits to Q*P
+    ks_moddown_macs: int = 0    # limb-MACs spent scaling back down by P
+    ks_ntt_saved: int = 0       # per-limb NTT calls avoided by hoisting
+    ks_hoisted_rotations: int = 0  # rotations served from one shared lift
+    bconv_plan_hits: int = 0    # BconvPlan cache hits
+    bconv_plan_misses: int = 0  # BconvPlan cache builds
+
+    def record_keyswitch(self, *, modup_macs: int = 0, moddown_macs: int = 0,
+                         ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
+        self.ks_modup_macs += modup_macs
+        self.ks_moddown_macs += moddown_macs
+        self.ks_ntt_saved += ntt_saved
+        self.ks_hoisted_rotations += hoisted_rotations
+
+    def record_bconv_plan(self, hit: bool) -> None:
+        if hit:
+            self.bconv_plan_hits += 1
+        else:
+            self.bconv_plan_misses += 1
 
     def record_ntt(self, n: int, batch: int) -> None:
         self.ntt_calls += batch
@@ -121,6 +141,21 @@ def record_repack_level(level: int, keyswitches: int, *, phase: str = "merge",
         _ACTIVE.record_repack_level(level, keyswitches, phase=phase,
                                     hoisted=hoisted, fresh=fresh,
                                     ntt_saved=ntt_saved)
+
+
+def record_keyswitch(*, modup_macs: int = 0, moddown_macs: int = 0,
+                     ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
+    """Record one hybrid-keyswitch pass (MAC counts are per limb element)."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_keyswitch(modup_macs=modup_macs, moddown_macs=moddown_macs,
+                                 ntt_saved=ntt_saved,
+                                 hoisted_rotations=hoisted_rotations)
+
+
+def record_bconv_plan(hit: bool) -> None:
+    """Record a BconvPlan cache lookup (hit) or build (miss)."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_bconv_plan(hit)
 
 
 @contextlib.contextmanager
