@@ -64,6 +64,10 @@ def bench_fig1_step_structure(benchmark):
     shares = ", ".join(f"{k} {v * 1e3:.1f}ms"
                        for k, v in ss_trace.step_seconds.items())
     lines.append(f"    step breakdown: {shares}")
+    fanout = ", ".join(f"node{k} {v * 1e3:.1f}ms"
+                       for k, v in sorted(ss_trace.node_seconds.items()))
+    lines.append(f"    fan-out: {fanout} (retries {ss_trace.fanout_retries}, "
+                 f"re-sent LWEs {ss_trace.fanout_redispatched_lwes})")
     lines.append(f"    levels consumed: {ctx.max_level - ss_out.level + 1} "
                  "(bootstrap depth 1)")
     emit("fig1_steps", "\n".join(lines))

@@ -7,6 +7,8 @@ still being able to distinguish parameter problems from runtime failures.
 
 from __future__ import annotations
 
+from typing import Sequence, Tuple
+
 
 class ReproError(Exception):
     """Base class for every error raised by this package."""
@@ -30,3 +32,27 @@ class ScaleMismatchError(ReproError):
 
 class NoiseBudgetExceeded(ReproError):
     """Decryption noise exceeded the correctness bound."""
+
+
+class WireFormatError(ReproError):
+    """A framed wire blob failed its integrity check (bad CRC, truncated
+    payload, or a header that does not match the payload length)."""
+
+
+class ClusterExecutionError(ReproError):
+    """The distributed bootstrap could not complete.
+
+    Raised by the cluster executor only after recovery has been
+    exhausted: either no healthy node remains to take a failed fan-out
+    slice, or the per-fan-out retry budget ran out (a guard against
+    faults injected persistently on every node).  ``failed_nodes`` lists
+    the node ids declared dead, ``pending_slices`` the ``(start, stop)``
+    LWE ranges that never produced verified results.
+    """
+
+    def __init__(self, message: str,
+                 failed_nodes: Sequence[int] = (),
+                 pending_slices: Sequence[Tuple[int, int]] = ()) -> None:
+        super().__init__(message)
+        self.failed_nodes: Tuple[int, ...] = tuple(failed_nodes)
+        self.pending_slices: Tuple[Tuple[int, int], ...] = tuple(pending_slices)

@@ -5,20 +5,60 @@ matters for wide-modulus limbs.  The format is versioned and explicit
 about moduli so deserialisation can validate against a context (mixing
 ciphertexts across parameter sets is rejected rather than silently
 producing garbage).
+
+For transport across simulated node boundaries every blob can
+additionally be wrapped in a CRC frame (:func:`frame_blob` /
+:func:`unframe_blob`): an 8-byte header carrying the payload's CRC32 and
+length.  The cluster simulation frames everything it puts on the wire so
+the receiving side can *detect* corruption and truncation — the trigger
+for the primary's re-dispatch recovery (Section V fault model) — instead
+of feeding garbage into the bootstrap.
 """
 
 from __future__ import annotations
 
 import json
+import struct
+import zlib
 
 import numpy as np
 
 from .ckks.ciphertext import CkksCiphertext
-from .errors import ParameterError
+from .errors import ParameterError, WireFormatError
 from .math.rns import RnsBasis, RnsPoly
 from .tfhe.lwe import LweCiphertext
 
 FORMAT_VERSION = 1
+
+#: Wire frame header: big-endian CRC32 of the payload, then payload length.
+WIRE_HEADER = struct.Struct(">II")
+
+
+def frame_blob(payload: bytes) -> bytes:
+    """Wrap a serialized blob for the wire: ``CRC32 | length | payload``."""
+    return WIRE_HEADER.pack(zlib.crc32(payload) & 0xFFFFFFFF,
+                            len(payload)) + payload
+
+
+def unframe_blob(blob: bytes) -> bytes:
+    """Verify and strip a :func:`frame_blob` frame.
+
+    Raises :class:`~repro.errors.WireFormatError` on a short header, a
+    length mismatch (truncated/padded payload) or a CRC32 mismatch — the
+    three corruption modes the fault injector exercises.
+    """
+    if len(blob) < WIRE_HEADER.size:
+        raise WireFormatError(
+            f"framed blob of {len(blob)} bytes is shorter than its header")
+    crc, length = WIRE_HEADER.unpack_from(blob)
+    payload = blob[WIRE_HEADER.size:]
+    if len(payload) != length:
+        raise WireFormatError(
+            f"framed blob length mismatch: header says {length} bytes, "
+            f"payload has {len(payload)}")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise WireFormatError("CRC32 mismatch: blob corrupted in transit")
+    return payload
 
 
 # -- RnsPoly ---------------------------------------------------------------------

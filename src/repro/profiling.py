@@ -18,10 +18,11 @@ Usage::
 from __future__ import annotations
 
 import contextlib
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, Optional
+from dataclasses import dataclass, field, fields
+from typing import TYPE_CHECKING, Dict, Iterator, Optional
 
-from .hardware.config import HeapHwConfig
+if TYPE_CHECKING:
+    from .hardware.config import HeapHwConfig
 
 
 @dataclass
@@ -59,6 +60,10 @@ class OpStats:
     ks_hoisted_rotations: int = 0  # rotations served from one shared lift
     bconv_plan_hits: int = 0    # BconvPlan cache hits
     bconv_plan_misses: int = 0  # BconvPlan cache builds
+    # -- bootstrap fan-out counters (local + cluster executors) ----------
+    fanout_dispatches: int = 0  # BlindRotate slices dispatched (first attempts)
+    fanout_retries: int = 0     # recovery re-dispatches after a detected fault
+    fanout_redispatched_lwes: int = 0  # LWE ciphertexts re-sent by recovery
 
     def record_keyswitch(self, *, modup_macs: int = 0, moddown_macs: int = 0,
                          ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
@@ -72,6 +77,25 @@ class OpStats:
             self.bconv_plan_hits += 1
         else:
             self.bconv_plan_misses += 1
+
+    def record_fanout(self, *, dispatches: int = 0, retries: int = 0,
+                      redispatched_lwes: int = 0) -> None:
+        self.fanout_dispatches += dispatches
+        self.fanout_retries += retries
+        self.fanout_redispatched_lwes += redispatched_lwes
+
+    def merge(self, other: "OpStats") -> None:
+        """Add another region's tally into this one (every scalar counter
+        summed, every histogram merged per key) — how a nested
+        :func:`count_ops` region forwards its ops to its parent."""
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if isinstance(mine, dict):
+                for key, value in theirs.items():
+                    mine[key] = mine.get(key, 0) + value
+            else:
+                setattr(self, f.name, mine + theirs)
 
     def record_ntt(self, n: int, batch: int) -> None:
         self.ntt_calls += batch
@@ -158,9 +182,24 @@ def record_bconv_plan(hit: bool) -> None:
         _ACTIVE.record_bconv_plan(hit)
 
 
+def record_fanout(*, dispatches: int = 0, retries: int = 0,
+                  redispatched_lwes: int = 0) -> None:
+    """Record bootstrap fan-out activity (dispatches / recovery retries)."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_fanout(dispatches=dispatches, retries=retries,
+                              redispatched_lwes=redispatched_lwes)
+
+
 @contextlib.contextmanager
 def count_ops() -> Iterator[OpStats]:
-    """Collect op counts for the enclosed block (not reentrant)."""
+    """Collect op counts for the enclosed block.
+
+    Regions nest: while an inner region is active its collector receives
+    the ops, and when it closes the inner tally is *forwarded* to the
+    enclosing region, so an outer region always sees the inclusive total
+    (earlier revisions silently dropped everything recorded inside a
+    nested region).
+    """
     global _ACTIVE
     previous = _ACTIVE
     stats = OpStats()
@@ -169,12 +208,18 @@ def count_ops() -> Iterator[OpStats]:
         yield stats
     finally:
         _ACTIVE = previous
+        if previous is not None:
+            previous.merge(stats)
 
 
 def estimate_hardware_seconds(stats: OpStats,
                               hw: Optional[HeapHwConfig] = None) -> float:
     """Price measured op counts on the HEAP compute array (compute-bound
     estimate: total scalar multiplications over 512 pipelined units)."""
+    # Imported here: profiling is a leaf module used by the hot paths, and
+    # a top-level import would cycle through repro.hardware -> repro.switching.
+    from .hardware.config import HeapHwConfig
+
     hw = hw or HeapHwConfig()
     cycles = stats.total_scalar_mults() / hw.num_mod_units
     return hw.cycles_to_seconds(cycles)

@@ -8,10 +8,19 @@ from .keyswitched import (
     KeySwitchedKeySet,
     make_keyswitched_toy_params,
 )
-from .scheduler import BootstrapSchedule, NodeAssignment, make_schedule
+from .pipeline import BootstrapPipeline, Executor, LocalExecutor
+from .scheduler import (
+    BootstrapSchedule,
+    NodeAssignment,
+    make_schedule,
+    pick_recovery_node,
+)
 
 __all__ = [
+    "BootstrapPipeline",
     "BootstrapTrace",
+    "Executor",
+    "LocalExecutor",
     "SchemeSwitchBootstrapper",
     "expected_k_prime_std",
     "FunctionalEvaluator",
@@ -27,4 +36,5 @@ __all__ = [
     "BootstrapSchedule",
     "NodeAssignment",
     "make_schedule",
+    "pick_recovery_node",
 ]

@@ -1,77 +1,32 @@
-"""The scheme-switching CKKS bootstrap (paper Algorithm 2).
+"""The scheme-switching CKKS bootstrap (paper Algorithm 2) — local path.
 
 Given a level-0 CKKS ciphertext ``ct = (c0, c1)`` modulo the base limb
 ``q`` with message ``m`` (``|m| << q``), produce a ciphertext modulo the
 full ``Q`` encrypting the same ``m`` — *without* the linear transforms
 and sine approximation of conventional bootstrapping.
 
-Correctness sketch (per coefficient, all quantities exact integers;
-``phi(x) = c0 + c1*s`` with stored representatives in ``[0, q)``):
-
-* ``phi(ct) = [m]_q + q*K`` for an integer ``K``.
-* Step 1: ``ct' = [2N * ct]_q`` so ``phi(ct') = [2N m]_q + q*K'`` with
-  ``|K'| <~ ||s||_1`` (a random-walk bound, std ~ sqrt(N/18)).
-* Step 2: ``ct_ms = (2N*ct - ct')/q`` is an exact integer ciphertext over
-  ``Z_2N`` and ``phi(ct_ms) = J - K' (mod 2N)`` where
-  ``J = floor(2N*[m]_centered/q)`` is tiny because ``|m| << q``.
-* Step 3: Extract the ``N`` dimension-``N`` LWE ciphertexts of ``ct_ms``
-  (Eq. 2), BlindRotate each with the test function ``g(t) = q*t`` (folded
-  with ``N^{-1}`` for the repack factor), and repack: the result
-  ``ct_kq`` encrypts ``q*(J - K')`` in every coefficient — this is the
-  ``-k*q`` term of the paper, computed by table lookup instead of a sine
-  polynomial.  Requires ``|J - K'| < N/2`` (checked probabilistically by
-  parameters; violated coefficients alias).
-* Step 4: ``ct'' = ct_kq + ct' (mod Qp)`` has phase
-  ``q(J-K') + 2N m - qJ + qK' = 2N * m`` exactly.
-* Step 5: multiply by ``w = (p-1)/2N`` (exact — ``p = 1 (mod 2N)`` for
-  every NTT prime) and Rescale by ``p``: the message becomes
-  ``m * (p-1)/p ~ m`` over the full basis ``Q``.  One level consumed.
-
-The BlindRotates in step 3 are mutually independent — the parallelism the
-whole paper is built on; :class:`BootstrapSchedule` (scheduler module)
-partitions them over compute nodes.
+The algorithm itself — stages, arithmetic and the full correctness
+derivation — lives in :mod:`repro.switching.pipeline`; this class is a
+thin shell that plugs the in-process :class:`~repro.switching.pipeline.
+LocalExecutor` into the shared :class:`~repro.switching.pipeline.
+BootstrapPipeline`.  The multi-node simulation
+(:mod:`repro.switching.cluster_sim`) wraps the *same* pipeline with a
+message-passing executor, so the two paths cannot drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 import math
-import time
-from typing import Dict, List, Optional
-
-import numpy as np
+from typing import Optional
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
-from ..errors import ParameterError
-from ..math.rns import RnsPoly
-from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector, get_monomial_cache
-from ..tfhe.glwe import GlweCiphertext
-from ..tfhe.lwe import LweCiphertext
-from ..tfhe.repack import repack_with_counters
+from ..tfhe.blind_rotate import get_monomial_cache
 from .keys import SwitchingKeySet
+from .pipeline import BootstrapPipeline, BootstrapTrace, extract_mod_2n
 
-
-@dataclass
-class BootstrapTrace:
-    """Step-by-step record (drives the Figure-1 bench and the scheduler).
-
-    ``repack_keyswitches`` is the *true* keyswitch count sourced from the
-    repack engine's counters: ``n - 1`` merge-tree nodes plus one per
-    trace level (earlier revisions reported only the ``log2 n`` level
-    count).  ``step_seconds`` holds wall-clock per pipeline step
-    (``extract`` / ``blind_rotate`` / ``repack`` / ``finish``) — the
-    Figure-1-style share breakdown.
-    """
-
-    num_lwe: int = 0
-    num_blind_rotates: int = 0
-    modswitch_ops: int = 0
-    repack_keyswitches: int = 0
-    repack_merge_keyswitches: int = 0
-    repack_trace_keyswitches: int = 0
-    step_seconds: Dict[str, float] = field(default_factory=dict)
-    notes: List[str] = field(default_factory=list)
+__all__ = ["BootstrapTrace", "SchemeSwitchBootstrapper",
+           "expected_k_prime_std"]
 
 
 class SchemeSwitchBootstrapper:
@@ -92,107 +47,20 @@ class SchemeSwitchBootstrapper:
         self.raised_basis = keys.raised_basis
         self.blind_rotate_engine = blind_rotate_engine
         self.repack_engine = repack_engine
-        self._test_vector = self._build_test_vector()
+        self.pipeline = BootstrapPipeline(
+            ctx, keys, blind_rotate_engine=blind_rotate_engine,
+            repack_engine=repack_engine)
+        self._test_vector = self.pipeline.test_vector
         self._mono_cache = get_monomial_cache(ctx.n, self.raised_basis)
-
-    # -- the public entry point ---------------------------------------------------
 
     def bootstrap(self, ct: CkksCiphertext,
                   trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
         """Refresh a level-0 ciphertext to the top level (minus one)."""
-        if ct.level != 0:
-            raise ParameterError(
-                f"scheme-switching bootstrap consumes a level-0 ciphertext, got level {ct.level}"
-            )
-        n = self.ctx.n
-        two_n = 2 * n
-        q = ct.basis.moduli[0]
-        trace = trace if trace is not None else BootstrapTrace()
+        return self.pipeline.run(ct, trace)
 
-        # Steps 1 & 2: ModulusSwitch -- exact integer identity
-        # 2N*x = q*floor(2N*x/q) + [2N*x]_q applied componentwise.
-        t0 = time.perf_counter()
-        c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
-        c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
-        c0_prime = (two_n * c0) % q
-        c1_prime = (two_n * c1) % q
-        c0_ms = (two_n * c0 - c0_prime) // q
-        c1_ms = (two_n * c1 - c1_prime) // q
-        trace.modswitch_ops = 2 * n
-
-        # Step 3a: Extract N LWE ciphertexts over Z_2N (Eq. 2).
-        lwes = [self._extract_mod_2n(c1_ms, c0_ms, i, two_n) for i in range(n)]
-        trace.num_lwe = len(lwes)
-        t1 = time.perf_counter()
-
-        # Step 3b: BlindRotate all of them (batch schedule: each brk_i is
-        # used across the whole batch before moving on).
-        accs = blind_rotate_batch(self._test_vector, lwes, self.keys.brk,
-                                  engine=self.blind_rotate_engine)
-        trace.num_blind_rotates = len(accs)
-        t2 = time.perf_counter()
-
-        # Step 3c: repack the N constant coefficients into one RLWE over Qp.
-        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
-                                                  engine=self.repack_engine)
-        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
-        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
-        trace.repack_keyswitches = repack_ctr.total_keyswitches
-        t3 = time.perf_counter()
-
-        # Step 4: raise ct' to Qp and add.
-        ct_prime = GlweCiphertext(
-            mask=[RnsPoly.from_int_coeffs(n, self.raised_basis, c1_prime)],
-            body=RnsPoly.from_int_coeffs(n, self.raised_basis, c0_prime),
-        )
-        ct_dprime = packed + ct_prime
-
-        # Step 5: multiply by (p-1)/2N (exact: p = 1 mod 2N) and rescale by p.
-        p = self.raised_basis.moduli[-1]
-        w = (p - 1) // two_n
-        body = (ct_dprime.body * w).rescale_last_limb().to_eval()
-        mask = (ct_dprime.mask[0] * w).rescale_last_limb().to_eval()
-        trace.notes.append(f"rescaled by p={p}, w=(p-1)/2N={w}")
-        t4 = time.perf_counter()
-        trace.step_seconds = {"extract": t1 - t0, "blind_rotate": t2 - t1,
-                              "repack": t3 - t2, "finish": t4 - t3}
-        return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
-
-    # -- helpers ---------------------------------------------------------------------
-
-    def _build_test_vector(self) -> RnsPoly:
-        """``g(t) = q * t`` on ``[0, N/2)``, anti-periodically extended, and
-        pre-multiplied by ``N^{-1} mod Qp`` to cancel the repack factor."""
-        n = self.ctx.n
-        q = self.ctx.full_basis.moduli[0]
-        big_qp = self.raised_basis.product
-        n_inv = pow(n, -1, big_qp)
-
-        def g(t: int) -> int:
-            t = t % (2 * n)
-            if t < n // 2:
-                val = q * t
-            elif t < n:
-                val = q * (n - t)          # anti-periodic filler
-            elif t < 3 * n // 2:
-                val = -q * (t - n)
-            else:
-                val = -q * (n - (t - n))   # = q*(t - 2N) on the wrap side
-            return (val * n_inv) % big_qp
-
-        return build_test_vector(g, n, self.raised_basis)
-
-    @staticmethod
-    def _extract_mod_2n(c1_ms: np.ndarray, c0_ms: np.ndarray, index: int,
-                        two_n: int) -> LweCiphertext:
-        """Eq. 2 extraction directly over ``Z_2N`` components."""
-        n = len(c1_ms)
-        head = c1_ms[: index + 1][::-1]
-        tail = c1_ms[index + 1:][::-1]
-        neg_tail = (-tail) % two_n
-        a = np.concatenate([head, neg_tail]) % two_n
-        return LweCiphertext(a=a.astype(np.int64), b=int(c0_ms[index]) % two_n,
-                             q=two_n)
+    # Eq. 2 extraction, kept here as an alias for tests/examples that
+    # exercise the step in isolation.
+    _extract_mod_2n = staticmethod(extract_mod_2n)
 
 
 def expected_k_prime_std(n: int) -> float:

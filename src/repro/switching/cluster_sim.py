@@ -2,55 +2,165 @@
 
 A :class:`SimulatedCluster` runs the scheme-switching bootstrap with the
 BlindRotate phase distributed over explicit :class:`SimulatedNode`
-workers.  Ciphertexts cross node boundaries only in serialized form
-(through :mod:`repro.io`), so the simulation exercises a real wire
-format and produces a per-link communication log that the hardware
-model's CMAC accounting can be checked against.
+workers.  Ciphertexts cross node boundaries only in serialized,
+CRC-framed form (through :mod:`repro.io`), so the simulation exercises a
+real wire format and produces a per-link communication log that the
+hardware model's CMAC accounting can be checked against.
 
-The primary follows the paper's policy exactly: it "sends all the
+Since the pipeline refactor the cluster is a *thin shell*: it plugs a
+:class:`ClusterExecutor` into the one shared
+:class:`~repro.switching.pipeline.BootstrapPipeline`, so steps 1-2 and
+4-5 of Algorithm 2 execute the exact same code as the single-node
+bootstrapper and every engine flag (``blind_rotate_engine`` /
+``repack_engine``) is honoured on both paths — the output is
+bit-identical for every combination (tests assert it), the basis of the
+paper's claim that the approach "can be mapped to any system with
+multiple compute nodes".
+
+The primary follows the paper's send policy exactly — it "sends all the
 ciphertexts intended for one of the secondary FPGAs before sending the
-ciphertexts for the next one", each secondary streams results back as
-they complete, and the primary repacks and finishes steps 4-5.  The
-output is bit-identical to the single-node bootstrap (tests assert it) —
-the basis of the paper's claim that the approach "can be mapped to any
-system with multiple compute nodes".
+ciphertexts for the next one" — and extends it with a fault model the
+fixed-fabric FPGA deployment never needed: a :class:`FaultInjector` can
+crash a node mid-batch, drop or corrupt a reply blob, or delay a node
+(straggler).  The primary detects failures via the CRC frames, reply
+counts and a straggler timeout, re-dispatches the failed *contiguous
+slice* to the least-loaded surviving node, accounts the retry traffic
+separately in :class:`CommLog`, and raises a typed
+:class:`~repro.errors.ClusterExecutionError` only when no healthy node
+remains (or the retry budget is exhausted by persistent faults).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
-
-import numpy as np
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
-from ..errors import ParameterError
-from ..io import deserialize_glwe, deserialize_lwe, serialize_glwe, serialize_lwe
+from ..errors import ClusterExecutionError, ParameterError, WireFormatError
+from ..io import (
+    deserialize_glwe,
+    deserialize_lwe,
+    frame_blob,
+    serialize_glwe,
+    serialize_lwe,
+    unframe_blob,
+)
+from ..profiling import record_fanout
 from ..tfhe.blind_rotate import blind_rotate_batch
 from ..tfhe.glwe import GlweCiphertext
-from .bootstrap import SchemeSwitchBootstrapper
+from ..tfhe.lwe import LweCiphertext
 from .keys import SwitchingKeySet
-from .scheduler import make_schedule
+from .pipeline import BootstrapPipeline, BootstrapTrace
+from .scheduler import make_schedule, pick_recovery_node
 
 
 @dataclass
 class CommLog:
-    """Bytes and message counts per (src, dst) link."""
+    """Bytes and message counts per (src, dst) link.
+
+    First-attempt and recovery traffic are accounted *separately*:
+    ``record(..., retry=True)`` adds to the grand totals **and** to the
+    ``retry_*`` breakdowns, so :meth:`total_bytes` is everything that
+    crossed the wire and :meth:`total_retry_bytes` the share caused by
+    fault recovery.
+    """
 
     bytes_sent: Dict[tuple, int] = field(default_factory=dict)
     messages: Dict[tuple, int] = field(default_factory=dict)
+    retry_bytes: Dict[tuple, int] = field(default_factory=dict)
+    retry_messages: Dict[tuple, int] = field(default_factory=dict)
 
-    def record(self, src: int, dst: int, payload: bytes) -> None:
+    def record(self, src: int, dst: int, payload: bytes,
+               retry: bool = False) -> None:
         key = (src, dst)
         self.bytes_sent[key] = self.bytes_sent.get(key, 0) + len(payload)
         self.messages[key] = self.messages.get(key, 0) + 1
+        if retry:
+            self.retry_bytes[key] = self.retry_bytes.get(key, 0) + len(payload)
+            self.retry_messages[key] = self.retry_messages.get(key, 0) + 1
 
     def total_bytes(self) -> int:
         return sum(self.bytes_sent.values())
 
     def link_bytes(self, src: int, dst: int) -> int:
         return self.bytes_sent.get((src, dst), 0)
+
+    def total_retry_bytes(self) -> int:
+        return sum(self.retry_bytes.values())
+
+    def retry_link_bytes(self, src: int, dst: int) -> int:
+        return self.retry_bytes.get((src, dst), 0)
+
+
+@dataclass
+class Fault:
+    """One injected fault against a node.
+
+    ``kind`` is one of ``"crash"`` (die after ``after`` BlindRotates of
+    the incoming batch), ``"drop_reply"`` / ``"corrupt_reply"`` (lose or
+    bit-flip reply blob ``reply_index``), or ``"straggle"`` (add
+    ``delay_seconds`` of simulated latency — a timeout failure if it
+    exceeds the executor's ``straggler_timeout``).  Non-persistent faults
+    fire exactly once, so recovery succeeds; ``persistent=True`` models a
+    node that stays broken.
+    """
+
+    kind: str
+    node_id: int
+    after: int = 0
+    reply_index: int = 0
+    delay_seconds: float = 0.0
+    persistent: bool = False
+
+    @classmethod
+    def crash(cls, node_id: int, after: int = 0,
+              persistent: bool = False) -> "Fault":
+        return cls("crash", node_id, after=after, persistent=persistent)
+
+    @classmethod
+    def drop_reply(cls, node_id: int, index: int = 0,
+                   persistent: bool = False) -> "Fault":
+        return cls("drop_reply", node_id, reply_index=index,
+                   persistent=persistent)
+
+    @classmethod
+    def corrupt_reply(cls, node_id: int, index: int = 0,
+                      persistent: bool = False) -> "Fault":
+        return cls("corrupt_reply", node_id, reply_index=index,
+                   persistent=persistent)
+
+    @classmethod
+    def straggler(cls, node_id: int, delay_seconds: float,
+                  persistent: bool = False) -> "Fault":
+        return cls("straggle", node_id, delay_seconds=delay_seconds,
+                   persistent=persistent)
+
+
+class FaultInjector:
+    """Deterministic fault source the :class:`ClusterExecutor` consults.
+
+    Holds a list of :class:`Fault` specs; :meth:`take` pops the first
+    matching non-persistent fault (persistent ones keep firing).  An
+    empty injector is a no-op — the default, fault-free execution.
+    """
+
+    def __init__(self, faults: Sequence[Fault] = ()):
+        self.faults: List[Fault] = list(faults)
+
+    def take(self, node_id: int, kind: str) -> Optional[Fault]:
+        for i, fault in enumerate(self.faults):
+            if fault.node_id == node_id and fault.kind == kind:
+                if not fault.persistent:
+                    del self.faults[i]
+                return fault
+        return None
+
+
+class _NodeCrash(Exception):
+    """Internal signal: a simulated node died mid-batch (never escapes
+    the executor — the primary sees it as a missing reply)."""
 
 
 class SimulatedNode:
@@ -62,84 +172,231 @@ class SimulatedNode:
         self.test_vector = test_vector
         self.processed = 0
 
-    def process(self, wire_lwes: List[bytes]) -> List[bytes]:
-        """Deserialize the assigned batch, BlindRotate it (the batched
-        §IV-E schedule), and return serialized accumulators."""
-        lwes = [deserialize_lwe(b) for b in wire_lwes]
-        accs = blind_rotate_batch(self.test_vector, lwes, self.keys.brk)
+    def process(self, wire_lwes: List[bytes],
+                engine: str = "vectorized",
+                fail_after: Optional[int] = None) -> List[bytes]:
+        """Unframe and deserialize the assigned batch, BlindRotate it on
+        the selected engine (the batched §IV-E schedule), and return
+        CRC-framed serialized accumulators.  ``fail_after`` simulates a
+        crash after that many BlindRotates (the work is spent — it counts
+        toward :attr:`processed` — but no reply is produced)."""
+        lwes = [deserialize_lwe(unframe_blob(b)) for b in wire_lwes]
+        if fail_after is not None and fail_after < len(lwes):
+            if fail_after:
+                blind_rotate_batch(self.test_vector, lwes[:fail_after],
+                                   self.keys.brk, engine=engine)
+                self.processed += fail_after
+            raise _NodeCrash(self.node_id)
+        accs = blind_rotate_batch(self.test_vector, lwes, self.keys.brk,
+                                  engine=engine)
         self.processed += len(accs)
-        return [serialize_glwe(a) for a in accs]
+        return [frame_blob(serialize_glwe(a)) for a in accs]
+
+
+class ClusterExecutor:
+    """The fan-out stage over simulated message-passing nodes, with
+    primary-side failure detection and recovery.
+
+    First pass: the paper's send policy — each node's full contiguous
+    slice is serialized, framed and sent before the next node's.  Any
+    slice whose reply fails validation (crash, timeout, short reply, CRC
+    mismatch) is queued and re-dispatched whole to the least-loaded
+    surviving node (:func:`~repro.switching.scheduler.pick_recovery_node`);
+    retry traffic is recorded separately on the :class:`CommLog` and the
+    retry counters land on the :class:`~repro.switching.pipeline.
+    BootstrapTrace` plus the active :func:`~repro.profiling.count_ops`
+    region.
+    """
+
+    def __init__(self, nodes: Sequence[SimulatedNode], comm: CommLog,
+                 fault_injector: Optional[FaultInjector] = None,
+                 blind_rotate_engine: str = "vectorized",
+                 straggler_timeout: float = 30.0,
+                 max_retries: Optional[int] = None):
+        self.nodes = list(nodes)
+        self.comm = comm
+        self.injector = fault_injector if fault_injector is not None \
+            else FaultInjector()
+        self.blind_rotate_engine = blind_rotate_engine
+        #: Simulated seconds after which a delayed node is presumed dead.
+        self.straggler_timeout = straggler_timeout
+        #: Re-dispatch budget per fan-out (defaults to 4x the node count);
+        #: exhausting it — only possible with persistent faults on healthy
+        #: nodes — raises ClusterExecutionError instead of looping forever.
+        self.max_retries = max_retries
+
+    def fanout(self, lwes: Sequence[LweCiphertext],
+               trace: BootstrapTrace) -> List[GlweCiphertext]:
+        schedule = make_schedule(len(lwes), len(self.nodes))
+        results: List[Optional[GlweCiphertext]] = [None] * len(lwes)
+        healthy: Dict[int, SimulatedNode] = {
+            node.node_id: node for node in self.nodes}
+        failed: List[Tuple[int, int, int]] = []  # (start, stop, failed node)
+
+        # First pass: the Section-V send policy, one node's full slice
+        # before the next.
+        for assignment in schedule.nodes:
+            if assignment.count == 0:
+                continue
+            node = healthy[assignment.node_id]
+            record_fanout(dispatches=1)
+            if not self._dispatch(node, assignment.start, assignment.stop,
+                                  lwes, results, healthy, trace, retry=False):
+                failed.append((assignment.start, assignment.stop,
+                               assignment.node_id))
+
+        # Recovery: re-dispatch each failed contiguous slice whole.
+        budget = self.max_retries if self.max_retries is not None \
+            else 4 * len(self.nodes)
+        while failed:
+            if not healthy:
+                raise ClusterExecutionError(
+                    f"fan-out failed: no healthy node remains for "
+                    f"{len(failed)} pending slice(s)",
+                    failed_nodes=trace.failed_nodes,
+                    pending_slices=[(s, e) for s, e, _ in failed])
+            if trace.fanout_retries >= budget:
+                raise ClusterExecutionError(
+                    f"fan-out failed: retry budget ({budget}) exhausted "
+                    f"with {len(failed)} pending slice(s)",
+                    failed_nodes=trace.failed_nodes,
+                    pending_slices=[(s, e) for s, e, _ in failed])
+            start, stop, origin = failed.pop(0)
+            loads = {nid: node.processed for nid, node in healthy.items()}
+            target = healthy[pick_recovery_node(list(healthy), loads,
+                                                exclude=origin)]
+            trace.fanout_retries += 1
+            trace.fanout_redispatched_lwes += stop - start
+            record_fanout(retries=1, redispatched_lwes=stop - start)
+            trace.notes.append(
+                f"re-dispatching LWEs [{start}, {stop}) from node "
+                f"{origin} to node {target.node_id}")
+            if not self._dispatch(target, start, stop, lwes, results,
+                                  healthy, trace, retry=True):
+                failed.append((start, stop, target.node_id))
+        # Recovery guarantees completeness: every slot is filled.
+        return [acc for acc in results if acc is not None]
+
+    # -- one slice ------------------------------------------------------------
+
+    def _dispatch(self, node: SimulatedNode, start: int, stop: int,
+                  lwes: Sequence[LweCiphertext],
+                  results: List[Optional[GlweCiphertext]],
+                  healthy: Dict[int, SimulatedNode],
+                  trace: BootstrapTrace, retry: bool) -> bool:
+        """Send one contiguous slice, validate the reply, splice the
+        accumulators into ``results``.  Returns False on any detected
+        failure (the caller queues the slice for re-dispatch)."""
+        nid = node.node_id
+        wire_in = [frame_blob(serialize_lwe(lwe)) for lwe in lwes[start:stop]]
+        if nid != 0:  # the primary's own slice never crosses the wire
+            for blob in wire_in:
+                self.comm.record(0, nid, blob, retry=retry)
+
+        crash = self.injector.take(nid, "crash")
+        t0 = time.perf_counter()
+        try:
+            wire_out = node.process(wire_in, engine=self.blind_rotate_engine,
+                                    fail_after=crash.after if crash else None)
+        except _NodeCrash:
+            self._add_time(trace, nid, time.perf_counter() - t0)
+            self._mark_dead(nid, healthy, trace, "crashed mid-batch")
+            return False
+        elapsed = time.perf_counter() - t0
+
+        straggle = self.injector.take(nid, "straggle")
+        if straggle is not None:
+            elapsed += straggle.delay_seconds
+        self._add_time(trace, nid, elapsed)
+        if straggle is not None and \
+                straggle.delay_seconds > self.straggler_timeout:
+            self._mark_dead(
+                nid, healthy, trace,
+                f"timed out ({straggle.delay_seconds:.3f}s simulated > "
+                f"{self.straggler_timeout:.3f}s limit)")
+            return False
+
+        drop = self.injector.take(nid, "drop_reply")
+        if drop is not None and wire_out:
+            del wire_out[min(drop.reply_index, len(wire_out) - 1)]
+        corrupt = self.injector.take(nid, "corrupt_reply")
+        if corrupt is not None and wire_out:
+            i = min(corrupt.reply_index, len(wire_out) - 1)
+            blob = bytearray(wire_out[i])
+            blob[-1] ^= 0x41
+            wire_out[i] = bytes(blob)
+
+        if nid != 0:
+            for blob in wire_out:
+                self.comm.record(nid, 0, blob, retry=retry)
+
+        if len(wire_out) != stop - start:
+            trace.notes.append(
+                f"node {nid}: short reply ({len(wire_out)} of "
+                f"{stop - start}) — slice queued for re-dispatch")
+            return False
+        try:
+            accs = [deserialize_glwe(unframe_blob(b)) for b in wire_out]
+        except WireFormatError:
+            trace.notes.append(
+                f"node {nid}: reply failed CRC check — slice queued for "
+                f"re-dispatch")
+            return False
+        results[start:stop] = accs
+        return True
+
+    @staticmethod
+    def _add_time(trace: BootstrapTrace, nid: int, seconds: float) -> None:
+        trace.node_seconds[nid] = trace.node_seconds.get(nid, 0.0) + seconds
+
+    @staticmethod
+    def _mark_dead(nid: int, healthy: Dict[int, SimulatedNode],
+                   trace: BootstrapTrace, why: str) -> None:
+        healthy.pop(nid, None)
+        if nid not in trace.failed_nodes:
+            trace.failed_nodes.append(nid)
+        trace.notes.append(f"node {nid} {why}")
 
 
 class SimulatedCluster:
-    """Primary + secondaries executing the distributed bootstrap."""
+    """Primary + secondaries executing the distributed bootstrap — a thin
+    shell over the shared pipeline with a :class:`ClusterExecutor` in the
+    fan-out stage."""
 
     def __init__(self, ctx: CkksContext, keys: SwitchingKeySet,
-                 num_nodes: int = 8):
+                 num_nodes: int = 8,
+                 blind_rotate_engine: str = "vectorized",
+                 repack_engine: str = "vectorized",
+                 fault_injector: Optional[FaultInjector] = None,
+                 straggler_timeout: float = 30.0,
+                 max_retries: Optional[int] = None):
         if num_nodes < 1:
             raise ParameterError("need at least one node")
         self.ctx = ctx
         self.keys = keys
-        self.boot = SchemeSwitchBootstrapper(ctx, keys)
-        self.nodes = [SimulatedNode(i, keys, self.boot._test_vector)
+        test_vector = keys.test_vector(ctx.n, ctx.full_basis.moduli[0])
+        self.nodes = [SimulatedNode(i, keys, test_vector)
                       for i in range(num_nodes)]
         self.comm = CommLog()
+        self.executor = ClusterExecutor(
+            self.nodes, self.comm, fault_injector=fault_injector,
+            blind_rotate_engine=blind_rotate_engine,
+            straggler_timeout=straggler_timeout, max_retries=max_retries)
+        self.pipeline = BootstrapPipeline(ctx, keys, executor=self.executor,
+                                          repack_engine=repack_engine)
 
     @property
     def num_nodes(self) -> int:
         return len(self.nodes)
 
-    def bootstrap(self, ct: CkksCiphertext) -> CkksCiphertext:
-        """Distributed Algorithm 2; output identical to the single-node
-        bootstrapper's."""
-        if ct.level != 0:
-            raise ParameterError("expects a level-0 ciphertext")
-        n = self.ctx.n
-        two_n = 2 * n
-        q = ct.basis.moduli[0]
-
-        # Steps 1-2 + extraction happen on the primary.
-        c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
-        c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
-        c0_prime = (two_n * c0) % q
-        c1_prime = (two_n * c1) % q
-        c0_ms = (two_n * c0 - c0_prime) // q
-        c1_ms = (two_n * c1 - c1_prime) // q
-        lwes = [self.boot._extract_mod_2n(c1_ms, c0_ms, i, two_n)
-                for i in range(n)]
-
-        # Step 3: distribute, node by node (the paper's send policy).
-        schedule = make_schedule(n, self.num_nodes)
-        accs: List[GlweCiphertext] = []
-        for assignment, node in zip(schedule.nodes, self.nodes):
-            part = lwes[assignment.start: assignment.stop]
-            wire_in = [serialize_lwe(lwe) for lwe in part]
-            if not assignment.is_primary:
-                for blob in wire_in:
-                    self.comm.record(0, node.node_id, blob)
-            wire_out = node.process(wire_in)
-            if not assignment.is_primary:
-                for blob in wire_out:
-                    self.comm.record(node.node_id, 0, blob)
-            accs.extend(deserialize_glwe(b) for b in wire_out)
-
-        # Steps 3c-5 on the primary: reuse the reference implementation by
-        # splicing the gathered accumulators into its pipeline.
-        from ..math.rns import RnsPoly
-        from ..tfhe.repack import repack
-
-        packed = repack([a.to_eval() for a in accs], self.keys.auto_keys)
-        ct_prime = GlweCiphertext(
-            mask=[RnsPoly.from_int_coeffs(n, self.boot.raised_basis, c1_prime)],
-            body=RnsPoly.from_int_coeffs(n, self.boot.raised_basis, c0_prime),
-        )
-        ct_dprime = packed + ct_prime
-        p = self.boot.raised_basis.moduli[-1]
-        w = (p - 1) // two_n
-        body = (ct_dprime.body * w).rescale_last_limb().to_eval()
-        mask = (ct_dprime.mask[0] * w).rescale_last_limb().to_eval()
-        return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
+    def bootstrap(self, ct: CkksCiphertext,
+                  trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
+        """Distributed Algorithm 2; output bit-identical to the
+        single-node bootstrapper's, including runs with injected faults
+        (recovery re-dispatches, the result is unchanged)."""
+        return self.pipeline.run(ct, trace)
 
     def utilisation(self) -> Dict[int, int]:
-        """BlindRotates executed per node."""
+        """BlindRotates executed per node (includes work a node spent on
+        a batch it crashed out of — the cycles are burned either way)."""
         return {node.node_id: node.processed for node in self.nodes}

@@ -89,6 +89,7 @@ class FunctionalEvaluator:
         two_n = 2 * n
         q = ct.basis.moduli[0]
         trace = trace if trace is not None else BootstrapTrace()
+        trace.reset()  # one trace records exactly one run (see BootstrapTrace)
 
         c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
         c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)

@@ -27,15 +27,15 @@ substitution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
 from ..ckks.context import CkksContext
 from ..ckks.keys import SecretKey
 from ..math.gadget import GadgetVector
-from ..math.rns import RnsBasis, concat_bases
+from ..math.rns import RnsBasis, RnsPoly, concat_bases
 from ..math.sampling import Sampler
 from ..params import TfheParams
 from ..tfhe.blind_rotate import BlindRotateKey
@@ -54,6 +54,23 @@ class SwitchingKeySet:
     raised_basis: RnsBasis
     gadget: GadgetVector
     glwe_sk_ref: GlweSecretKey  # kept for tests/debug decryption only
+    #: Cached Algorithm-2 test vectors keyed by ``(n, q)`` — built lazily
+    #: by :meth:`test_vector` and shared by every execution path (the
+    #: local pipeline and all simulated cluster nodes).
+    _test_vectors: Dict[Tuple[int, int], RnsPoly] = field(
+        default_factory=dict, repr=False, compare=False)
+
+    def test_vector(self, n: int, q: int) -> RnsPoly:
+        """The Algorithm-2 blind-rotate LUT over this key set's raised
+        basis (``g(t) = q*t`` folded with ``N^{-1}``), built once per
+        ``(n, q)`` and reused."""
+        key = (n, q)
+        if key not in self._test_vectors:
+            from .pipeline import build_switching_test_vector
+
+            self._test_vectors[key] = build_switching_test_vector(
+                n, q, self.raised_basis)
+        return self._test_vectors[key]
 
     @classmethod
     def generate(cls, ctx: CkksContext, sk: SecretKey,

@@ -168,6 +168,7 @@ class KeySwitchedBootstrapper:
         two_n = 2 * n
         q = ct.basis.moduli[0]
         trace = trace if trace is not None else BootstrapTrace()
+        trace.reset()  # one trace records exactly one run (see BootstrapTrace)
         t0 = time.perf_counter()
 
         # Step 0: Extract + LWE key switch down to n_t.

@@ -1,0 +1,321 @@
+"""Algorithm 2 as ONE staged pipeline shared by every execution path.
+
+The scheme-switching bootstrap used to exist twice: once in
+:class:`~repro.switching.bootstrap.SchemeSwitchBootstrapper` and once —
+copy-pasted — in the multi-node simulation, which silently drifted (it
+bypassed the engine flags and the counter-reporting repack).  This module
+is now the *only* place the algorithm's arithmetic lives; the local
+bootstrapper and the cluster simulation are thin shells over
+:class:`BootstrapPipeline`, differing solely in the ``Executor`` plugged
+into the fan-out stage::
+
+    ModSwitch -> Extract -> BlindRotateFanout -> Repack -> Finish
+    (steps 1-2)  (step 3a)  (step 3b, Executor)  (step 3c)  (steps 4-5)
+
+Correctness sketch (per coefficient, all quantities exact integers;
+``phi(x) = c0 + c1*s`` with stored representatives in ``[0, q)``):
+
+* ``phi(ct) = [m]_q + q*K`` for an integer ``K``.
+* Step 1: ``ct' = [2N * ct]_q`` so ``phi(ct') = [2N m]_q + q*K'`` with
+  ``|K'| <~ ||s||_1`` (a random-walk bound, std ~ sqrt(N/18)).
+* Step 2: ``ct_ms = (2N*ct - ct')/q`` is an exact integer ciphertext over
+  ``Z_2N`` and ``phi(ct_ms) = J - K' (mod 2N)`` where
+  ``J = floor(2N*[m]_centered/q)`` is tiny because ``|m| << q``.
+* Step 3: Extract the ``N`` dimension-``N`` LWE ciphertexts of ``ct_ms``
+  (Eq. 2), BlindRotate each with the test function ``g(t) = q*t`` (folded
+  with ``N^{-1}`` for the repack factor), and repack: the result
+  ``ct_kq`` encrypts ``q*(J - K')`` in every coefficient — this is the
+  ``-k*q`` term of the paper, computed by table lookup instead of a sine
+  polynomial.  Requires ``|J - K'| < N/2`` (checked probabilistically by
+  parameters; violated coefficients alias).
+* Step 4: ``ct'' = ct_kq + ct' (mod Qp)`` has phase
+  ``q(J-K') + 2N m - qJ + qK' = 2N * m`` exactly.
+* Step 5: multiply by ``w = (p-1)/2N`` (exact — ``p = 1 (mod 2N)`` for
+  every NTT prime) and Rescale by ``p``: the message becomes
+  ``m * (p-1)/p ~ m`` over the full basis ``Q``.  One level consumed.
+
+The BlindRotates in step 3 are mutually independent — the parallelism the
+whole paper is built on.  :class:`LocalExecutor` runs them as one
+in-process batch; the cluster executor
+(:class:`repro.switching.cluster_sim.ClusterExecutor`) partitions them
+over simulated message-passing nodes with fault detection and recovery.
+Both honour the ``blind_rotate_engine`` flag, and the repack stage always
+goes through :func:`repro.tfhe.repack.repack_with_counters` with the
+pipeline's ``repack_engine`` — every engine combination is bit-identical
+across executors (tests assert it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+import time
+from typing import Dict, List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from ..ckks.ciphertext import CkksCiphertext
+from ..ckks.context import CkksContext
+from ..errors import ParameterError
+from ..math.rns import RnsBasis, RnsPoly
+from ..profiling import record_fanout
+from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector
+from ..tfhe.glwe import GlweCiphertext
+from ..tfhe.lwe import LweCiphertext
+from ..tfhe.repack import repack_with_counters
+
+
+@dataclass
+class BootstrapTrace:
+    """Step-by-step record of ONE bootstrap execution (drives the
+    Figure-1 bench and the scheduler).
+
+    ``repack_keyswitches`` is the *true* keyswitch count sourced from the
+    repack engine's counters: ``n - 1`` merge-tree nodes plus one per
+    trace level (earlier revisions reported only the ``log2 n`` level
+    count).  ``step_seconds`` holds wall-clock per pipeline stage
+    (``extract`` / ``blind_rotate`` / ``repack`` / ``finish``) — the
+    Figure-1-style share breakdown — and ``node_seconds`` the fan-out
+    stage's per-node share (simulated seconds: measured wall-clock plus
+    any injected straggler delay; a local run reports ``{0: t}``).
+
+    Reuse semantics: a trace describes exactly one run.  Passing the same
+    instance into another ``bootstrap()`` call **resets every field
+    first** — scalars, ``step_seconds``, ``node_seconds`` and ``notes``
+    alike — so counters never mix two runs and ``notes`` cannot grow
+    unboundedly (an earlier revision overwrote the timings but appended
+    the notes forever).
+    """
+
+    num_lwe: int = 0
+    num_blind_rotates: int = 0
+    modswitch_ops: int = 0
+    repack_keyswitches: int = 0
+    repack_merge_keyswitches: int = 0
+    repack_trace_keyswitches: int = 0
+    step_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Fan-out time per node id (simulated: wall-clock + straggler delay).
+    node_seconds: Dict[int, float] = field(default_factory=dict)
+    #: Recovery re-dispatches performed after a detected node fault.
+    fanout_retries: int = 0
+    #: LWE ciphertexts re-sent by those re-dispatches.
+    fanout_redispatched_lwes: int = 0
+    #: Nodes declared dead during the fan-out (crash or timeout).
+    failed_nodes: List[int] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Return every field to its default (called on entry by every
+        bootstrap so a reused trace records only the latest run)."""
+        blank = BootstrapTrace()
+        for f in fields(self):
+            setattr(self, f.name, getattr(blank, f.name))
+
+
+# -- stage 1-2: ModSwitch ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModSwitched:
+    """Output of Algorithm 2 steps 1-2 (exact integer identity
+    ``2N*x = q*floor(2N*x/q) + [2N*x]_q`` applied componentwise):
+    ``(c0', c1')`` are the mod-``q`` remainders kept for the Finish
+    stage's step-4 addition, ``(c0_ms, c1_ms)`` the ``Z_2N`` quotient
+    ciphertext the LWE extraction consumes."""
+
+    c0_prime: np.ndarray
+    c1_prime: np.ndarray
+    c0_ms: np.ndarray
+    c1_ms: np.ndarray
+
+
+def mod_switch(ct: CkksCiphertext, two_n: int, q: int) -> ModSwitched:
+    """Steps 1-2: split ``2N * ct`` into its mod-``q`` and ``Z_2N`` parts."""
+    c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
+    c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
+    c0_prime = (two_n * c0) % q
+    c1_prime = (two_n * c1) % q
+    return ModSwitched(
+        c0_prime=c0_prime,
+        c1_prime=c1_prime,
+        c0_ms=(two_n * c0 - c0_prime) // q,
+        c1_ms=(two_n * c1 - c1_prime) // q,
+    )
+
+
+# -- stage 3a: Extract ------------------------------------------------------------
+
+
+def extract_mod_2n(c1_ms: np.ndarray, c0_ms: np.ndarray, index: int,
+                   two_n: int) -> LweCiphertext:
+    """Eq. 2 extraction directly over ``Z_2N`` components."""
+    head = c1_ms[: index + 1][::-1]
+    tail = c1_ms[index + 1:][::-1]
+    neg_tail = (-tail) % two_n
+    a = np.concatenate([head, neg_tail]) % two_n
+    return LweCiphertext(a=a.astype(np.int64), b=int(c0_ms[index]) % two_n,
+                         q=two_n)
+
+
+def extract_lwes(ms: ModSwitched, two_n: int) -> List[LweCiphertext]:
+    """Step 3a: the ``N`` dimension-``N`` LWE ciphertexts of ``ct_ms``."""
+    return [extract_mod_2n(ms.c1_ms, ms.c0_ms, i, two_n)
+            for i in range(len(ms.c0_ms))]
+
+
+# -- stage 3b: BlindRotateFanout (pluggable) --------------------------------------
+
+
+class Executor(Protocol):
+    """The fan-out stage's execution backend.
+
+    Implementations run the batch of mutually-independent BlindRotates
+    and return one accumulator per input LWE, in input order.  They must
+    honour ``blind_rotate_engine`` and report per-node timing (plus any
+    retry activity) on the trace.
+    """
+
+    blind_rotate_engine: str
+
+    def fanout(self, lwes: Sequence[LweCiphertext],
+               trace: BootstrapTrace) -> List[GlweCiphertext]:
+        ...
+
+
+class LocalExecutor:
+    """The in-process fan-out: the whole batch as one
+    :func:`~repro.tfhe.blind_rotate.blind_rotate_batch` call (the paper's
+    §IV-E schedule), on the selected engine."""
+
+    def __init__(self, keys, test_vector: RnsPoly,
+                 blind_rotate_engine: str = "vectorized"):
+        self.keys = keys
+        self.test_vector = test_vector
+        self.blind_rotate_engine = blind_rotate_engine
+
+    def fanout(self, lwes: Sequence[LweCiphertext],
+               trace: BootstrapTrace) -> List[GlweCiphertext]:
+        t0 = time.perf_counter()
+        accs = blind_rotate_batch(self.test_vector, lwes, self.keys.brk,
+                                  engine=self.blind_rotate_engine)
+        trace.node_seconds[0] = time.perf_counter() - t0
+        record_fanout(dispatches=1)
+        return accs
+
+
+# -- stage 5: Finish --------------------------------------------------------------
+
+
+def finish(packed: GlweCiphertext, ms: ModSwitched, raised_basis: RnsBasis,
+           n: int, two_n: int, scale: float,
+           trace: BootstrapTrace) -> CkksCiphertext:
+    """Steps 4-5: raise ``ct'`` to ``Qp`` and add, multiply by
+    ``w = (p-1)/2N`` (exact: ``p = 1 mod 2N``), rescale by ``p``."""
+    ct_prime = GlweCiphertext(
+        mask=[RnsPoly.from_int_coeffs(n, raised_basis, ms.c1_prime)],
+        body=RnsPoly.from_int_coeffs(n, raised_basis, ms.c0_prime),
+    )
+    ct_dprime = packed + ct_prime
+    p = raised_basis.moduli[-1]
+    w = (p - 1) // two_n
+    body = (ct_dprime.body * w).rescale_last_limb().to_eval()
+    mask = (ct_dprime.mask[0] * w).rescale_last_limb().to_eval()
+    trace.notes.append(f"rescaled by p={p}, w=(p-1)/2N={w}")
+    return CkksCiphertext(c0=body, c1=mask, scale=scale)
+
+
+# -- the pipeline -----------------------------------------------------------------
+
+
+class BootstrapPipeline:
+    """Executes Algorithm 2 end to end with a pluggable fan-out executor.
+
+    With ``executor=None`` a :class:`LocalExecutor` on
+    ``blind_rotate_engine`` is built (the single-node path); the cluster
+    simulation passes its message-passing executor instead.  The repack
+    stage runs on the primary either way, through the counter-reporting
+    dispatcher with this pipeline's ``repack_engine``.
+    """
+
+    def __init__(self, ctx: CkksContext, keys,
+                 executor: Optional[Executor] = None,
+                 blind_rotate_engine: str = "vectorized",
+                 repack_engine: str = "vectorized"):
+        self.ctx = ctx
+        self.keys = keys
+        self.raised_basis = keys.raised_basis
+        self.repack_engine = repack_engine
+        self.test_vector = keys.test_vector(ctx.n, ctx.full_basis.moduli[0])
+        self.executor: Executor = executor if executor is not None else \
+            LocalExecutor(keys, self.test_vector, blind_rotate_engine)
+
+    @property
+    def blind_rotate_engine(self) -> str:
+        """The fan-out stage's engine (owned by the executor)."""
+        return self.executor.blind_rotate_engine
+
+    def run(self, ct: CkksCiphertext,
+            trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
+        """Refresh a level-0 ciphertext to the top level (minus one)."""
+        if ct.level != 0:
+            raise ParameterError(
+                f"scheme-switching bootstrap consumes a level-0 ciphertext, "
+                f"got level {ct.level}")
+        trace = trace if trace is not None else BootstrapTrace()
+        trace.reset()
+        n = self.ctx.n
+        two_n = 2 * n
+        q = ct.basis.moduli[0]
+
+        # Stage ModSwitch (steps 1-2).
+        t0 = time.perf_counter()
+        ms = mod_switch(ct, two_n, q)
+        trace.modswitch_ops = 2 * n
+
+        # Stage Extract (step 3a).
+        lwes = extract_lwes(ms, two_n)
+        trace.num_lwe = len(lwes)
+        t1 = time.perf_counter()
+
+        # Stage BlindRotateFanout (step 3b) — the pluggable part.
+        accs = self.executor.fanout(lwes, trace)
+        trace.num_blind_rotates = len(accs)
+        t2 = time.perf_counter()
+
+        # Stage Repack (step 3c) on the primary.
+        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
+                                                  engine=self.repack_engine)
+        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
+        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
+        trace.repack_keyswitches = repack_ctr.total_keyswitches
+        t3 = time.perf_counter()
+
+        # Stage Finish (steps 4-5).
+        out = finish(packed, ms, self.raised_basis, n, two_n, ct.scale, trace)
+        t4 = time.perf_counter()
+        trace.step_seconds = {"extract": t1 - t0, "blind_rotate": t2 - t1,
+                              "repack": t3 - t2, "finish": t4 - t3}
+        return out
+
+
+def build_switching_test_vector(n: int, q: int, raised: RnsBasis) -> RnsPoly:
+    """The Algorithm-2 LUT: ``g(t) = q * t`` on ``[0, N/2)``,
+    anti-periodically extended, pre-multiplied by ``N^{-1} mod Qp`` to
+    cancel the repack factor.  Built once per key set
+    (:meth:`~repro.switching.keys.SwitchingKeySet.test_vector`) and shared
+    by the local executor and every simulated cluster node."""
+    big_qp = raised.product
+    n_inv = pow(n, -1, big_qp)
+
+    def g(t: int) -> int:
+        t = t % (2 * n)
+        if t < n // 2:
+            val = q * t
+        elif t < n:
+            val = q * (n - t)          # anti-periodic filler
+        elif t < 3 * n // 2:
+            val = -q * (t - n)
+        else:
+            val = -q * (n - (t - n))   # = q*(t - 2N) on the wrap side
+        return (val * n_inv) % big_qp
+
+    return build_test_vector(g, n, raised)

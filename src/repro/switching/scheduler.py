@@ -17,7 +17,7 @@ of BlindRotate operations actually scheduled.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence, TypeVar
+from typing import List, Mapping, Optional, Sequence, TypeVar
 
 from ..errors import ParameterError
 
@@ -81,3 +81,21 @@ def make_schedule(n_br: int, num_nodes: int) -> BootstrapSchedule:
                                     is_primary=(node == 0)))
         start += count
     return BootstrapSchedule(n_br=n_br, nodes=nodes)
+
+
+def pick_recovery_node(healthy: Sequence[int], loads: Mapping[int, int],
+                       exclude: Optional[int] = None) -> int:
+    """Choose the node to receive a re-dispatched fan-out slice.
+
+    Extends the Section-V send policy to recovery: the whole contiguous
+    slice goes to *one* surviving node — the least-loaded healthy one
+    (ties broken by lowest id, keeping utilisation balanced), avoiding
+    ``exclude`` (the node whose dispatch just failed) unless it is the
+    only survivor.  Raises :class:`~repro.errors.ParameterError` when no
+    healthy node remains (the executor converts that into a typed
+    :class:`~repro.errors.ClusterExecutionError`).
+    """
+    if not healthy:
+        raise ParameterError("no healthy node remains to re-dispatch to")
+    candidates = [node for node in healthy if node != exclude] or list(healthy)
+    return min(candidates, key=lambda node: (loads.get(node, 0), node))

@@ -1,17 +1,26 @@
-"""Tests for the message-passing multi-node bootstrap simulation."""
+"""Tests for the message-passing multi-node bootstrap simulation,
+including the fault-injection / recovery layer."""
 
 import numpy as np
 import pytest
 
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
-from repro.errors import ParameterError
+from repro.errors import ClusterExecutionError, ParameterError
 from repro.math.sampling import Sampler
 from repro.params import make_toy_params
 from repro.switching import SchemeSwitchBootstrapper, SwitchingKeySet
-from repro.switching.cluster_sim import SimulatedCluster
+from repro.switching.cluster_sim import (
+    Fault,
+    FaultInjector,
+    SimulatedCluster,
+)
+from repro.switching.pipeline import BootstrapTrace
 
 PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
                          special_limbs=2)
+
+ENGINE_COMBOS = [("vectorized", "vectorized"), ("vectorized", "reference"),
+                 ("reference", "vectorized"), ("reference", "reference")]
 
 
 @pytest.fixture(scope="module")
@@ -25,6 +34,15 @@ def stack():
     return ctx, sk, ev, swk
 
 
+def assert_bit_identical(reference, distributed):
+    for ref_l, got_l in zip(reference.c0.to_coeff().limbs,
+                            distributed.c0.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+    for ref_l, got_l in zip(reference.c1.to_coeff().limbs,
+                            distributed.c1.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+
+
 class TestDistributedBootstrap:
     def test_bit_identical_to_single_node(self, stack):
         """The hardware-agnostic claim: the distributed execution is the
@@ -35,12 +53,37 @@ class TestDistributedBootstrap:
         reference = SchemeSwitchBootstrapper(ctx, swk).bootstrap(ct)
         cluster = SimulatedCluster(ctx, swk, num_nodes=4)
         distributed = cluster.bootstrap(ct)
-        for ref_l, got_l in zip(reference.c0.to_coeff().limbs,
-                                distributed.c0.to_coeff().limbs):
-            assert ref_l.tolist() == got_l.tolist()
-        for ref_l, got_l in zip(reference.c1.to_coeff().limbs,
-                                distributed.c1.to_coeff().limbs):
-            assert ref_l.tolist() == got_l.tolist()
+        assert_bit_identical(reference, distributed)
+
+    @pytest.mark.parametrize("br_engine,rp_engine", ENGINE_COMBOS)
+    def test_bit_identical_all_engine_combos(self, stack, br_engine,
+                                             rp_engine):
+        """Every blind-rotate x repack engine combination flows through
+        the one shared pipeline — cluster output must match the
+        single-node bootstrapper on the same engines bit for bit, on a
+        node count that does not divide N."""
+        ctx, sk, ev, swk = stack
+        z = np.random.default_rng(3).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        reference = SchemeSwitchBootstrapper(
+            ctx, swk, blind_rotate_engine=br_engine,
+            repack_engine=rp_engine).bootstrap(ct)
+        cluster = SimulatedCluster(ctx, swk, num_nodes=3,
+                                   blind_rotate_engine=br_engine,
+                                   repack_engine=rp_engine)
+        assert_bit_identical(reference, cluster.bootstrap(ct))
+
+    def test_engines_bit_identical_to_each_other(self, stack):
+        """Cross-engine: all four cluster combinations agree with each
+        other (so one reference run pins them all)."""
+        ctx, sk, ev, swk = stack
+        ct = ev.encrypt(0.4, level=0)
+        outputs = [SimulatedCluster(ctx, swk, num_nodes=2,
+                                    blind_rotate_engine=br,
+                                    repack_engine=rp).bootstrap(ct)
+                   for br, rp in ENGINE_COMBOS]
+        for other in outputs[1:]:
+            assert_bit_identical(outputs[0], other)
 
     def test_decrypts_correctly(self, stack):
         ctx, sk, ev, swk = stack
@@ -56,6 +99,19 @@ class TestDistributedBootstrap:
         util = cluster.utilisation()
         assert sum(util.values()) == ctx.n
         assert max(util.values()) - min(util.values()) <= 1  # balanced
+
+    @pytest.mark.parametrize("num_nodes", [3, 5, 7])
+    def test_node_counts_that_do_not_divide_n(self, stack, num_nodes):
+        """Uneven contiguous slices still cover all N BlindRotates and
+        stay bit-identical to the single-node run."""
+        ctx, sk, ev, swk = stack
+        ct = ev.encrypt(0.3, level=0)
+        reference = SchemeSwitchBootstrapper(ctx, swk).bootstrap(ct)
+        cluster = SimulatedCluster(ctx, swk, num_nodes=num_nodes)
+        assert_bit_identical(reference, cluster.bootstrap(ct))
+        util = cluster.utilisation()
+        assert sum(util.values()) == ctx.n
+        assert max(util.values()) - min(util.values()) <= 1
 
     def test_single_node_has_no_traffic(self, stack):
         ctx, sk, ev, swk = stack
@@ -77,6 +133,19 @@ class TestDistributedBootstrap:
             # LWE inputs — the paper's asymmetric traffic pattern.
             assert (cluster.comm.link_bytes(node_id, 0) >
                     10 * cluster.comm.link_bytes(0, node_id))
+        # Fault-free run: no retry traffic, no retry counters.
+        assert cluster.comm.total_retry_bytes() == 0
+
+    def test_trace_reports_per_node_fanout_timing(self, stack):
+        ctx, sk, ev, swk = stack
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4)
+        trace = BootstrapTrace()
+        cluster.bootstrap(ev.encrypt(0.2, level=0), trace)
+        assert sorted(trace.node_seconds) == [0, 1, 2, 3]
+        assert all(t >= 0.0 for t in trace.node_seconds.values())
+        assert trace.fanout_retries == 0
+        assert trace.fanout_redispatched_lwes == 0
+        assert trace.failed_nodes == []
 
     def test_invalid_config(self, stack):
         ctx, sk, ev, swk = stack
@@ -85,3 +154,192 @@ class TestDistributedBootstrap:
         cluster = SimulatedCluster(ctx, swk, num_nodes=2)
         with pytest.raises(ParameterError):
             cluster.bootstrap(ev.encrypt(0.1))  # not level 0
+
+
+class TestFaultRecovery:
+    """Every injected-fault path recovers to a bit-identical result and
+    accounts the recovery on the trace and the CommLog."""
+
+    def _reference(self, stack, value=0.35, seed=7):
+        ctx, sk, ev, swk = stack
+        z = np.random.default_rng(seed).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        return ct, SchemeSwitchBootstrapper(ctx, swk).bootstrap(ct)
+
+    def test_crash_mid_batch_recovers(self, stack):
+        """Node 2 dies after one BlindRotate; its whole 5-LWE slice is
+        re-sent to the least-loaded survivor (node 1, load 5 < the
+        primary's 6) and the output is unchanged."""
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack)
+        injector = FaultInjector([Fault.crash(2, after=1)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=3,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        out = cluster.bootstrap(ct, trace)
+        assert_bit_identical(reference, out)
+        assert trace.fanout_retries == 1
+        assert trace.fanout_redispatched_lwes == 5  # node 2's slice of 16
+        assert trace.failed_nodes == [2]
+        # The re-sent slice shows up as separate retry traffic.
+        assert cluster.comm.total_retry_bytes() > 0
+        assert cluster.comm.total_retry_bytes() < cluster.comm.total_bytes()
+
+    def test_primary_crash_recovers(self, stack):
+        """Node 0 computes as well as coordinates; its own slice can be
+        re-dispatched like any other."""
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=8)
+        injector = FaultInjector([Fault.crash(0)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.failed_nodes == [0]
+        assert trace.fanout_retries == 1
+        # The slice that used to stay on the primary now crosses a wire.
+        assert cluster.comm.total_retry_bytes() > 0
+
+    def test_corrupt_reply_detected_by_crc(self, stack):
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=9)
+        injector = FaultInjector([Fault.corrupt_reply(1, index=2)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 1
+        # A corrupt link is transient: the node is not declared dead.
+        assert trace.failed_nodes == []
+        assert any("CRC" in note for note in trace.notes)
+
+    def test_dropped_reply_detected_by_count(self, stack):
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=10)
+        injector = FaultInjector([Fault.drop_reply(3, index=0)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 1
+        assert trace.failed_nodes == []
+        assert any("short reply" in note for note in trace.notes)
+
+    def test_straggler_below_timeout_is_tolerated(self, stack):
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=11)
+        injector = FaultInjector([Fault.straggler(1, delay_seconds=0.5)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector,
+                                   straggler_timeout=30.0)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 0
+        # The injected delay is visible in the per-node fan-out timing.
+        assert trace.node_seconds[1] >= 0.5
+        assert max(trace.node_seconds, key=trace.node_seconds.get) == 1
+
+    def test_straggler_past_timeout_is_redispatched(self, stack):
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=12)
+        injector = FaultInjector([Fault.straggler(1, delay_seconds=120.0)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector,
+                                   straggler_timeout=1.0)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 1
+        assert trace.failed_nodes == [1]
+        assert any("timed out" in note for note in trace.notes)
+
+    def test_multiple_concurrent_faults(self, stack):
+        """Two nodes fail in the same fan-out; both slices recover."""
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=13)
+        injector = FaultInjector([Fault.crash(1), Fault.crash(2, after=2)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 2
+        assert sorted(trace.failed_nodes) == [1, 2]
+        assert trace.fanout_redispatched_lwes == 2 * (ctx.n // 4)
+
+    def test_fault_during_recovery(self, stack):
+        """The recovery target can itself fail; the slice is queued again
+        and lands on a third node."""
+        ctx, sk, ev, swk = stack
+        ct, reference = self._reference(stack, seed=14)
+        # Node 2's slice fails; the first recovery target (node 0, the
+        # least-loaded-tie winner) drops its reply, forcing a second hop
+        # that lands on node 1.
+        injector = FaultInjector([Fault.crash(2), Fault.drop_reply(0)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=4,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 2
+        assert trace.failed_nodes == [2]  # drops are transient, not deaths
+
+    def test_all_nodes_dead_raises_typed_error(self, stack):
+        ctx, sk, ev, swk = stack
+        injector = FaultInjector([Fault.crash(i, persistent=True)
+                                  for i in range(3)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=3,
+                                   fault_injector=injector)
+        with pytest.raises(ClusterExecutionError) as excinfo:
+            cluster.bootstrap(ev.encrypt(0.2, level=0))
+        assert sorted(excinfo.value.failed_nodes) == [0, 1, 2]
+        assert excinfo.value.pending_slices  # at least one slice unplaced
+
+    def test_persistent_transient_fault_exhausts_retry_budget(self, stack):
+        """Persistently corrupted links keep every node 'healthy' but no
+        reply ever validates — the retry budget converts the livelock
+        into the typed error."""
+        ctx, sk, ev, swk = stack
+        injector = FaultInjector([Fault.corrupt_reply(i, persistent=True)
+                                  for i in range(2)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=2,
+                                   fault_injector=injector, max_retries=4)
+        with pytest.raises(ClusterExecutionError, match="retry budget"):
+            cluster.bootstrap(stack[2].encrypt(0.2, level=0))
+
+    @pytest.mark.parametrize("br_engine,rp_engine", ENGINE_COMBOS)
+    def test_crash_recovery_bit_identical_all_engines(self, stack, br_engine,
+                                                      rp_engine):
+        """The acceptance bar: a node killed mid-fan-out must not change
+        a single bit of the output, for every engine combination."""
+        ctx, sk, ev, swk = stack
+        z = np.random.default_rng(15).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        reference = SchemeSwitchBootstrapper(
+            ctx, swk, blind_rotate_engine=br_engine,
+            repack_engine=rp_engine).bootstrap(ct)
+        injector = FaultInjector([Fault.crash(1, after=1)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=3,
+                                   blind_rotate_engine=br_engine,
+                                   repack_engine=rp_engine,
+                                   fault_injector=injector)
+        trace = BootstrapTrace()
+        assert_bit_identical(reference, cluster.bootstrap(ct, trace))
+        assert trace.fanout_retries == 1
+
+    def test_retry_traffic_accounted_separately(self, stack):
+        ctx, sk, ev, swk = stack
+        ct = ev.encrypt(0.25, level=0)
+        injector = FaultInjector([Fault.crash(1)])
+        cluster = SimulatedCluster(ctx, swk, num_nodes=3,
+                                   fault_injector=injector)
+        cluster.bootstrap(ct)
+        comm = cluster.comm
+        # Node 1's slice lands on node 2 (load 5 < the primary's 6): the
+        # retry traffic is a strict subset of the totals and sits on the
+        # recovery node's links, not the crashed node's.
+        assert 0 < comm.total_retry_bytes() < comm.total_bytes()
+        assert comm.retry_link_bytes(0, 2) > 0
+        assert comm.retry_link_bytes(2, 0) > 0
+        assert comm.retry_link_bytes(0, 1) == 0
+        assert comm.retry_link_bytes(1, 0) == 0
+        # First-attempt traffic to the crashed node is still in the totals
+        # (the bytes crossed the wire before the crash was detected).
+        assert comm.link_bytes(0, 1) > 0

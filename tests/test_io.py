@@ -4,14 +4,17 @@ import numpy as np
 import pytest
 
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
-from repro.errors import ParameterError
+from repro.errors import ParameterError, WireFormatError
 from repro.io import (
+    WIRE_HEADER,
     deserialize_ciphertext,
     deserialize_lwe,
+    frame_blob,
     rns_poly_from_dict,
     rns_poly_to_dict,
     serialize_ciphertext,
     serialize_lwe,
+    unframe_blob,
 )
 from repro.math.modular import find_ntt_primes
 from repro.math.rns import RnsBasis, RnsPoly
@@ -122,3 +125,48 @@ class TestGlweRoundtrip:
         from repro.io import serialize_glwe
         with pytest.raises(ParameterError):
             serialize_glwe("not a ciphertext")
+
+
+class TestWireFraming:
+    """CRC32 framing for blobs crossing simulated node boundaries."""
+
+    def test_roundtrip(self):
+        payload = b"switching-key material \x00\xff" * 7
+        assert unframe_blob(frame_blob(payload)) == payload
+
+    def test_empty_payload_roundtrip(self):
+        assert unframe_blob(frame_blob(b"")) == b""
+
+    def test_header_layout(self):
+        framed = frame_blob(b"abc")
+        assert len(framed) == WIRE_HEADER.size + 3
+
+    def test_single_bit_flip_detected(self):
+        framed = bytearray(frame_blob(b"payload bytes"))
+        for i in range(len(framed)):
+            corrupted = bytearray(framed)
+            corrupted[i] ^= 0x01
+            with pytest.raises(WireFormatError):
+                unframe_blob(bytes(corrupted))
+
+    def test_truncation_detected(self):
+        framed = frame_blob(b"payload bytes")
+        with pytest.raises(WireFormatError, match="length"):
+            unframe_blob(framed[:-1])
+
+    def test_trailing_garbage_detected(self):
+        framed = frame_blob(b"payload bytes")
+        with pytest.raises(WireFormatError, match="length"):
+            unframe_blob(framed + b"x")
+
+    def test_short_header_detected(self):
+        with pytest.raises(WireFormatError, match="header"):
+            unframe_blob(b"\x01\x02")
+
+    def test_lwe_blob_roundtrip(self):
+        q = find_ntt_primes(28, 16, 1)[0]
+        s = Sampler(9)
+        sk = LweSecretKey.generate(12, s)
+        ct = lwe_encrypt(777, sk, q, s)
+        back = deserialize_lwe(unframe_blob(frame_blob(serialize_lwe(ct))))
+        assert lwe_decrypt(back, sk) == lwe_decrypt(ct, sk)

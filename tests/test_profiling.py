@@ -43,7 +43,10 @@ class TestCounters:
         eng.forward(a)  # after the context: not recorded
         assert stats.ntt_calls == 0
 
-    def test_nested_contexts_restore(self):
+    def test_nested_contexts_forward_to_parent(self):
+        """A nested region's ops are forwarded to the enclosing region on
+        exit, so the outer tally is the *inclusive* total (the inner
+        region used to swallow them entirely)."""
         n = 16
         q = find_ntt_primes(24, n, 1)[0]
         eng = NttEngine(n, q)
@@ -53,6 +56,31 @@ class TestCounters:
                 eng.forward(a)
             eng.forward(a)
         assert inner.ntt_calls == 1
+        assert outer.ntt_calls == 2
+        assert outer.ntt_points == 2 * n
+
+    def test_nested_contexts_merge_histograms(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        batch = eng.mod.asarray(np.arange(4 * n).reshape(4, n) % q)
+        with count_ops() as outer:
+            with count_ops() as inner:
+                eng.forward(batch)
+            eng.forward(batch[0])
+        assert inner.ntt_batch_hist == {4: 1}
+        assert outer.ntt_batch_hist == {4: 1, 1: 1}
+        assert outer.by_size == {n: 5}
+
+    def test_nested_region_exits_restore_collector(self):
+        n = 16
+        q = find_ntt_primes(24, n, 1)[0]
+        eng = NttEngine(n, q)
+        a = eng.mod.asarray(np.arange(n))
+        with count_ops() as outer:
+            with count_ops():
+                pass
+            eng.forward(a)  # recorded by the restored outer collector
         assert outer.ntt_calls == 1
 
 
