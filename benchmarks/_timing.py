@@ -1,0 +1,70 @@
+"""Shared timing loop and BENCH json writer for the benchmark harness.
+
+Every perf bench in this directory used to carry its own copy of the
+same methodology: run each side once untimed (warmup doubling as the
+bit-identity check), then time the sides ``REPS`` times *interleaved*
+and report the minimum — the standard way to strip scheduler noise from
+single-core container timings.  :func:`time_interleaved` is that loop,
+extracted once; benches keep their own warmup/identity passes because
+those are workload-specific.
+
+:func:`write_bench_json` is the shared ``BENCH_*.json`` writer.  Besides
+the per-bench file at the repo root it appends one run record to
+``benchmarks/out/trajectory.jsonl`` — an append-only log of every bench
+run, so the speedup trajectory across PRs can be read from one place
+instead of diffing BENCH files out of git history.
+"""
+
+import json
+import os
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+TRAJECTORY_PATH = os.path.join(OUT_DIR, "trajectory.jsonl")
+
+#: Interleaved timed repetitions per side; the minimum is reported.
+REPS = 3
+
+
+def time_interleaved(*sides: Callable[[], object],
+                     reps: int = REPS) -> List[float]:
+    """Time each zero-arg callable ``reps`` times, interleaved.
+
+    Interleaving (side A, side B, side A, side B, ...) rather than
+    back-to-back blocks means transient machine noise hits both sides
+    roughly equally instead of biasing whichever ran second.  Returns
+    the minimum wall-clock seconds per side, in argument order — pass
+    the side under test first so it is also timed first within each rep.
+    """
+    samples: List[List[float]] = [[] for _ in sides]
+    for _ in range(reps):
+        for i, fn in enumerate(sides):
+            t0 = time.perf_counter()
+            fn()
+            samples[i].append(time.perf_counter() - t0)
+    return [min(s) for s in samples]
+
+
+def write_bench_json(json_path: str, benchmark: str,
+                     results: Sequence[Dict[str, object]],
+                     reps: int = REPS,
+                     extra: Optional[Dict[str, object]] = None) -> None:
+    """Write a ``BENCH_*.json`` and append the run to trajectory.jsonl."""
+    payload: Dict[str, object] = {"benchmark": benchmark,
+                                  "unit": "seconds", "reps": reps,
+                                  "timing": "min"}
+    payload.update(extra or {})
+    payload["results"] = list(results)
+    with open(json_path, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+              "benchmark": benchmark,
+              "file": os.path.basename(json_path)}
+    record.update(payload)
+    with open(TRAJECTORY_PATH, "a") as fh:
+        fh.write(json.dumps(record) + "\n")

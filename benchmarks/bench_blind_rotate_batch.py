@@ -10,18 +10,16 @@ Methodology: both engines run once untimed first — that pass doubles as
 the bit-identity check (the engines must agree on every limb of every
 output before a timing counts) and as warmup, so the one-time costs
 (key-tensor lift, monomial cache fill, workspace allocation) do not
-distort either side.  Each engine is then timed ``REPS`` times
-interleaved and the minimum is reported, which is the standard way to
-strip scheduler noise from single-core container timings.
+distort either side.  Each engine is then timed interleaved via the
+shared ``_timing.time_interleaved`` loop and the minimum is reported.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_blind_rotate_batch.py -q``
 (the bench is excluded from tier-1 ``testpaths``).
 """
 
-import json
 import os
-import time
 
+from _timing import time_interleaved, write_bench_json
 from conftest import emit
 
 from repro.math.gadget import GadgetVector
@@ -43,9 +41,6 @@ JSON_PATH = os.path.join(REPO_ROOT, "BENCH_blind_rotate.json")
 #: LWE dimension for the micro-benchmark: small enough that the scalar
 #: oracle finishes in seconds at N=2^10, large enough to amortise setup.
 N_T = 8
-
-#: Interleaved timed repetitions per engine; the minimum is reported.
-REPS = 3
 
 
 def _setup(n):
@@ -84,29 +79,19 @@ def bench_blind_rotate_batch_engines():
             # Warmup + correctness: the engines must agree bit-for-bit.
             _assert_bit_identical(engine.rotate_batch(f, cts),
                                   blind_rotate_batch_reference(f, cts, brk))
-            t_vec = []
-            t_ref = []
-            for _ in range(REPS):
-                t0 = time.perf_counter()
-                engine.rotate_batch(f, cts)
-                t_vec.append(time.perf_counter() - t0)
-                t0 = time.perf_counter()
-                blind_rotate_batch_reference(f, cts, brk)
-                t_ref.append(time.perf_counter() - t0)
+            vec_s, ref_s = time_interleaved(
+                lambda: engine.rotate_batch(f, cts),
+                lambda: blind_rotate_batch_reference(f, cts, brk))
             results.append({
                 "n": n,
                 "batch": batch,
                 "n_t": N_T,
-                "scalar_s": round(min(t_ref), 6),
-                "vectorized_s": round(min(t_vec), 6),
-                "speedup": round(min(t_ref) / min(t_vec), 2),
+                "scalar_s": round(ref_s, 6),
+                "vectorized_s": round(vec_s, 6),
+                "speedup": round(ref_s / vec_s, 2),
             })
 
-    with open(JSON_PATH, "w") as fh:
-        json.dump({"benchmark": "blind_rotate_batch",
-                   "unit": "seconds", "reps": REPS, "timing": "min",
-                   "results": results}, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(JSON_PATH, "blind_rotate_batch", results)
 
     lines = ["BlindRotate batch: scalar reference vs vectorized tensor engine",
              f"{'N':>6} {'batch':>6} {'scalar (s)':>12} {'vector (s)':>12} {'speedup':>9}"]

@@ -17,9 +17,9 @@ Methodology mirrors ``bench_repack.py``: each configuration runs once
 untimed first — that pass doubles as the bit-identity check (both
 engines must agree on every limb before a timing counts) and as warmup
 so one-time costs (BConv plan build, key eval-tensor lift, stacked NTT
-tables) do not distort either side.  Each side is then timed ``REPS``
-times interleaved and the minimum is reported, into
-``BENCH_keyswitch.json`` at the repo root.
+tables) do not distort either side.  Each side is then timed
+interleaved via the shared ``_timing.time_interleaved`` loop and the
+minimum is reported, into ``BENCH_keyswitch.json`` at the repo root.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_keyswitch.py -q``
 (excluded from tier-1 ``testpaths``), or directly as a script.
@@ -28,10 +28,8 @@ bit-identity of the hoisted rotation set at N = 2^6 and 2^7, no timing
 gate.
 """
 
-import json
 import os
 import sys
-import time
 
 import numpy as np
 
@@ -52,11 +50,10 @@ except ImportError:  # running as a plain script, not under pytest
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     from conftest import emit
 
+from _timing import time_interleaved, write_bench_json
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_keyswitch.json")
-
-#: Interleaved timed repetitions per side; the minimum is reported.
-REPS = 3
 
 
 def _assert_same_ct(a, b):
@@ -87,21 +84,16 @@ def _bench_hoisted(ring_sizes, results, gate):
         out_ref = ev_ref.rotate_hoisted(ct, rotations)
         for r in rotations:
             _assert_same_ct(out_bat[r], out_ref[r])
-        t_bat, t_ref = [], []
-        for _ in range(REPS):
-            t0 = time.perf_counter()
-            ev_bat.rotate_hoisted(ct, rotations)
-            t_bat.append(time.perf_counter() - t0)
-            t0 = time.perf_counter()
-            ev_ref.rotate_hoisted(ct, rotations)
-            t_ref.append(time.perf_counter() - t0)
+        bat_s, ref_s = time_interleaved(
+            lambda: ev_bat.rotate_hoisted(ct, rotations),
+            lambda: ev_ref.rotate_hoisted(ct, rotations))
         results.append({
             "workload": "hoisted_bsgs",
             "n": n,
             "rotations": len(rotations),
-            "scalar_s": round(min(t_ref), 6),
-            "batched_s": round(min(t_bat), 6),
-            "speedup": round(min(t_ref) / min(t_bat), 2),
+            "scalar_s": round(ref_s, 6),
+            "batched_s": round(bat_s, 6),
+            "speedup": round(ref_s / bat_s, 2),
         })
     if gate:
         top = next(r for r in results if r["workload"] == "hoisted_bsgs"
@@ -135,21 +127,15 @@ def _bench_bootstrap(n, levels, results, gate):
     out_bat = boot_bat.bootstrap(ct0)
     out_ref = boot_ref.bootstrap(ct0)
     _assert_same_ct(out_bat, out_ref)
-    t_bat, t_ref = [], []
-    for _ in range(REPS):
-        t0 = time.perf_counter()
-        boot_bat.bootstrap(ct0)
-        t_bat.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        boot_ref.bootstrap(ct0)
-        t_ref.append(time.perf_counter() - t0)
+    bat_s, ref_s = time_interleaved(lambda: boot_bat.bootstrap(ct0),
+                                    lambda: boot_ref.bootstrap(ct0))
     results.append({
         "workload": "conventional_bootstrap",
         "n": n,
         "levels": levels,
-        "scalar_s": round(min(t_ref), 6),
-        "batched_s": round(min(t_bat), 6),
-        "speedup": round(min(t_ref) / min(t_bat), 2),
+        "scalar_s": round(ref_s, 6),
+        "batched_s": round(bat_s, 6),
+        "speedup": round(ref_s / bat_s, 2),
     })
     if gate:
         top = results[-1]
@@ -159,11 +145,7 @@ def _bench_bootstrap(n, levels, results, gate):
 
 
 def _report(results):
-    with open(JSON_PATH, "w") as fh:
-        json.dump({"benchmark": "keyswitch",
-                   "unit": "seconds", "reps": REPS, "timing": "min",
-                   "results": results}, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(JSON_PATH, "keyswitch", results)
     lines = ["Keyswitch: scalar reference vs batched hybrid engine",
              f"{'workload':>22} {'N':>6} {'scalar (s)':>12} "
              f"{'batched (s)':>12} {'speedup':>9}"]

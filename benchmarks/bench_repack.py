@@ -12,8 +12,8 @@ once untimed first — that pass doubles as the bit-identity check (the
 engines must agree on every limb of mask and body before a timing
 counts) and as warmup, so one-time costs (key-tensor lift, automorphism
 permutation cache, monomial cache) do not distort either side.  Each
-engine is then timed ``REPS`` times interleaved and the minimum is
-reported.
+engine is then timed interleaved via the shared
+``_timing.time_interleaved`` loop and the minimum is reported.
 
 Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_repack.py -q``
 (the bench is excluded from tier-1 ``testpaths``), or directly as a
@@ -22,10 +22,8 @@ variant: bit-identity at N = 2^6 and 2^7 across both digit paths, no
 timing gate — fast enough for every pull request.
 """
 
-import json
 import os
 import sys
-import time
 
 import numpy as np
 
@@ -48,11 +46,10 @@ except ImportError:  # running as a plain script, not under pytest
     sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
     from conftest import emit
 
+from _timing import time_interleaved, write_bench_json
+
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_repack.json")
-
-#: Interleaved timed repetitions per engine; the minimum is reported.
-REPS = 3
 
 
 def _setup(n):
@@ -96,29 +93,19 @@ def _run(ring_sizes, gate=True):
                                   ref_out)
             _assert_bit_identical(engine.pack(cts, digit_path="fresh"),
                                   ref_out)
-            t_vec = []
-            t_ref = []
-            for _ in range(REPS):
-                t0 = time.perf_counter()
-                engine.pack(cts)
-                t_vec.append(time.perf_counter() - t0)
-                t0 = time.perf_counter()
-                repack_reference(cts, auto)
-                t_ref.append(time.perf_counter() - t0)
+            vec_s, ref_s = time_interleaved(
+                lambda: engine.pack(cts),
+                lambda: repack_reference(cts, auto))
             results.append({
                 "n": n,
                 "n_cts": n_cts,
                 "keyswitches": repack_keyswitch_count(n_cts, n),
-                "scalar_s": round(min(t_ref), 6),
-                "vectorized_s": round(min(t_vec), 6),
-                "speedup": round(min(t_ref) / min(t_vec), 2),
+                "scalar_s": round(ref_s, 6),
+                "vectorized_s": round(vec_s, 6),
+                "speedup": round(ref_s / vec_s, 2),
             })
 
-    with open(JSON_PATH, "w") as fh:
-        json.dump({"benchmark": "repack",
-                   "unit": "seconds", "reps": REPS, "timing": "min",
-                   "results": results}, fh, indent=2)
-        fh.write("\n")
+    write_bench_json(JSON_PATH, "repack", results)
 
     lines = ["Repack: scalar reference recursion vs batched level engine",
              f"{'N':>6} {'n_cts':>6} {'ksw':>6} {'scalar (s)':>12} "

@@ -39,6 +39,15 @@ class WireFormatError(ReproError):
     payload, or a header that does not match the payload length)."""
 
 
+class SharedBufferError(ReproError):
+    """A shared-memory buffer could not be published or attached.
+
+    Raised when an array is unsuitable for zero-copy sharing (``object``
+    dtype, non-contiguous layout), when a manifest does not match the
+    block it claims to describe (size or CRC32 mismatch — the attach-time
+    integrity check), or when the named block no longer exists."""
+
+
 class ClusterExecutionError(ReproError):
     """The distributed bootstrap could not complete.
 

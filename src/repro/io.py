@@ -13,18 +13,30 @@ length.  The cluster simulation frames everything it puts on the wire so
 the receiving side can *detect* corruption and truncation — the trigger
 for the primary's re-dispatch recovery (Section V fault model) — instead
 of feeding garbage into the bootstrap.
+
+For the real multiprocessing executor the *key material* never travels
+as blobs at all: :func:`publish_shared_arrays` places a set of numpy
+arrays into one ``multiprocessing.shared_memory`` block and returns a
+picklable :class:`SharedBufferManifest` (per array: name, dtype, shape,
+byte offset, CRC32).  Workers :func:`attach_shared_arrays` once at spawn
+and get zero-copy read-only views — the 1.76 GB blind-rotate key of the
+paper's parameter set is mapped, not re-deserialized per batch (the ARK
+observation that the key working set, not the ciphertexts, is the
+binding cost of fanning bootstrap work out).
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 import json
 import struct
+from typing import Dict, List, Optional, Tuple
 import zlib
 
 import numpy as np
 
 from .ckks.ciphertext import CkksCiphertext
-from .errors import ParameterError, WireFormatError
+from .errors import ParameterError, SharedBufferError, WireFormatError
 from .math.rns import RnsBasis, RnsPoly
 from .tfhe.lwe import LweCiphertext
 
@@ -171,3 +183,136 @@ def deserialize_glwe(blob: bytes):
         mask=[rns_poly_from_dict(m) for m in payload["mask"]],
         body=rns_poly_from_dict(payload["body"]),
     )
+
+
+# -- shared-memory buffers (multiprocessing key material) -------------------------
+
+
+#: Byte alignment of every array inside a shared block (cache-line).
+_SHM_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """One array inside a shared block: where it lives and how to check it."""
+
+    name: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+    crc32: int
+
+
+@dataclass
+class SharedBufferManifest:
+    """Picklable description of one published shared-memory block.
+
+    ``block`` is the OS-level ``shared_memory`` name a worker attaches
+    to; ``arrays`` lists every array with its dtype, shape, byte offset
+    and CRC32 (computed at publish time — :func:`attach_shared_arrays`
+    re-checks it once per attach, so a worker never maps a torn or
+    foreign block); ``meta`` carries small picklable metadata the
+    consumer needs to interpret the arrays (ring size, moduli, gadget
+    parameters, domains) without any further deserialization.
+    """
+
+    block: str
+    total_bytes: int
+    arrays: List[SharedArraySpec]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def spec(self, name: str) -> SharedArraySpec:
+        for spec in self.arrays:
+            if spec.name == name:
+                return spec
+        raise SharedBufferError(f"manifest has no array named {name!r}")
+
+
+def _shm_module():
+    from multiprocessing import shared_memory
+
+    return shared_memory
+
+
+def publish_shared_arrays(arrays: Dict[str, np.ndarray],
+                          meta: Optional[Dict[str, object]] = None,
+                          ) -> Tuple[object, SharedBufferManifest]:
+    """Copy ``arrays`` into one new shared-memory block.
+
+    Returns ``(block, manifest)``: the owning ``SharedMemory`` handle
+    (the publisher must keep it alive and eventually ``close()`` +
+    ``unlink()`` it) and the picklable manifest consumers attach with.
+    Arrays must have a fixed-width dtype — ``object`` limbs (wide-modulus
+    rings) cannot be memory-mapped and raise :class:`~repro.errors.
+    SharedBufferError`; callers fall back to the simulated executor.
+    """
+    specs: List[SharedArraySpec] = []
+    offset = 0
+    for name, arr in arrays.items():
+        if arr.dtype == object or arr.dtype.hasobject:
+            raise SharedBufferError(
+                f"array {name!r} has object dtype — only fixed-width dtypes "
+                f"can be shared zero-copy (wide-modulus limbs cannot)")
+        offset = -(-offset // _SHM_ALIGN) * _SHM_ALIGN
+        specs.append(SharedArraySpec(
+            name=name, dtype=arr.dtype.str, shape=tuple(arr.shape),
+            offset=offset, nbytes=arr.nbytes,
+            crc32=zlib.crc32(np.ascontiguousarray(arr).data) & 0xFFFFFFFF))
+        offset += arr.nbytes
+    total = max(offset, 1)
+    block = _shm_module().SharedMemory(create=True, size=total)
+    for spec, arr in zip(specs, arrays.values()):
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=block.buf, offset=spec.offset)
+        view[...] = arr
+    return block, SharedBufferManifest(block=block.name, total_bytes=total,
+                                       arrays=specs, meta=dict(meta or {}))
+
+
+def attach_shared_arrays(manifest: SharedBufferManifest,
+                         verify: bool = True,
+                         ) -> Tuple[object, Dict[str, np.ndarray]]:
+    """Attach to a published block and return zero-copy views.
+
+    Returns ``(block, views)``; the attaching process must keep ``block``
+    alive as long as it uses the views and ``close()`` it afterwards
+    (never ``unlink()`` — the publisher owns the block's lifetime).  With
+    ``verify=True`` (the default) every array's CRC32 is checked once
+    against the manifest, so corruption or a stale/foreign block is
+    detected at attach time rather than mid-bootstrap.
+    """
+    shared_memory = _shm_module()
+    try:
+        block = shared_memory.SharedMemory(name=manifest.block)
+    except FileNotFoundError as exc:
+        raise SharedBufferError(
+            f"shared block {manifest.block!r} does not exist (publisher "
+            f"gone or already unlinked)") from exc
+    # Attach registers the block with the resource tracker (bpo-39959).
+    # Pool workers share the publisher's tracker (multiprocessing hands
+    # the tracker fd to fork and spawn children alike), where the
+    # registration is an idempotent set-add: worker attaches are no-ops
+    # against the publisher's own registration and the publisher's
+    # ``unlink()`` performs the one unregister.  Unregistering here
+    # would strip that registration out from under the publisher —
+    # tracker noise at unlink, no leak cleanup on crash.  Only a process
+    # *outside* the publisher's tree (its own tracker) must unregister,
+    # or its exit unlinks the key material under every sibling; this
+    # repo's consumers are all pool children, so no unregister.
+    if block.size < manifest.total_bytes:
+        block.close()
+        raise SharedBufferError(
+            f"shared block {manifest.block!r} is {block.size} bytes, "
+            f"manifest expects {manifest.total_bytes}")
+    views: Dict[str, np.ndarray] = {}
+    for spec in manifest.arrays:
+        view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
+                          buffer=block.buf, offset=spec.offset)
+        if verify and zlib.crc32(np.ascontiguousarray(view).data) & 0xFFFFFFFF != spec.crc32:
+            block.close()
+            raise SharedBufferError(
+                f"array {spec.name!r} in shared block {manifest.block!r} "
+                f"failed its CRC32 check — block corrupted or mismatched")
+        views[spec.name] = view
+    return block, views

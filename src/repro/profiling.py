@@ -64,6 +64,10 @@ class OpStats:
     fanout_dispatches: int = 0  # BlindRotate slices dispatched (first attempts)
     fanout_retries: int = 0     # recovery re-dispatches after a detected fault
     fanout_redispatched_lwes: int = 0  # LWE ciphertexts re-sent by recovery
+    fanout_pool_spinups: int = 0       # worker pools started (fork + attach)
+    fanout_pool_spinup_s: float = 0.0  # wall-clock spent spinning pools up
+    fanout_worker_respawns: int = 0    # dead workers replaced mid-run
+    fanout_shared_key_bytes: int = 0   # key bytes published to shared memory
 
     def record_keyswitch(self, *, modup_macs: int = 0, moddown_macs: int = 0,
                          ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
@@ -79,10 +83,16 @@ class OpStats:
             self.bconv_plan_misses += 1
 
     def record_fanout(self, *, dispatches: int = 0, retries: int = 0,
-                      redispatched_lwes: int = 0) -> None:
+                      redispatched_lwes: int = 0, pool_spinups: int = 0,
+                      pool_spinup_s: float = 0.0, worker_respawns: int = 0,
+                      shared_key_bytes: int = 0) -> None:
         self.fanout_dispatches += dispatches
         self.fanout_retries += retries
         self.fanout_redispatched_lwes += redispatched_lwes
+        self.fanout_pool_spinups += pool_spinups
+        self.fanout_pool_spinup_s += pool_spinup_s
+        self.fanout_worker_respawns += worker_respawns
+        self.fanout_shared_key_bytes += shared_key_bytes
 
     def merge(self, other: "OpStats") -> None:
         """Add another region's tally into this one (every scalar counter
@@ -183,11 +193,18 @@ def record_bconv_plan(hit: bool) -> None:
 
 
 def record_fanout(*, dispatches: int = 0, retries: int = 0,
-                  redispatched_lwes: int = 0) -> None:
-    """Record bootstrap fan-out activity (dispatches / recovery retries)."""
+                  redispatched_lwes: int = 0, pool_spinups: int = 0,
+                  pool_spinup_s: float = 0.0, worker_respawns: int = 0,
+                  shared_key_bytes: int = 0) -> None:
+    """Record bootstrap fan-out activity (dispatches / recovery retries /
+    worker-pool lifecycle)."""
     if _ACTIVE is not None:
         _ACTIVE.record_fanout(dispatches=dispatches, retries=retries,
-                              redispatched_lwes=redispatched_lwes)
+                              redispatched_lwes=redispatched_lwes,
+                              pool_spinups=pool_spinups,
+                              pool_spinup_s=pool_spinup_s,
+                              worker_respawns=worker_respawns,
+                              shared_key_bytes=shared_key_bytes)
 
 
 @contextlib.contextmanager

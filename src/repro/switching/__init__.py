@@ -1,6 +1,7 @@
 """The paper's core contribution: scheme-switching CKKS bootstrapping."""
 
 from .bootstrap import BootstrapTrace, SchemeSwitchBootstrapper, expected_k_prime_std
+from .fanout import PRIMARY, CommLog, Fault, FaultInjector, FaultTolerantFanout
 from .functional import FunctionalEvaluator, relu_fn, sigmoid_fn, sign_fn
 from .keys import KeySizeAudit, SwitchingKeySet, conventional_bootstrap_key_bytes
 from .keyswitched import (
@@ -8,6 +9,7 @@ from .keyswitched import (
     KeySwitchedKeySet,
     make_keyswitched_toy_params,
 )
+from .mp_executor import ProcessPoolFanoutExecutor
 from .pipeline import BootstrapPipeline, Executor, LocalExecutor
 from .scheduler import (
     BootstrapSchedule,
@@ -19,8 +21,14 @@ from .scheduler import (
 __all__ = [
     "BootstrapPipeline",
     "BootstrapTrace",
+    "CommLog",
     "Executor",
+    "Fault",
+    "FaultInjector",
+    "FaultTolerantFanout",
     "LocalExecutor",
+    "PRIMARY",
+    "ProcessPoolFanoutExecutor",
     "SchemeSwitchBootstrapper",
     "expected_k_prime_std",
     "FunctionalEvaluator",

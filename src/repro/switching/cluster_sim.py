@@ -22,23 +22,24 @@ ciphertexts intended for one of the secondary FPGAs before sending the
 ciphertexts for the next one" — and extends it with a fault model the
 fixed-fabric FPGA deployment never needed: a :class:`FaultInjector` can
 crash a node mid-batch, drop or corrupt a reply blob, or delay a node
-(straggler).  The primary detects failures via the CRC frames, reply
-counts and a straggler timeout, re-dispatches the failed *contiguous
-slice* to the least-loaded surviving node, accounts the retry traffic
-separately in :class:`CommLog`, and raises a typed
-:class:`~repro.errors.ClusterExecutionError` only when no healthy node
-remains (or the retry budget is exhausted by persistent faults).
+(straggler).  The dispatch + recovery loop itself lives in
+:class:`~repro.switching.fanout.FaultTolerantFanout` (shared with the
+real multiprocessing pool); this module supplies the simulated
+transport: in-process :class:`SimulatedNode` calls with CRC frames,
+retry traffic accounted separately on the :class:`CommLog`, and a typed
+:class:`~repro.errors.ClusterExecutionError` when recovery is
+exhausted.  :class:`CommLog`, :class:`Fault` and :class:`FaultInjector`
+are re-exported from :mod:`repro.switching.fanout` for compatibility.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 import time
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
-from ..errors import ClusterExecutionError, ParameterError, WireFormatError
+from ..errors import ParameterError, WireFormatError
 from ..io import (
     deserialize_glwe,
     deserialize_lwe,
@@ -47,115 +48,21 @@ from ..io import (
     serialize_lwe,
     unframe_blob,
 )
-from ..profiling import record_fanout
 from ..tfhe.blind_rotate import blind_rotate_batch
 from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext
+from .fanout import CommLog, Fault, FaultInjector, FaultTolerantFanout
 from .keys import SwitchingKeySet
 from .pipeline import BootstrapPipeline, BootstrapTrace
-from .scheduler import make_schedule, pick_recovery_node
 
-
-@dataclass
-class CommLog:
-    """Bytes and message counts per (src, dst) link.
-
-    First-attempt and recovery traffic are accounted *separately*:
-    ``record(..., retry=True)`` adds to the grand totals **and** to the
-    ``retry_*`` breakdowns, so :meth:`total_bytes` is everything that
-    crossed the wire and :meth:`total_retry_bytes` the share caused by
-    fault recovery.
-    """
-
-    bytes_sent: Dict[tuple, int] = field(default_factory=dict)
-    messages: Dict[tuple, int] = field(default_factory=dict)
-    retry_bytes: Dict[tuple, int] = field(default_factory=dict)
-    retry_messages: Dict[tuple, int] = field(default_factory=dict)
-
-    def record(self, src: int, dst: int, payload: bytes,
-               retry: bool = False) -> None:
-        key = (src, dst)
-        self.bytes_sent[key] = self.bytes_sent.get(key, 0) + len(payload)
-        self.messages[key] = self.messages.get(key, 0) + 1
-        if retry:
-            self.retry_bytes[key] = self.retry_bytes.get(key, 0) + len(payload)
-            self.retry_messages[key] = self.retry_messages.get(key, 0) + 1
-
-    def total_bytes(self) -> int:
-        return sum(self.bytes_sent.values())
-
-    def link_bytes(self, src: int, dst: int) -> int:
-        return self.bytes_sent.get((src, dst), 0)
-
-    def total_retry_bytes(self) -> int:
-        return sum(self.retry_bytes.values())
-
-    def retry_link_bytes(self, src: int, dst: int) -> int:
-        return self.retry_bytes.get((src, dst), 0)
-
-
-@dataclass
-class Fault:
-    """One injected fault against a node.
-
-    ``kind`` is one of ``"crash"`` (die after ``after`` BlindRotates of
-    the incoming batch), ``"drop_reply"`` / ``"corrupt_reply"`` (lose or
-    bit-flip reply blob ``reply_index``), or ``"straggle"`` (add
-    ``delay_seconds`` of simulated latency — a timeout failure if it
-    exceeds the executor's ``straggler_timeout``).  Non-persistent faults
-    fire exactly once, so recovery succeeds; ``persistent=True`` models a
-    node that stays broken.
-    """
-
-    kind: str
-    node_id: int
-    after: int = 0
-    reply_index: int = 0
-    delay_seconds: float = 0.0
-    persistent: bool = False
-
-    @classmethod
-    def crash(cls, node_id: int, after: int = 0,
-              persistent: bool = False) -> "Fault":
-        return cls("crash", node_id, after=after, persistent=persistent)
-
-    @classmethod
-    def drop_reply(cls, node_id: int, index: int = 0,
-                   persistent: bool = False) -> "Fault":
-        return cls("drop_reply", node_id, reply_index=index,
-                   persistent=persistent)
-
-    @classmethod
-    def corrupt_reply(cls, node_id: int, index: int = 0,
-                      persistent: bool = False) -> "Fault":
-        return cls("corrupt_reply", node_id, reply_index=index,
-                   persistent=persistent)
-
-    @classmethod
-    def straggler(cls, node_id: int, delay_seconds: float,
-                  persistent: bool = False) -> "Fault":
-        return cls("straggle", node_id, delay_seconds=delay_seconds,
-                   persistent=persistent)
-
-
-class FaultInjector:
-    """Deterministic fault source the :class:`ClusterExecutor` consults.
-
-    Holds a list of :class:`Fault` specs; :meth:`take` pops the first
-    matching non-persistent fault (persistent ones keep firing).  An
-    empty injector is a no-op — the default, fault-free execution.
-    """
-
-    def __init__(self, faults: Sequence[Fault] = ()):
-        self.faults: List[Fault] = list(faults)
-
-    def take(self, node_id: int, kind: str) -> Optional[Fault]:
-        for i, fault in enumerate(self.faults):
-            if fault.node_id == node_id and fault.kind == kind:
-                if not fault.persistent:
-                    del self.faults[i]
-                return fault
-        return None
+__all__ = [
+    "CommLog",
+    "Fault",
+    "FaultInjector",
+    "SimulatedNode",
+    "ClusterExecutor",
+    "SimulatedCluster",
+]
 
 
 class _NodeCrash(Exception):
@@ -193,19 +100,17 @@ class SimulatedNode:
         return [frame_blob(serialize_glwe(a)) for a in accs]
 
 
-class ClusterExecutor:
-    """The fan-out stage over simulated message-passing nodes, with
-    primary-side failure detection and recovery.
+class ClusterExecutor(FaultTolerantFanout):
+    """The fan-out stage over simulated message-passing nodes.
 
-    First pass: the paper's send policy — each node's full contiguous
-    slice is serialized, framed and sent before the next node's.  Any
-    slice whose reply fails validation (crash, timeout, short reply, CRC
-    mismatch) is queued and re-dispatched whole to the least-loaded
-    surviving node (:func:`~repro.switching.scheduler.pick_recovery_node`);
-    retry traffic is recorded separately on the :class:`CommLog` and the
-    retry counters land on the :class:`~repro.switching.pipeline.
-    BootstrapTrace` plus the active :func:`~repro.profiling.count_ops`
-    region.
+    Inherits the dispatch + recovery loop from
+    :class:`~repro.switching.fanout.FaultTolerantFanout` and supplies
+    the simulated transport: each slice is serialized, CRC-framed and
+    "sent" to a :class:`SimulatedNode` by direct call; crash faults
+    (``crash`` and ``kill_worker`` are equivalent here) surface as a
+    missing reply, stragglers as simulated latency against
+    ``straggler_timeout``, and drop/corrupt faults mutate the reply
+    blobs so the primary's CRC/count validation catches them.
     """
 
     def __init__(self, nodes: Sequence[SimulatedNode], comm: CommLog,
@@ -220,66 +125,17 @@ class ClusterExecutor:
         self.blind_rotate_engine = blind_rotate_engine
         #: Simulated seconds after which a delayed node is presumed dead.
         self.straggler_timeout = straggler_timeout
-        #: Re-dispatch budget per fan-out (defaults to 4x the node count);
-        #: exhausting it — only possible with persistent faults on healthy
-        #: nodes — raises ClusterExecutionError instead of looping forever.
         self.max_retries = max_retries
 
-    def fanout(self, lwes: Sequence[LweCiphertext],
-               trace: BootstrapTrace) -> List[GlweCiphertext]:
-        schedule = make_schedule(len(lwes), len(self.nodes))
-        results: List[Optional[GlweCiphertext]] = [None] * len(lwes)
-        healthy: Dict[int, SimulatedNode] = {
-            node.node_id: node for node in self.nodes}
-        failed: List[Tuple[int, int, int]] = []  # (start, stop, failed node)
+    # -- FaultTolerantFanout contract -----------------------------------------
 
-        # First pass: the Section-V send policy, one node's full slice
-        # before the next.
-        for assignment in schedule.nodes:
-            if assignment.count == 0:
-                continue
-            node = healthy[assignment.node_id]
-            record_fanout(dispatches=1)
-            if not self._dispatch(node, assignment.start, assignment.stop,
-                                  lwes, results, healthy, trace, retry=False):
-                failed.append((assignment.start, assignment.stop,
-                               assignment.node_id))
+    def _workers(self) -> Dict[int, SimulatedNode]:
+        return {node.node_id: node for node in self.nodes}
 
-        # Recovery: re-dispatch each failed contiguous slice whole.
-        budget = self.max_retries if self.max_retries is not None \
-            else 4 * len(self.nodes)
-        while failed:
-            if not healthy:
-                raise ClusterExecutionError(
-                    f"fan-out failed: no healthy node remains for "
-                    f"{len(failed)} pending slice(s)",
-                    failed_nodes=trace.failed_nodes,
-                    pending_slices=[(s, e) for s, e, _ in failed])
-            if trace.fanout_retries >= budget:
-                raise ClusterExecutionError(
-                    f"fan-out failed: retry budget ({budget}) exhausted "
-                    f"with {len(failed)} pending slice(s)",
-                    failed_nodes=trace.failed_nodes,
-                    pending_slices=[(s, e) for s, e, _ in failed])
-            start, stop, origin = failed.pop(0)
-            loads = {nid: node.processed for nid, node in healthy.items()}
-            target = healthy[pick_recovery_node(list(healthy), loads,
-                                                exclude=origin)]
-            trace.fanout_retries += 1
-            trace.fanout_redispatched_lwes += stop - start
-            record_fanout(retries=1, redispatched_lwes=stop - start)
-            trace.notes.append(
-                f"re-dispatching LWEs [{start}, {stop}) from node "
-                f"{origin} to node {target.node_id}")
-            if not self._dispatch(target, start, stop, lwes, results,
-                                  healthy, trace, retry=True):
-                failed.append((start, stop, target.node_id))
-        # Recovery guarantees completeness: every slot is filled.
-        return [acc for acc in results if acc is not None]
+    def _load(self, handle: SimulatedNode) -> int:
+        return handle.processed
 
-    # -- one slice ------------------------------------------------------------
-
-    def _dispatch(self, node: SimulatedNode, start: int, stop: int,
+    def _dispatch(self, handle: SimulatedNode, start: int, stop: int,
                   lwes: Sequence[LweCiphertext],
                   results: List[Optional[GlweCiphertext]],
                   healthy: Dict[int, SimulatedNode],
@@ -287,17 +143,18 @@ class ClusterExecutor:
         """Send one contiguous slice, validate the reply, splice the
         accumulators into ``results``.  Returns False on any detected
         failure (the caller queues the slice for re-dispatch)."""
-        nid = node.node_id
+        nid = handle.node_id
         wire_in = [frame_blob(serialize_lwe(lwe)) for lwe in lwes[start:stop]]
         if nid != 0:  # the primary's own slice never crosses the wire
             for blob in wire_in:
                 self.comm.record(0, nid, blob, retry=retry)
 
-        crash = self.injector.take(nid, "crash")
+        crash = self.injector.take_any(nid, "crash", "kill_worker")
         t0 = time.perf_counter()
         try:
-            wire_out = node.process(wire_in, engine=self.blind_rotate_engine,
-                                    fail_after=crash.after if crash else None)
+            wire_out = handle.process(wire_in,
+                                      engine=self.blind_rotate_engine,
+                                      fail_after=crash.after if crash else None)
         except _NodeCrash:
             self._add_time(trace, nid, time.perf_counter() - t0)
             self._mark_dead(nid, healthy, trace, "crashed mid-batch")
@@ -344,18 +201,6 @@ class ClusterExecutor:
             return False
         results[start:stop] = accs
         return True
-
-    @staticmethod
-    def _add_time(trace: BootstrapTrace, nid: int, seconds: float) -> None:
-        trace.node_seconds[nid] = trace.node_seconds.get(nid, 0.0) + seconds
-
-    @staticmethod
-    def _mark_dead(nid: int, healthy: Dict[int, SimulatedNode],
-                   trace: BootstrapTrace, why: str) -> None:
-        healthy.pop(nid, None)
-        if nid not in trace.failed_nodes:
-            trace.failed_nodes.append(nid)
-        trace.notes.append(f"node {nid} {why}")
 
 
 class SimulatedCluster:

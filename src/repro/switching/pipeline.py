@@ -101,6 +101,15 @@ class BootstrapTrace:
     fanout_redispatched_lwes: int = 0
     #: Nodes declared dead during the fan-out (crash or timeout).
     failed_nodes: List[int] = field(default_factory=list)
+    #: One-time worker-pool spin-up cost amortised over this run's batch
+    #: (zero for in-process executors; the multiprocessing pool reports
+    #: fork + shared-key-attach + handshake time here).
+    pool_spinup_seconds: float = 0.0
+    #: Bytes of key material published into shared memory for this run's
+    #: executor (zero when keys live in-process).
+    shared_key_bytes: int = 0
+    #: Dead worker processes respawned during the fan-out.
+    worker_respawns: int = 0
     notes: List[str] = field(default_factory=list)
 
     def reset(self) -> None:

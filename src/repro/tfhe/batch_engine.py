@@ -45,7 +45,7 @@ cannot change any canonical residue.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -69,7 +69,8 @@ class BatchBlindRotateEngine:
     scheme-switching bootstrap — pay the lift exactly once.
     """
 
-    def __init__(self, brk: BlindRotateKey, n: int, basis: RnsBasis):
+    def __init__(self, brk: BlindRotateKey, n: int, basis: RnsBasis,
+                 key_pm: Optional[List[np.ndarray]] = None):
         sample = brk.plus[0]
         if sample.n != n or tuple(sample.basis.moduli) != tuple(basis.moduli):
             raise ParameterError("blind-rotate key does not match the requested ring")
@@ -85,8 +86,19 @@ class BatchBlindRotateEngine:
         self.ntts = [get_ntt_engine(n, q) for q in basis.moduli]
         self.mono = get_monomial_cache(n, basis)
         # One (n_t, N, rows, 2*cols) eval-domain stack per limb: columns
-        # [0, cols) hold brk+, [cols, 2*cols) hold brk-.
-        self.key_pm = self._lift(brk.plus, brk.minus)
+        # [0, cols) hold brk+, [cols, 2*cols) hold brk-.  A caller that
+        # already holds the lifted tensors — a pool worker viewing them
+        # zero-copy in shared memory — passes them in and skips the lift.
+        if key_pm is not None:
+            expected = (brk.n_t, n, self.rows, 2 * self.cols)
+            for li, tensor in enumerate(key_pm):
+                if tuple(tensor.shape) != expected:
+                    raise ParameterError(
+                        f"pre-lifted key tensor for limb {li} has shape "
+                        f"{tuple(tensor.shape)}, expected {expected}")
+            self.key_pm = list(key_pm)
+        else:
+            self.key_pm = self._lift(brk.plus, brk.minus)
         # RGSW(1) never needs a tensor: its rows are the gadget factors as
         # constants, so its MAC term is the digit recomposition below.
         self.g_mod = [e.asarray(self.gadget.factors()) for e in self.engines]

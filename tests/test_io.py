@@ -4,12 +4,14 @@ import numpy as np
 import pytest
 
 from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
-from repro.errors import ParameterError, WireFormatError
+from repro.errors import ParameterError, SharedBufferError, WireFormatError
 from repro.io import (
     WIRE_HEADER,
+    attach_shared_arrays,
     deserialize_ciphertext,
     deserialize_lwe,
     frame_blob,
+    publish_shared_arrays,
     rns_poly_from_dict,
     rns_poly_to_dict,
     serialize_ciphertext,
@@ -170,3 +172,82 @@ class TestWireFraming:
         ct = lwe_encrypt(777, sk, q, s)
         back = deserialize_lwe(unframe_blob(frame_blob(serialize_lwe(ct))))
         assert lwe_decrypt(back, sk) == lwe_decrypt(ct, sk)
+
+
+class TestSharedBuffers:
+    """The shared-memory key-publication layer used by the worker pool."""
+
+    def _sample_arrays(self):
+        rng = np.random.default_rng(12)
+        return {
+            "key": rng.integers(0, 2**31, size=(3, 4, 8), dtype=np.int64),
+            "tv": rng.integers(0, 2**31, size=(2, 16), dtype=np.int64),
+            "small": np.array([7], dtype=np.int32),
+        }
+
+    def test_publish_attach_roundtrip_zero_copy(self):
+        arrays = self._sample_arrays()
+        block, manifest = publish_shared_arrays(
+            arrays, meta={"n": 16, "moduli": [17, 97]})
+        try:
+            attached, views = attach_shared_arrays(manifest)
+            try:
+                for name, arr in arrays.items():
+                    assert views[name].dtype == arr.dtype
+                    assert np.array_equal(views[name], arr)
+                    # Zero-copy: the view's memory IS the shared block.
+                    assert views[name].base is not None
+                assert manifest.meta["moduli"] == [17, 97]
+            finally:
+                attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_arrays_are_cache_line_aligned(self):
+        block, manifest = publish_shared_arrays(self._sample_arrays())
+        try:
+            for spec in manifest.arrays:
+                assert spec.offset % 64 == 0
+            assert manifest.total_bytes >= sum(s.nbytes
+                                               for s in manifest.arrays)
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_object_dtype_rejected(self):
+        wide = np.array([2**80, 2**90], dtype=object)
+        with pytest.raises(SharedBufferError, match="object dtype"):
+            publish_shared_arrays({"wide": wide})
+
+    def test_corruption_detected_at_attach(self):
+        arrays = self._sample_arrays()
+        block, manifest = publish_shared_arrays(arrays)
+        try:
+            spec = manifest.spec("key")
+            block.buf[spec.offset] ^= 0x41  # flip one byte of "key"
+            with pytest.raises(SharedBufferError, match="CRC32"):
+                attach_shared_arrays(manifest)
+            # verify=False attaches anyway (benchmark escape hatch).
+            attached, views = attach_shared_arrays(manifest, verify=False)
+            attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_missing_block_detected(self):
+        block, manifest = publish_shared_arrays(self._sample_arrays())
+        block.close()
+        block.unlink()
+        with pytest.raises(SharedBufferError, match="does not exist"):
+            attach_shared_arrays(manifest)
+
+    def test_manifest_spec_lookup(self):
+        block, manifest = publish_shared_arrays(self._sample_arrays())
+        try:
+            assert manifest.spec("tv").shape == (2, 16)
+            with pytest.raises(SharedBufferError, match="no array"):
+                manifest.spec("nope")
+        finally:
+            block.close()
+            block.unlink()

@@ -1,0 +1,289 @@
+"""Tests for the real multiprocessing fan-out executor: bit-identity
+against the in-process pipeline for every engine combination, survival of
+genuine worker death (SIGKILL, nonzero exit, reply timeout), worker-side
+fault realisation, accounting, and the cross-executor determinism of the
+fault-injection schedule."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import ClusterExecutionError
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.profiling import count_ops
+from repro.switching import SwitchingKeySet
+from repro.switching.cluster_sim import SimulatedCluster
+from repro.switching.fanout import PRIMARY, Fault, FaultInjector
+from repro.switching.mp_executor import ProcessPoolFanoutExecutor
+from repro.switching.pipeline import BootstrapPipeline, BootstrapTrace
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                         special_limbs=2)
+
+ENGINE_COMBOS = [("vectorized", "vectorized"), ("vectorized", "reference"),
+                 ("reference", "vectorized"), ("reference", "reference")]
+
+
+@pytest.fixture(scope="module")
+def stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(501))
+    sk = gen.secret_key()
+    ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(502))
+    swk = SwitchingKeySet.generate(ctx, sk, Sampler(503), base_bits=4,
+                                   error_std=0.8)
+    return ctx, sk, ev, swk
+
+
+@pytest.fixture(scope="module")
+def level0_ct(stack):
+    ctx, _, ev, _ = stack
+    z = np.random.default_rng(7).uniform(-1, 1, ctx.slots)
+    return ev.encrypt(z, level=0)
+
+
+def assert_bit_identical(reference, distributed):
+    for ref_l, got_l in zip(reference.c0.to_coeff().limbs,
+                            distributed.c0.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+    for ref_l, got_l in zip(reference.c1.to_coeff().limbs,
+                            distributed.c1.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+
+
+def pool_bootstrap(ctx, swk, ct, trace=None, num_workers=2, repack="vectorized",
+                   **pool_kwargs):
+    with ProcessPoolFanoutExecutor.for_keys(ctx, swk, num_workers=num_workers,
+                                            **pool_kwargs) as pool:
+        pipe = BootstrapPipeline(ctx, swk, executor=pool, repack_engine=repack)
+        return pipe.run(ct, trace)
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("br_engine,rp_engine", ENGINE_COMBOS)
+    def test_all_engine_combos_match_local(self, stack, level0_ct,
+                                           br_engine, rp_engine):
+        """The pool is the same computation as LocalExecutor, byte for
+        byte, for every blind-rotate x repack engine combination."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(
+            ctx, swk, blind_rotate_engine=br_engine,
+            repack_engine=rp_engine).run(level0_ct)
+        out = pool_bootstrap(ctx, swk, level0_ct, repack=rp_engine,
+                             blind_rotate_engine=br_engine)
+        assert_bit_identical(reference, out)
+
+    def test_spawn_start_method(self, stack, level0_ct):
+        """Workers located by import (no fork inheritance) rebuild the
+        key material purely from the shared-memory manifest."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        out = pool_bootstrap(ctx, swk, level0_ct, start_method="spawn")
+        assert_bit_identical(reference, out)
+
+    def test_single_worker_pool(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        out = pool_bootstrap(ctx, swk, level0_ct, num_workers=1)
+        assert_bit_identical(reference, out)
+
+
+class TestWorkerDeath:
+    def test_sigkill_mid_batch_recovers_bit_identically(self, stack,
+                                                        level0_ct):
+        """A worker SIGKILLed after part of its batch is detected,
+        respawned, and its whole slice re-dispatched — output unchanged."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector([Fault.kill_worker(1, after=2)]))
+        assert_bit_identical(reference, out)
+        assert trace.failed_nodes == [1]
+        assert trace.fanout_retries == 1
+        assert trace.worker_respawns == 1
+        assert any("signal 9" in note for note in trace.notes)
+
+    def test_nonzero_exit_recovers(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector(
+                [Fault.kill_worker(0, after=0, exit_code=3)]))
+        assert_bit_identical(reference, out)
+        assert any("exitcode=3" in note for note in trace.notes)
+
+    def test_reply_timeout_recovers(self, stack, level0_ct):
+        """A straggler beyond reply_timeout is presumed dead: killed,
+        respawned, slice re-dispatched."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector([Fault.straggler(0, 30.0)]),
+            reply_timeout=1.0)
+        assert_bit_identical(reference, out)
+        assert trace.failed_nodes == [0]
+        assert any("timed out" in note for note in trace.notes)
+
+    def test_both_workers_killed_recovers_via_respawn(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector([Fault.kill_worker(0, after=1),
+                                          Fault.kill_worker(1, after=0)]))
+        assert_bit_identical(reference, out)
+        assert sorted(trace.failed_nodes) == [0, 1]
+        assert trace.worker_respawns == 2
+
+    def test_unrecoverable_when_respawn_budget_zero(self, stack, level0_ct):
+        """Persistent kill faults with no respawn budget exhaust the pool:
+        a typed ClusterExecutionError, not a hang or garbage."""
+        ctx, _, _, swk = stack
+        inj = FaultInjector([Fault.kill_worker(0, persistent=True),
+                             Fault.kill_worker(1, persistent=True)])
+        with pytest.raises(ClusterExecutionError) as err:
+            pool_bootstrap(ctx, swk, level0_ct, fault_injector=inj,
+                           max_respawns=0)
+        assert err.value.pending_slices
+
+
+class TestWorkerSideFaults:
+    def test_drop_and_corrupt_realised_by_worker(self, stack, level0_ct):
+        """Reply mutation happens in the worker process; the primary's
+        frame validation catches both and recovery restores the output."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector([Fault.drop_reply(0, index=1),
+                                          Fault.corrupt_reply(1, index=0)]))
+        assert_bit_identical(reference, out)
+        assert trace.fanout_retries == 2
+        # Drops and corruptions are wire faults, not worker deaths.
+        assert trace.failed_nodes == []
+        assert trace.worker_respawns == 0
+
+    def test_short_straggle_just_slows_the_reply(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        trace = BootstrapTrace()
+        out = pool_bootstrap(
+            ctx, swk, level0_ct, trace,
+            fault_injector=FaultInjector([Fault.straggler(1, 0.2)]),
+            reply_timeout=30.0)
+        assert_bit_identical(reference, out)
+        assert trace.fanout_retries == 0
+        assert trace.node_seconds[1] >= 0.2
+
+
+class TestAccounting:
+    def test_trace_and_comm_accounting(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        trace = BootstrapTrace()
+        with ProcessPoolFanoutExecutor.for_keys(ctx, swk,
+                                                num_workers=2) as pool:
+            BootstrapPipeline(ctx, swk, executor=pool).run(level0_ct, trace)
+            # Per-worker wall-clock for both workers, pool metadata on
+            # the trace, and framed traffic on every primary<->worker link.
+            assert set(trace.node_seconds) == {0, 1}
+            assert all(s > 0 for s in trace.node_seconds.values())
+            assert trace.pool_spinup_seconds == pool.spinup_seconds > 0
+            assert trace.shared_key_bytes == pool.shared_key_bytes > 0
+            assert pool.shared_key_bytes == pool.manifest.total_bytes
+            for wid in (0, 1):
+                assert pool.comm.link_bytes(PRIMARY, wid) > 0
+                assert pool.comm.link_bytes(wid, PRIMARY) > 0
+            assert pool.comm.total_retry_bytes() == 0
+            util = pool.utilisation()
+            assert sum(util.values()) == ctx.n
+
+    def test_opstats_pool_counters(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        with count_ops() as stats:
+            pool_bootstrap(
+                ctx, swk, level0_ct,
+                fault_injector=FaultInjector([Fault.kill_worker(1)]))
+        assert stats.fanout_pool_spinups == 1
+        assert stats.fanout_pool_spinup_s > 0
+        assert stats.fanout_shared_key_bytes > 0
+        assert stats.fanout_worker_respawns == 1
+        assert stats.fanout_retries == 1
+
+    def test_retry_traffic_accounted_separately(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        with ProcessPoolFanoutExecutor.for_keys(
+                ctx, swk, num_workers=2,
+                fault_injector=FaultInjector([Fault.drop_reply(0)])) as pool:
+            BootstrapPipeline(ctx, swk, executor=pool).run(level0_ct)
+            assert pool.comm.total_retry_bytes() > 0
+            assert pool.comm.total_retry_bytes() < pool.comm.total_bytes()
+
+
+class TestLifecycle:
+    def test_closed_pool_refuses_work(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        pool = ProcessPoolFanoutExecutor.for_keys(ctx, swk, num_workers=1)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(ClusterExecutionError, match="closed"):
+            BootstrapPipeline(ctx, swk, executor=pool).run(level0_ct)
+
+    def test_pool_reusable_across_bootstraps(self, stack, level0_ct):
+        """The pool is persistent: spin-up is paid once, both runs are
+        bit-identical to the local path."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        with ProcessPoolFanoutExecutor.for_keys(ctx, swk,
+                                                num_workers=2) as pool:
+            pipe = BootstrapPipeline(ctx, swk, executor=pool)
+            assert_bit_identical(reference, pipe.run(level0_ct))
+            assert_bit_identical(reference, pipe.run(level0_ct))
+
+
+class TestInjectorDeterminism:
+    """Satellite: the injector is picklable and seed-deterministic, so
+    one schedule drives both the simulated cluster and the real pool."""
+
+    def test_fault_and_injector_pickle_roundtrip(self):
+        inj = FaultInjector([Fault.kill_worker(1, after=2, exit_code=5),
+                             Fault.straggler(0, 0.25, persistent=True)])
+        clone = pickle.loads(pickle.dumps(inj))
+        assert clone == inj
+        assert clone.faults[0].exit_code == 5
+        assert clone.faults[1].persistent
+
+    def test_seeded_schedules_are_deterministic(self):
+        a = FaultInjector.seeded(42, node_ids=[0, 1, 2], count=4)
+        b = FaultInjector.seeded(42, node_ids=[0, 1, 2], count=4)
+        assert a == b
+        assert a != FaultInjector.seeded(43, node_ids=[0, 1, 2], count=4)
+        assert pickle.loads(pickle.dumps(a)) == b
+
+    def test_same_schedule_drives_both_executors(self, stack, level0_ct):
+        """An identically-seeded schedule recovers bit-identically on the
+        simulated cluster and on the worker pool (crash == kill_worker)."""
+        ctx, _, _, swk = stack
+        reference = BootstrapPipeline(ctx, swk).run(level0_ct)
+        kinds = ("crash", "drop_reply", "corrupt_reply")
+        sim_trace, pool_trace = BootstrapTrace(), BootstrapTrace()
+        sim = SimulatedCluster(
+            ctx, swk, num_nodes=2,
+            fault_injector=FaultInjector.seeded(11, [0, 1], kinds=kinds))
+        sim_out = sim.bootstrap(level0_ct, sim_trace)
+        pool_out = pool_bootstrap(
+            ctx, swk, level0_ct, pool_trace,
+            fault_injector=FaultInjector.seeded(11, [0, 1], kinds=kinds))
+        assert_bit_identical(reference, sim_out)
+        assert_bit_identical(reference, pool_out)
+        assert sim_trace.fanout_retries == pool_trace.fanout_retries
