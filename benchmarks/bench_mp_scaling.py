@@ -26,6 +26,15 @@ actually exposes >= 4 CPUs (``os.sched_getaffinity``); on a 1-CPU
 container the workers time-slice one core and no speedup is physically
 possible, so the gate is recorded as skipped instead of failing.
 
+A second check IS enforced everywhere: the *dispatch-overlap* proof.
+Two workers each carrying an injected straggle sleep of D seconds
+finish in ~D wall-clock only if both slices were in flight
+simultaneously — sequential dispatch (send, block for the reply, send
+the next slice) necessarily pays >= 2D.  Sleep overlap needs no spare
+cores, so this asserts the pool's concurrency even on the 1-CPU
+containers where the speedup gate must be skipped; the result is
+recorded under ``dispatch_overlap`` in the json.
+
 Run with ``PYTHONPATH=src python benchmarks/bench_mp_scaling.py`` (or
 via pytest; excluded from tier-1 ``testpaths``).  ``--quick`` is the CI
 variant: 2 workers, N = 2^6, batch = 8, bit-identity still enforced,
@@ -34,6 +43,7 @@ no gate.
 
 import os
 import sys
+import time
 
 try:
     from conftest import emit
@@ -44,6 +54,7 @@ except ImportError:  # running as a plain script, not under pytest
 from _timing import time_interleaved, write_bench_json
 
 from repro.hardware import ClusterBootstrapModel
+from repro.switching.fanout import Fault, FaultInjector
 from repro.math.gadget import GadgetVector
 from repro.math.modular import find_ntt_primes
 from repro.math.rns import RnsBasis
@@ -129,11 +140,34 @@ def _run(n, batch, worker_counts, gate=True):
     for r in results:
         r["speedup"] = round(base / r["seconds"], 2)
 
+    # Dispatch-overlap proof: two workers sleeping D seconds each take
+    # ~D wall-clock only if both slices were in flight at once; a
+    # serialized dispatch loop pays >= 2D.  Sleeping needs no spare
+    # cores, so unlike the speedup gate this is asserted on any host.
+    two = next((r for r in results if r["workers"] == 2), results[0])
+    delay = round(two["seconds"] + 0.5, 3)
+    with ProcessPoolFanoutExecutor(
+            _KeyBox(brk), f, num_workers=2,
+            fault_injector=FaultInjector([Fault.straggler(0, delay),
+                                          Fault.straggler(1, delay)])) as pool:
+        t0 = time.perf_counter()
+        slowed = pool.fanout(cts, BootstrapTrace())
+        wall = time.perf_counter() - t0
+    _assert_bit_identical(slowed, reference)
+    overlap = {"workers": 2, "sleep_per_worker_s": delay,
+               "wall_s": round(wall, 6),
+               "sequential_floor_s": round(2 * delay, 6),
+               "overlapped": wall < 2 * delay}
+    assert wall < 2 * delay, (
+        f"worker sleeps did not overlap: {wall:.3f}s wall >= "
+        f"{2 * delay:.3f}s sequential floor — dispatch is serialized")
+
     gated = gate and cpus >= 4
     write_bench_json(JSON_PATH, "mp_scaling", results,
                      extra={"n": n, "batch": batch, "n_t": N_T,
                             "cpus_available": cpus,
-                            "gate_enforced": gated})
+                            "gate_enforced": gated,
+                            "dispatch_overlap": overlap})
 
     lines = ["Process-pool fan-out scaling: measured vs cluster-model "
              "predicted speedup",
@@ -148,6 +182,10 @@ def _run(n, batch, worker_counts, gate=True):
     if gate and not gated:
         lines.append(f"scaling gate skipped: only {cpus} CPU(s) visible — "
                      f"workers time-slice one core, no speedup possible")
+    lines.append(f"dispatch overlap: 2 workers sleeping "
+                 f"{delay:.2f}s each finished in {wall:.3f}s wall "
+                 f"(sequential floor {2 * delay:.2f}s) — slices were "
+                 f"concurrently in flight")
     emit("mp_scaling", "\n".join(lines))
 
     if gated:

@@ -149,7 +149,10 @@ class ClusterExecutor(FaultTolerantFanout):
             for blob in wire_in:
                 self.comm.record(0, nid, blob, retry=retry)
 
-        crash = self.injector.take_any(nid, "crash", "kill_worker")
+        # Only realisable faults are consumed: a crash scheduled beyond
+        # this slice's length stays queued for a later (longer) slice.
+        crash = self.injector.take_any(nid, "crash", "kill_worker",
+                                       slice_len=stop - start)
         t0 = time.perf_counter()
         try:
             wire_out = handle.process(wire_in,

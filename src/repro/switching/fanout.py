@@ -105,6 +105,13 @@ class Fault:
     faults fire exactly once, so recovery succeeds; ``persistent=True``
     models a node that stays broken.
 
+    Faults are *per-slice*: a crash-family fault with ``after`` at or
+    beyond the slice length cannot fire on that slice, so the executors
+    leave it scheduled (:meth:`realisable` is the predicate the
+    injector's ``take`` applies) — it may still fire on a later, longer
+    slice, e.g. a re-dispatched one.  A consumed fault is therefore
+    always actually realised, never silently swallowed.
+
     Faults are plain picklable dataclasses: the pool ships them to the
     worker process that must realise them.
     """
@@ -149,6 +156,14 @@ class Fault:
         return cls("straggle", node_id, delay_seconds=delay_seconds,
                    persistent=persistent)
 
+    def realisable(self, slice_len: int) -> bool:
+        """Whether this fault can actually fire on a slice of
+        ``slice_len`` LWEs: crash-family faults need ``after`` inside
+        the slice; every other kind fires on any nonempty slice."""
+        if self.kind in ("crash", "kill_worker"):
+            return self.after < slice_len
+        return slice_len > 0
+
 
 class FaultInjector:
     """Deterministic fault source every fan-out executor consults.
@@ -165,19 +180,27 @@ class FaultInjector:
     def __init__(self, faults: Sequence[Fault] = ()):
         self.faults: List[Fault] = list(faults)
 
-    def take(self, node_id: int, kind: str) -> Optional[Fault]:
+    def take(self, node_id: int, kind: str,
+             slice_len: Optional[int] = None) -> Optional[Fault]:
+        """Pop the first matching fault.  With ``slice_len`` given, a
+        fault that is not :meth:`~Fault.realisable` on a slice of that
+        length is skipped *and left scheduled* — consuming it would make
+        it silently disappear without ever firing."""
         for i, fault in enumerate(self.faults):
             if fault.node_id == node_id and fault.kind == kind:
+                if slice_len is not None and not fault.realisable(slice_len):
+                    continue
                 if not fault.persistent:
                     del self.faults[i]
                 return fault
         return None
 
-    def take_any(self, node_id: int, *kinds: str) -> Optional[Fault]:
+    def take_any(self, node_id: int, *kinds: str,
+                 slice_len: Optional[int] = None) -> Optional[Fault]:
         """First matching fault of any listed kind (``crash`` and
         ``kill_worker`` are interchangeable on most executors)."""
         for kind in kinds:
-            fault = self.take(node_id, kind)
+            fault = self.take(node_id, kind, slice_len=slice_len)
             if fault is not None:
                 return fault
         return None
@@ -222,8 +245,17 @@ class FaultTolerantFanout:
       workers (the loop mutates this dict as deaths are detected);
     * :meth:`_load` — BlindRotates a handle has executed (recovery
       targets the least-loaded survivor);
-    * :meth:`_dispatch` — send one contiguous slice, validate the reply,
-      splice results; return ``False`` on any detected failure.
+    * a *synchronous* transport (the simulated cluster) implements
+      :meth:`_dispatch` — send one contiguous slice, block for the
+      reply, validate, splice results; return ``False`` on any detected
+      failure — and inherits the default :meth:`_send`/:meth:`_collect`
+      pair, which completes each dispatch inline;
+    * a transport with real concurrency (the process pool) overrides
+      :meth:`_send` (deliver the slice and return immediately) and
+      :meth:`_collect` (block until at least one outstanding slice
+      resolves), so **every worker's slice is in flight before any
+      reply is awaited** — the property that makes the fan-out actually
+      parallel in wall-clock time.
     """
 
     blind_rotate_engine: str
@@ -247,6 +279,34 @@ class FaultTolerantFanout:
                   trace: BootstrapTrace, retry: bool) -> bool:
         raise NotImplementedError
 
+    # -- default synchronous transport ---------------------------------------
+
+    def _send(self, wid: int, handle: object, start: int, stop: int,
+              lwes: Sequence[LweCiphertext],
+              results: List[Optional[GlweCiphertext]],
+              healthy: Dict[int, object],
+              trace: BootstrapTrace, retry: bool) -> bool:
+        """Synchronous default: the dispatch runs to completion inline
+        (via :meth:`_dispatch`) and its outcome is buffered for the next
+        :meth:`_collect`.  Returns ``False`` only when the slice never
+        reached a worker — impossible inline, so always ``True`` here."""
+        ok = self._dispatch(handle, start, stop, lwes, results, healthy,
+                            trace, retry)
+        self._sync_outcomes.append((wid, ok))
+        return True
+
+    def _collect(self, pending: Dict[int, Tuple[int, int]],
+                 lwes: Sequence[LweCiphertext],
+                 results: List[Optional[GlweCiphertext]],
+                 healthy: Dict[int, object],
+                 trace: BootstrapTrace) -> List[Tuple[int, bool]]:
+        """Synchronous default: drain the outcomes buffered by
+        :meth:`_send`.  Async transports block here until at least one
+        outstanding slice resolves and return its ``(wid, ok)``."""
+        outcomes = self._sync_outcomes
+        self._sync_outcomes = []
+        return outcomes
+
     # -- the one loop --------------------------------------------------------
 
     def fanout(self, lwes: Sequence[LweCiphertext],
@@ -255,51 +315,72 @@ class FaultTolerantFanout:
         num_workers = len(healthy)
         schedule = make_schedule(len(lwes), num_workers)
         results: List[Optional[GlweCiphertext]] = [None] * len(lwes)
+        self._sync_outcomes: List[Tuple[int, bool]] = []
+        pending: Dict[int, Tuple[int, int]] = {}  # wid -> slice in flight
         failed: List[Tuple[int, int, int]] = []  # (start, stop, failed id)
 
-        # First pass: the Section-V send policy, one worker's full slice
-        # before the next.
+        # Send phase: the Section-V send policy, one worker's full
+        # contiguous slice before the next — and *every* slice is sent
+        # before any reply is awaited, so an async transport has all
+        # workers computing concurrently.
         for assignment in schedule.nodes:
             if assignment.count == 0:
                 continue
-            handle = healthy[assignment.node_id]
+            wid = assignment.node_id
             record_fanout(dispatches=1)
-            if not self._dispatch(handle, assignment.start, assignment.stop,
-                                  lwes, results, healthy, trace, retry=False):
-                failed.append((assignment.start, assignment.stop,
-                               assignment.node_id))
+            if self._send(wid, healthy[wid], assignment.start,
+                          assignment.stop, lwes, results, healthy, trace,
+                          retry=False):
+                pending[wid] = (assignment.start, assignment.stop)
+            else:
+                failed.append((assignment.start, assignment.stop, wid))
 
-        # Recovery: re-dispatch each failed contiguous slice whole.
+        # Collect + recovery: gather replies as they land; re-dispatch
+        # each failed contiguous slice whole to the least-loaded *idle*
+        # survivor.  A slice whose only idle candidate is the worker
+        # that just failed it waits for a busy worker to free up, so
+        # recovery targeting matches the synchronous loop's.
         budget = self.max_retries if self.max_retries is not None \
             else 4 * num_workers
-        while failed:
-            if not healthy:
-                raise ClusterExecutionError(
-                    f"fan-out failed: no healthy node remains for "
-                    f"{len(failed)} pending slice(s)",
-                    failed_nodes=trace.failed_nodes,
-                    pending_slices=[(s, e) for s, e, _ in failed])
-            if trace.fanout_retries >= budget:
-                raise ClusterExecutionError(
-                    f"fan-out failed: retry budget ({budget}) exhausted "
-                    f"with {len(failed)} pending slice(s)",
-                    failed_nodes=trace.failed_nodes,
-                    pending_slices=[(s, e) for s, e, _ in failed])
-            start, stop, origin = failed.pop(0)
-            loads = {wid: self._load(handle)
-                     for wid, handle in healthy.items()}
-            target_id = pick_recovery_node(list(healthy), loads,
-                                           exclude=origin)
-            target = healthy[target_id]
-            trace.fanout_retries += 1
-            trace.fanout_redispatched_lwes += stop - start
-            record_fanout(retries=1, redispatched_lwes=stop - start)
-            trace.notes.append(
-                f"re-dispatching LWEs [{start}, {stop}) from node "
-                f"{origin} to node {target_id}")
-            if not self._dispatch(target, start, stop, lwes, results,
-                                  healthy, trace, retry=True):
-                failed.append((start, stop, target_id))
+        while pending or failed:
+            while failed:
+                if not healthy:
+                    raise ClusterExecutionError(
+                        f"fan-out failed: no healthy node remains for "
+                        f"{len(failed)} pending slice(s)",
+                        failed_nodes=trace.failed_nodes,
+                        pending_slices=[(s, e) for s, e, _ in failed])
+                if trace.fanout_retries >= budget:
+                    raise ClusterExecutionError(
+                        f"fan-out failed: retry budget ({budget}) exhausted "
+                        f"with {len(failed)} pending slice(s)",
+                        failed_nodes=trace.failed_nodes,
+                        pending_slices=[(s, e) for s, e, _ in failed])
+                start, stop, origin = failed[0]
+                idle = [wid for wid in healthy if wid not in pending]
+                if not idle or (set(idle) == {origin} and len(healthy) > 1):
+                    break  # a reply must free a better target first
+                failed.pop(0)
+                loads = {wid: self._load(healthy[wid]) for wid in idle}
+                target_id = pick_recovery_node(idle, loads, exclude=origin)
+                trace.fanout_retries += 1
+                trace.fanout_redispatched_lwes += stop - start
+                record_fanout(retries=1, redispatched_lwes=stop - start)
+                trace.notes.append(
+                    f"re-dispatching LWEs [{start}, {stop}) from node "
+                    f"{origin} to node {target_id}")
+                if self._send(target_id, healthy[target_id], start, stop,
+                              lwes, results, healthy, trace, retry=True):
+                    pending[target_id] = (start, stop)
+                else:
+                    failed.append((start, stop, target_id))
+            if not pending:
+                continue
+            for wid, ok in self._collect(pending, lwes, results, healthy,
+                                         trace):
+                start, stop = pending.pop(wid)
+                if not ok:
+                    failed.append((start, stop, wid))
         # Recovery guarantees completeness: every slot is filled.
         return [acc for acc in results if acc is not None]
 

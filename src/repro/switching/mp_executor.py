@@ -30,6 +30,13 @@ Design points, in the order they matter:
 * **Ciphertexts travel framed.**  Task slices and replies are the PR-5
   CRC wire format (:func:`~repro.io.frame_blob`), so the primary detects
   corruption exactly as the simulated cluster does.
+* **Send and collect are separate phases.**  The primary sends *every*
+  worker's slice before awaiting any reply (the base loop's send
+  phase), then gathers replies as they land via
+  :func:`multiprocessing.connection.wait` over all in-flight pipes,
+  with a per-worker reply deadline — so all workers compute
+  concurrently and the fan-out's wall-clock is the slowest slice, not
+  the sum of slices.
 * **The recovery loop is the shared one.**  This class subclasses
   :class:`~repro.switching.fanout.FaultTolerantFanout`; what it adds is
   *real* failure detection — ``SIGKILL``, nonzero exit, reply timeout —
@@ -57,6 +64,7 @@ import multiprocessing
 import os
 import signal
 import time
+from multiprocessing import connection
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -96,7 +104,12 @@ def _pack_key_material(brk: BlindRotateKey,
     scalar parameters needed to rebuild both in ``meta``."""
     basis = test_vector.basis
     n = test_vector.n
-    engine = BatchBlindRotateEngine.for_key(brk, n, basis)
+    # Built directly, NOT via `for_key`: that would cache the lifted
+    # tensors on the primary's key object, leaving the primary holding
+    # the full key working set twice (cache + shared block) even though
+    # it never BlindRotates in pool mode.  This engine is transient —
+    # its tensors are copied into shared memory and then dropped.
+    engine = BatchBlindRotateEngine(brk, n, basis)
     tv = test_vector.to_coeff()
     arrays: Dict[str, np.ndarray] = {
         "test_vector": np.stack([np.asarray(limb) for limb in tv.limbs]),
@@ -201,6 +214,8 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
 
             lwes = [deserialize_lwe(unframe_blob(b)) for b in msg["lwes"]]
             t0 = time.perf_counter()
+            # The primary only ships faults realisable on this slice
+            # (Fault.realisable), so a shipped kill always fires.
             if kill is not None and kill.after < len(lwes):
                 if kill.after:
                     # Burn the partial work like a real mid-batch death.
@@ -236,15 +251,20 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
 
 
 class _WorkerHandle:
-    """Primary-side bookkeeping for one pool worker."""
+    """Primary-side bookkeeping for one pool worker.
 
-    __slots__ = ("wid", "process", "conn", "processed")
+    ``deadline``/``retry`` describe the slice currently in flight on
+    the worker (set by ``_send``, read by ``_collect``)."""
+
+    __slots__ = ("wid", "process", "conn", "processed", "deadline", "retry")
 
     def __init__(self, wid: int, process, conn, processed: int = 0):
         self.wid = wid
         self.process = process
         self.conn = conn
         self.processed = processed
+        self.deadline = 0.0
+        self.retry = False
 
 
 # -- the executor ------------------------------------------------------------------
@@ -293,6 +313,9 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
         self._closed = False
         self._block = None
         self._handles: Dict[int, _WorkerHandle] = {}
+        #: Workers with a slice in flight (wid -> handle), mirrors the
+        #: base loop's ``pending`` map on the transport side.
+        self._inflight: Dict[int, _WorkerHandle] = {}
 
         arrays, meta = _pack_key_material(keys.brk, test_vector)
         self._block, self.manifest = publish_shared_arrays(arrays, meta)
@@ -400,6 +423,9 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
         if not self._handles:
             raise ClusterExecutionError(
                 "no healthy worker remains in the pool")
+        # A previous fan-out that raised may have left slices in flight;
+        # their stale replies are rejected by the slice-id check below.
+        self._inflight = {}
         trace.pool_spinup_seconds = self.spinup_seconds
         trace.shared_key_bytes = self.shared_key_bytes
         return super().fanout(lwes, trace)
@@ -410,17 +436,18 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
     def _load(self, handle: _WorkerHandle) -> int:
         return handle.processed
 
-    def _dispatch(self, handle: _WorkerHandle, start: int, stop: int,
-                  lwes: Sequence[LweCiphertext],
-                  results: List[Optional[GlweCiphertext]],
-                  healthy: Dict[int, _WorkerHandle],
-                  trace: BootstrapTrace, retry: bool) -> bool:
-        wid = handle.wid
+    def _send(self, wid: int, handle: _WorkerHandle, start: int, stop: int,
+              lwes: Sequence[LweCiphertext],
+              results: List[Optional[GlweCiphertext]],
+              healthy: Dict[int, _WorkerHandle],
+              trace: BootstrapTrace, retry: bool) -> bool:
+        """Deliver one slice and return immediately — replies are
+        gathered by :meth:`_collect`, so every worker's slice is on the
+        wire before any reply is awaited."""
         wire_in = [frame_blob(serialize_lwe(lwe)) for lwe in lwes[start:stop]]
-        for blob in wire_in:
-            self.comm.record(PRIMARY, wid, blob, retry=retry)
         faults = [f for f in (self.injector.take_any(wid, "kill_worker",
-                                                     "crash"),
+                                                     "crash",
+                                                     slice_len=stop - start),
                               self.injector.take(wid, "straggle"),
                               self.injector.take(wid, "drop_reply"),
                               self.injector.take(wid, "corrupt_reply"))
@@ -434,16 +461,81 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
             self._fail_worker(handle, healthy, trace,
                               "died before dispatch (send failed)")
             return False
-        reply, why_dead = self._await_reply(handle)
-        if reply is None:
-            self._fail_worker(handle, healthy, trace, why_dead)
-            return False
+        # Traffic is accounted only once the send actually succeeded —
+        # bytes that never left the primary are not wire traffic.
+        for blob in wire_in:
+            self.comm.record(PRIMARY, wid, blob, retry=retry)
+        handle.deadline = time.monotonic() + self.reply_timeout
+        handle.retry = retry
+        self._inflight[wid] = handle
+        return True
+
+    def _collect(self, pending: Dict[int, Tuple[int, int]],
+                 lwes: Sequence[LweCiphertext],
+                 results: List[Optional[GlweCiphertext]],
+                 healthy: Dict[int, _WorkerHandle],
+                 trace: BootstrapTrace) -> List[Tuple[int, bool]]:
+        """Block until at least one in-flight slice resolves: a reply
+        lands (:func:`multiprocessing.connection.wait` over every
+        pending pipe), a pipe hits EOF (worker death), or a per-worker
+        reply deadline expires (worker presumed dead: killed + reaped).
+        """
+        outcomes: List[Tuple[int, bool]] = []
+        while not outcomes and self._inflight:
+            conns = {h.conn: h for h in self._inflight.values()}
+            timeout = max(0.0, min(h.deadline
+                                   for h in self._inflight.values())
+                          - time.monotonic())
+            ready = connection.wait(list(conns), timeout)
+            for conn in ready:
+                handle = conns[conn]
+                wid = handle.wid
+                start, stop = pending[wid]
+                del self._inflight[wid]
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError):
+                    self._fail_worker(handle, healthy, trace,
+                                      self._death_reason(handle.process))
+                    outcomes.append((wid, False))
+                    continue
+                outcomes.append((wid, self._accept_reply(
+                    handle, reply, start, stop, results, trace)))
+            if ready:
+                continue
+            now = time.monotonic()
+            for wid, handle in list(self._inflight.items()):
+                if handle.deadline > now:
+                    continue
+                try:
+                    if handle.conn.poll(0):
+                        continue  # a reply raced the deadline; take it
+                except (EOFError, OSError):
+                    pass  # next wait() returns the EOF'd pipe as ready
+                del self._inflight[wid]
+                self._fail_worker(
+                    handle, healthy, trace,
+                    f"timed out (> {self.reply_timeout:.3f}s "
+                    f"without a reply)")
+                outcomes.append((wid, False))
+        return outcomes
+
+    def _accept_reply(self, handle: _WorkerHandle, reply,
+                      start: int, stop: int,
+                      results: List[Optional[GlweCiphertext]],
+                      trace: BootstrapTrace) -> bool:
+        """Validate one reply and splice its accumulators into
+        ``results``; ``False`` queues the slice for re-dispatch."""
+        wid = handle.wid
+        retry = handle.retry
         self._add_time(trace, wid, float(reply.get("seconds", 0.0)))
         handle.processed += int(reply.get("processed", 0))
-        if reply.get("op") != "result":
+        if reply.get("op") != "result" or \
+                tuple(reply.get("slice_id", ())) != (start, stop):
             trace.notes.append(
-                f"worker {wid}: unexpected reply {reply.get('op')!r} — "
-                f"slice queued for re-dispatch")
+                f"worker {wid}: unexpected reply {reply.get('op')!r} for "
+                f"slice {reply.get('slice_id')!r} — slice queued for "
+                f"re-dispatch")
             return False
         wire_out = list(reply["blobs"])
         for blob in wire_out:
@@ -465,31 +557,6 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
 
     # -- failure detection + respawn ------------------------------------------
 
-    def _await_reply(self, handle: _WorkerHandle):
-        """Poll for one reply under ``reply_timeout``.  Returns
-        ``(reply, None)`` or ``(None, why_dead)``."""
-        conn = handle.conn
-        process = handle.process
-        deadline = time.monotonic() + self.reply_timeout
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                return None, (f"timed out (> {self.reply_timeout:.3f}s "
-                              f"without a reply)")
-            try:
-                if conn.poll(min(0.05, remaining)):
-                    return conn.recv(), None
-            except (EOFError, OSError):
-                return None, self._death_reason(process)
-            if process.exitcode is not None:
-                # One last poll: the reply may have raced the exit.
-                try:
-                    if conn.poll(0):
-                        return conn.recv(), None
-                except (EOFError, OSError):
-                    pass
-                return None, self._death_reason(process)
-
     @staticmethod
     def _death_reason(process) -> str:
         process.join(2.0)  # reap, so exitcode reflects the actual death
@@ -505,6 +572,7 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
         replacement under the same id if the budget allows (the fresh
         worker rejoins ``healthy`` and can take recovery slices)."""
         wid = handle.wid
+        self._inflight.pop(wid, None)
         self._mark_dead(wid, healthy, trace, why)
         if handle.process.is_alive():
             handle.process.kill()

@@ -5,6 +5,7 @@ fault realisation, accounting, and the cross-executor determinism of the
 fault-injection schedule."""
 
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -185,6 +186,30 @@ class TestWorkerSideFaults:
         assert_bit_identical(reference, out)
         assert trace.fanout_retries == 0
         assert trace.node_seconds[1] >= 0.2
+
+
+class TestConcurrentDispatch:
+    """Every slice must be in flight before any reply is awaited.  Two
+    equal worker-side sleeps then overlap, so the faulted run costs ~one
+    sleep over the fault-free run; serialized dispatch (send, block for
+    the reply, send the next slice) necessarily costs both sleeps.
+    Sleep overlap needs no spare cores, so this holds on 1 CPU too."""
+
+    def test_straggler_sleeps_overlap(self, stack, level0_ct):
+        ctx, _, _, swk = stack
+        delay = 0.8
+        t0 = time.perf_counter()
+        pool_bootstrap(ctx, swk, level0_ct)
+        base = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        pool_bootstrap(
+            ctx, swk, level0_ct,
+            fault_injector=FaultInjector([Fault.straggler(0, delay),
+                                          Fault.straggler(1, delay)]))
+        slowed = time.perf_counter() - t0
+        assert slowed - base < 2 * delay - 0.4, (
+            f"sleeps did not overlap: faulted run {slowed:.3f}s vs "
+            f"baseline {base:.3f}s — dispatch is serialized")
 
 
 class TestAccounting:
