@@ -12,11 +12,17 @@ those are workload-specific.
 the per-bench file at the repo root it appends one run record to
 ``benchmarks/out/trajectory.jsonl`` — an append-only log of every bench
 run, so the speedup trajectory across PRs can be read from one place
-instead of diffing BENCH files out of git history.
+instead of diffing BENCH files out of git history.  Each trajectory
+record is stamped with the current git commit (``git_commit``) and an
+ISO-8601 UTC timestamp, so the per-commit perf trajectory (ROADMAP
+item 4) can be reconstructed by grouping the log on the hash; when git
+is unavailable (no binary, not a checkout) the stamp degrades to
+``None`` instead of failing the bench.
 """
 
 import json
 import os
+import subprocess
 import time
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -26,6 +32,29 @@ TRAJECTORY_PATH = os.path.join(OUT_DIR, "trajectory.jsonl")
 
 #: Interleaved timed repetitions per side; the minimum is reported.
 REPS = 3
+
+#: Sentinel distinguishing "not looked up yet" from "looked up, no git".
+_GIT_UNRESOLVED = object()
+_git_commit_cache: object = _GIT_UNRESOLVED
+
+
+def git_commit() -> Optional[str]:
+    """The repo's current commit hash, or ``None`` when it cannot be
+    determined (git missing, not a checkout, or any other failure —
+    benches must never die on provenance stamping).  Resolved once per
+    process; a bench run does not change HEAD."""
+    global _git_commit_cache
+    if _git_commit_cache is _GIT_UNRESOLVED:
+        try:
+            out = subprocess.run(["git", "rev-parse", "HEAD"],
+                                 cwd=REPO_ROOT, capture_output=True,
+                                 timeout=10)
+            commit = out.stdout.decode("ascii", "replace").strip()
+            _git_commit_cache = commit if out.returncode == 0 and commit \
+                else None
+        except Exception:
+            _git_commit_cache = None
+    return _git_commit_cache  # type: ignore[return-value]
 
 
 def time_interleaved(*sides: Callable[[], object],
@@ -63,6 +92,7 @@ def write_bench_json(json_path: str, benchmark: str,
 
     os.makedirs(OUT_DIR, exist_ok=True)
     record = {"timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+              "git_commit": git_commit(),
               "benchmark": benchmark,
               "file": os.path.basename(json_path)}
     record.update(payload)

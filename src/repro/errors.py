@@ -48,6 +48,25 @@ class SharedBufferError(ReproError):
     integrity check), or when the named block no longer exists."""
 
 
+class ServiceOverloadError(ReproError):
+    """The bootstrap service's request queue is full.
+
+    Backpressure, not failure: the request was **not** enqueued and the
+    caller should retry after ``retry_after`` seconds (the service's
+    estimate of when queue room frees up, derived from its recent
+    per-request service time — never negative, never zero)."""
+
+    def __init__(self, message: str, retry_after: float = 0.1) -> None:
+        super().__init__(message)
+        self.retry_after: float = max(float(retry_after), 1e-3)
+
+
+class ServiceClosedError(ReproError):
+    """A request was submitted to a bootstrap service that has been
+    stopped (or never started).  Requests accepted *before* the stop are
+    still drained to completion; only new submissions are refused."""
+
+
 class ClusterExecutionError(ReproError):
     """The distributed bootstrap could not complete.
 

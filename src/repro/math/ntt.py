@@ -27,6 +27,7 @@ analogue of the paper's "two limbs per pass" memory layout.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -38,6 +39,26 @@ from .modular import ModulusEngine, root_of_unity
 #: tracks an exact per-stage bound against this to decide when a deferred
 #: reduction can no longer be deferred.
 _U64_MAX = (1 << 64) - 1
+
+
+def fast_mod_u64(src: np.ndarray, qu: np.uint64, out: np.ndarray,
+                 div: np.ndarray = None) -> np.ndarray:
+    """``out = src % qu`` for uint64 arrays via ``src - (src // qu) * qu``.
+
+    numpy routes ``//`` by a scalar through a vectorised reciprocal
+    division but ``%`` through per-element hardware remainder, so three
+    cheap passes beat one ``np.mod`` about 3x on the reduction-heavy
+    butterfly path.  Exact for the full uint64 range.  ``div`` is the
+    quotient workspace; when ``src`` and ``out`` are distinct arrays it
+    may be omitted and ``out`` doubles as the workspace (``src`` is only
+    read again by the final subtraction).
+    """
+    if div is None:
+        div = out
+    np.floor_divide(src, qu, out=div)
+    np.multiply(div, qu, out=div)
+    np.subtract(src, div, out=out)
+    return out
 
 
 class NttEngine:
@@ -94,8 +115,11 @@ class NttEngine:
             # Reusable butterfly workspaces keyed by batch width.  Fresh
             # megabyte-sized allocations per transform land on mmap and pay
             # soft page faults every call; a pipeline only ever uses a
-            # handful of batch widths, so the cache stays small.
-            self._work: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+            # handful of batch widths, so the cache stays small.  The cache
+            # is thread-local: engines are shared process-wide per (n, q),
+            # and the bootstrap service runs concurrent per-tenant batches
+            # on worker threads.
+            self._work = threading.local()
 
     def _stage_tables_u(self, omega_pows: np.ndarray) -> List[np.ndarray]:
         """Per-stage twiddle tables ``w^(j * n/(2m))`` as uint64 arrays."""
@@ -120,14 +144,21 @@ class NttEngine:
         a = self.mod.mul(arr.astype(self.mod.dtype, copy=False), self._psi)
         return self._cyclic(a, self._omega)
 
-    def _work_bufs(self, batch: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        """Two ``(n, batch)`` ping-pong buffers plus a half-size scratch."""
-        bufs = self._work.get(batch)
+    def _work_bufs(self, batch: int) -> Tuple[np.ndarray, np.ndarray,
+                                              np.ndarray, np.ndarray]:
+        """Two ``(n, batch)`` ping-pong buffers plus two half-size
+        scratches (twiddle products and their reduction quotients)."""
+        cache: Dict[int, Tuple[np.ndarray, ...]]
+        cache = getattr(self._work, "bufs", None)
+        if cache is None:
+            cache = self._work.bufs = {}
+        bufs = cache.get(batch)
         if bufs is None:
             bufs = (np.empty((self.n, batch), dtype=np.uint64),
                     np.empty((self.n, batch), dtype=np.uint64),
+                    np.empty((self.n // 2, batch), dtype=np.uint64),
                     np.empty((self.n // 2, batch), dtype=np.uint64))
-            self._work[batch] = bufs
+            cache[batch] = bufs
         return bufs
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
@@ -158,13 +189,13 @@ class NttEngine:
         if self.mod.fast:
             tail = arr.shape[1:]
             a = np.asarray(arr, dtype=np.int64).view(np.uint64).reshape(self.n, -1)
-            wb, buf, scratch = self._work_bufs(a.shape[1])
+            wb, buf, scratch, quot = self._work_bufs(a.shape[1])
             np.multiply(a, self._psi_u[:, None], out=buf)
-            buf %= self._qu
+            fast_mod_u64(buf, self._qu, buf, wb)  # wb is rewritten below
             np.take(buf, _bitrev_indices(self.n), axis=0, out=wb)
-            res, _ = self._butterfly(wb, buf, scratch, forward=True)
+            res, _ = self._butterfly(wb, buf, scratch, quot, forward=True)
             out = np.empty_like(res)
-            np.mod(res, self._qu, out=out)
+            fast_mod_u64(res, self._qu, out)
             return out.view(np.int64).reshape((self.n,) + tail)
         out = self.mod.mul(np.moveaxis(arr, 0, -1).astype(self.mod.dtype, copy=False),
                            self._psi)
@@ -177,9 +208,9 @@ class NttEngine:
         if self.mod.fast:
             tail = arr.shape[1:]
             a = np.asarray(arr, dtype=np.int64).view(np.uint64).reshape(self.n, -1)
-            wb, buf, scratch = self._work_bufs(a.shape[1])
+            wb, buf, scratch, quot = self._work_bufs(a.shape[1])
             np.take(a, _bitrev_indices(self.n), axis=0, out=wb)
-            res, bound = self._butterfly(wb, buf, scratch, forward=False)
+            res, bound = self._butterfly(wb, buf, scratch, quot, forward=False)
             # Untwist/scale the *unreduced* butterfly output: the product
             # bound check mirrors the per-stage guard, and the single
             # reduction lands in a fresh output array — exactly the values
@@ -188,7 +219,7 @@ class NttEngine:
                 res %= self._qu
             np.multiply(res, self._psi_inv_n_u[:, None], out=res)
             out = np.empty_like(res)
-            np.mod(res, self._qu, out=out)
+            fast_mod_u64(res, self._qu, out)
             return out.view(np.int64).reshape((self.n,) + tail)
         a = self._cyclic(np.moveaxis(arr, 0, -1).astype(self.mod.dtype, copy=False),
                          self._omega_inv)
@@ -229,16 +260,16 @@ class NttEngine:
         # ``batch`` lanes — early stages (m = 1, 2, ...) would otherwise
         # stride through 2m-element blocks and defeat vectorisation exactly
         # where the batched engine wins.
-        wb, buf, scratch = self._work_bufs(batch)
+        wb, buf, scratch, quot = self._work_bufs(batch)
         np.take(a.reshape(batch, n).T, _bitrev_indices(n), axis=0, out=wb)
-        res, _ = self._butterfly(wb, buf, scratch, forward)
+        res, _ = self._butterfly(wb, buf, scratch, quot, forward)
         out = np.empty((batch, n), dtype=np.uint64)
         # Fuse the final reduction into the transpose-out copy.
-        np.mod(res.T, self._qu, out=out)
+        fast_mod_u64(res.T, self._qu, out)
         return out.reshape(pre + (n,))
 
     def _butterfly(self, w: np.ndarray, buf: np.ndarray, scratch: np.ndarray,
-                   forward: bool) -> Tuple[np.ndarray, int]:
+                   quot: np.ndarray, forward: bool) -> Tuple[np.ndarray, int]:
         """uint64 butterfly stages on a bit-reversed ``(n, batch)`` array.
 
         ``w`` must already be row-gathered by :func:`_bitrev_indices`; the
@@ -277,6 +308,7 @@ class NttEngine:
             vb = buf.reshape(shape)
             lo = va[:, :m]
             t = scratch.reshape(n // (2 * m), m, batch)
+            d = quot.reshape(n // (2 * m), m, batch)
             if m == 1:
                 # First stage's only twiddle is w^0 = 1: the product (and
                 # its reduction) is the identity, so butterfly directly on
@@ -294,14 +326,14 @@ class NttEngine:
                 # complements against 2q and the bound grows by 2q.
                 t[:, 0] = va[:, 2]
                 np.multiply(va[:, 3], tw[1], out=t[:, 1])
-                t[:, 1] %= qu
+                fast_mod_u64(t[:, 1], qu, t[:, 1], d[:, 1])
                 np.add(lo, t, out=vb[:, :m])
                 np.subtract(np.uint64(2 * q), t, out=t)
                 np.add(lo, t, out=vb[:, m:])
                 bound += 2 * q
             else:
                 np.multiply(va[:, m:], tw[:, None], out=t)
-                t %= qu
+                fast_mod_u64(t, qu, t, d)
                 np.add(lo, t, out=vb[:, :m])
                 np.subtract(qu, t, out=t)
                 np.add(lo, t, out=vb[:, m:])

@@ -68,6 +68,20 @@ class OpStats:
     fanout_pool_spinup_s: float = 0.0  # wall-clock spent spinning pools up
     fanout_worker_respawns: int = 0    # dead workers replaced mid-run
     fanout_shared_key_bytes: int = 0   # key bytes published to shared memory
+    # -- bootstrap service counters (repro.service) ----------------------
+    service_requests: int = 0       # requests accepted into the queue
+    service_rejected: int = 0       # requests refused by backpressure
+    service_batches: int = 0        # coalesced batches dispatched
+    service_coalesced_lwes: int = 0  # LWE blind-rotates across those batches
+    service_coalesce_wait_s: float = 0.0  # summed request queue wait
+    #: Achieved batch fill (LWEs per dispatched batch -> occurrences) —
+    #: the software mirror of how full the (N, batch, h+1) tensors ran.
+    service_batch_fill_hist: Dict[int, int] = field(default_factory=dict)
+    #: Queue depth observed at each dispatch (depth -> occurrences).
+    service_queue_depth_hist: Dict[int, int] = field(default_factory=dict)
+    service_key_cache_hits: int = 0       # requests served by resident keys
+    service_key_cache_misses: int = 0     # key-provider loads
+    service_key_cache_evictions: int = 0  # entries evicted to fit capacity
 
     def record_keyswitch(self, *, modup_macs: int = 0, moddown_macs: int = 0,
                          ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
@@ -93,6 +107,31 @@ class OpStats:
         self.fanout_pool_spinup_s += pool_spinup_s
         self.fanout_worker_respawns += worker_respawns
         self.fanout_shared_key_bytes += shared_key_bytes
+
+    def record_service(self, *, requests: int = 0, rejected: int = 0,
+                       batch_fill: Optional[int] = None,
+                       coalesce_wait_s: float = 0.0,
+                       queue_depth: Optional[int] = None,
+                       cache_hits: int = 0, cache_misses: int = 0,
+                       cache_evictions: int = 0) -> None:
+        """Record coalescing-service activity: accepted/rejected
+        requests, one dispatched batch (``batch_fill`` = its LWE count,
+        ``queue_depth`` = pending requests at dispatch), queue wait, and
+        key-cache traffic."""
+        self.service_requests += requests
+        self.service_rejected += rejected
+        self.service_coalesce_wait_s += coalesce_wait_s
+        if batch_fill is not None:
+            self.service_batches += 1
+            self.service_coalesced_lwes += batch_fill
+            self.service_batch_fill_hist[batch_fill] = (
+                self.service_batch_fill_hist.get(batch_fill, 0) + 1)
+        if queue_depth is not None:
+            self.service_queue_depth_hist[queue_depth] = (
+                self.service_queue_depth_hist.get(queue_depth, 0) + 1)
+        self.service_key_cache_hits += cache_hits
+        self.service_key_cache_misses += cache_misses
+        self.service_key_cache_evictions += cache_evictions
 
     def merge(self, other: "OpStats") -> None:
         """Add another region's tally into this one (every scalar counter
@@ -205,6 +244,24 @@ def record_fanout(*, dispatches: int = 0, retries: int = 0,
                               pool_spinup_s=pool_spinup_s,
                               worker_respawns=worker_respawns,
                               shared_key_bytes=shared_key_bytes)
+
+
+def record_service(*, requests: int = 0, rejected: int = 0,
+                   batch_fill: Optional[int] = None,
+                   coalesce_wait_s: float = 0.0,
+                   queue_depth: Optional[int] = None,
+                   cache_hits: int = 0, cache_misses: int = 0,
+                   cache_evictions: int = 0) -> None:
+    """Record bootstrap-service activity (request intake, one coalesced
+    batch dispatch, key-cache traffic) on the active collector."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_service(requests=requests, rejected=rejected,
+                               batch_fill=batch_fill,
+                               coalesce_wait_s=coalesce_wait_s,
+                               queue_depth=queue_depth,
+                               cache_hits=cache_hits,
+                               cache_misses=cache_misses,
+                               cache_evictions=cache_evictions)
 
 
 @contextlib.contextmanager

@@ -1,0 +1,15 @@
+"""Async bootstrap serving: cross-user batch coalescing over the
+fan-out executors, byte-accounted per-user key residency, bounded-queue
+backpressure.  See :mod:`repro.service.service` for the architecture."""
+
+from .key_cache import KeyCacheEntry, LruKeyCache, UserKeys
+from .service import BootstrapService, ServiceTrace, pool_executor_factory
+
+__all__ = [
+    "BootstrapService",
+    "ServiceTrace",
+    "UserKeys",
+    "LruKeyCache",
+    "KeyCacheEntry",
+    "pool_executor_factory",
+]

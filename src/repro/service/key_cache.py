@@ -1,0 +1,226 @@
+"""Per-user key residency for the bootstrap service (ARK direction).
+
+Every bootstrap request is useless without its user's key material —
+the blind-rotate key, the repack automorphism keys, the Algorithm-2
+test vector — and that material is the binding resource when many
+tenants are served from one process: ARK measures 3.52 MB per brk entry
+and 1.76 GB per user at paper parameters (``bench_keysizes.py`` audits
+the formula; :meth:`~repro.switching.keys.SwitchingKeySet.
+resident_bytes` counts the actual resident arrays).  This module bounds
+it: :class:`LruKeyCache` keeps at most ``capacity_bytes`` of key
+material resident, evicting the least-recently-used user's entry —
+*including its executor*: an evicted :class:`~repro.switching.
+mp_executor.ProcessPoolFanoutExecutor` is closed, releasing its worker
+processes and shared-memory key block, not just the primary's arrays.
+
+Entries are **pinned** while requests reference them (queued or in
+flight), so eviction can never close an executor mid-batch: evicting a
+pinned entry removes it from the cache immediately (it stops counting
+toward capacity-driven admission and cannot be returned again) but the
+actual close is deferred to the last unpin.
+
+Users may *share* key material — the provider returning the same
+:class:`UserKeys` object for several user ids models one tenant
+application serving many end users under one evaluation-key context.
+Shared keys alias one cache entry (bytes counted once, one executor),
+which is what lets the coalescer batch those users' requests together.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Set
+
+from ..ckks.context import CkksContext
+from ..math.rns import RnsPoly
+from ..profiling import record_service
+from ..switching.keys import rns_poly_bytes
+
+
+class UserKeys:
+    """One user's loaded bootstrap key material.
+
+    ``keys`` must expose ``.brk`` (what the fan-out executors consume);
+    a full :class:`~repro.switching.keys.SwitchingKeySet` additionally
+    enables ciphertext-level (Algorithm 2) requests when ``ctx`` is
+    given.  ``test_vector`` is the blind-rotate LUT shared by every
+    request under this key.
+    """
+
+    def __init__(self, keys: Any, test_vector: RnsPoly,
+                 ctx: Optional[CkksContext] = None):
+        self.keys = keys
+        self.test_vector = test_vector
+        self.ctx = ctx
+
+    @classmethod
+    def from_switching(cls, ctx: CkksContext, keys: Any) -> "UserKeys":
+        """Wrap a :class:`~repro.switching.keys.SwitchingKeySet` with the
+        Algorithm-2 test vector derived exactly as the executors derive
+        it (so the cached LUT is shared, not rebuilt)."""
+        test_vector = keys.test_vector(ctx.n, ctx.full_basis.moduli[0])
+        return cls(keys, test_vector, ctx=ctx)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes of this user's resident key material (the
+        quantity the cache charges against its capacity)."""
+        fn = getattr(self.keys, "resident_bytes", None)
+        if callable(fn):
+            total = int(fn())
+        else:
+            brk = self.keys.brk
+            total = sum(rns_poly_bytes(p)
+                        for rgsw in list(brk.plus) + list(brk.minus)
+                        for row in rgsw.rows for ct in row
+                        for p in list(ct.mask) + [ct.body])
+        return total + rns_poly_bytes(self.test_vector)
+
+
+class KeyCacheEntry:
+    """One resident user: keys + the executor (and pipeline) bound to
+    them, with the pin count that guards the executor's lifetime."""
+
+    __slots__ = ("user_keys", "executor", "pipeline", "nbytes", "users",
+                 "pins", "defunct", "closed", "lock")
+
+    def __init__(self, user_keys: UserKeys, executor: Any,
+                 pipeline: Any, nbytes: int):
+        self.user_keys = user_keys
+        self.executor = executor
+        self.pipeline = pipeline
+        self.nbytes = nbytes
+        #: Every user id this entry serves (shared-key aliasing).
+        self.users: Set[Any] = set()
+        self.pins = 0
+        #: Evicted while pinned: close deferred to the last unpin.
+        self.defunct = False
+        self.closed = False
+        #: Serialises dispatches onto this entry's executor (a worker
+        #: pool is not re-entrant; one batch in flight per entry).
+        self.lock = asyncio.Lock()
+
+    def pin(self) -> None:
+        self.pins += 1
+
+    def unpin(self) -> None:
+        self.pins -= 1
+        if self.pins == 0 and self.defunct:
+            self.close()
+
+    def close(self) -> None:
+        """Release the executor's OS resources (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        close = getattr(self.executor, "close", None)
+        if callable(close):
+            close()
+
+    def release(self) -> None:
+        """Eviction-side close: immediate when unpinned, deferred to the
+        last unpin while requests are still in flight."""
+        if self.pins == 0:
+            self.close()
+        else:
+            self.defunct = True
+
+
+class LruKeyCache:
+    """Byte-accounted LRU over :class:`KeyCacheEntry`.
+
+    ``key_provider(user_id) -> UserKeys`` loads (or generates) a user's
+    key material on miss; ``entry_factory(user_keys) -> KeyCacheEntry``
+    builds the executor/pipeline around it (supplied by the service so
+    the cache stays executor-agnostic).  ``capacity_bytes=None`` means
+    unbounded.
+
+    A *hit* is a request whose user already maps to a resident entry —
+    no provider call.  A miss calls the provider; if the returned
+    ``UserKeys`` object is already resident under another user id the
+    new user aliases that entry (no new bytes, no new executor).
+
+    Eviction never touches pinned entries (their bytes are resident
+    regardless until in-flight work completes), so with every entry
+    pinned the cache can transiently exceed capacity; the service's
+    bounded queue bounds that overshoot.
+    """
+
+    def __init__(self, key_provider: Callable[[Any], UserKeys],
+                 entry_factory: Callable[[UserKeys], KeyCacheEntry],
+                 capacity_bytes: Optional[int] = None):
+        self._provider = key_provider
+        self._factory = entry_factory
+        self.capacity_bytes = capacity_bytes
+        #: id(UserKeys) -> entry, in LRU order (front = coldest).
+        self._entries: "OrderedDict[int, KeyCacheEntry]" = OrderedDict()
+        self._by_user: Dict[Any, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.peak_resident_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def resident_bytes(self) -> int:
+        return sum(e.nbytes for e in self._entries.values())
+
+    def resident_users(self) -> Set[Any]:
+        return set(self._by_user)
+
+    def get(self, user_id: Any) -> KeyCacheEntry:
+        """The (pinned-by-caller-next) entry for ``user_id``, loading and
+        evicting as needed."""
+        ref = self._by_user.get(user_id)
+        if ref is not None and ref in self._entries:
+            self.hits += 1
+            record_service(cache_hits=1)
+            self._entries.move_to_end(ref)
+            return self._entries[ref]
+
+        self.misses += 1
+        record_service(cache_misses=1)
+        user_keys = self._provider(user_id)
+        ref = id(user_keys)
+        entry = self._entries.get(ref)
+        if entry is None:
+            entry = self._factory(user_keys)
+            self._entries[ref] = entry
+            self.peak_resident_bytes = max(self.peak_resident_bytes,
+                                           self.resident_bytes())
+            self._evict_to_fit(keep=ref)
+        else:
+            # Another user id already loaded these exact keys: alias.
+            self._entries.move_to_end(ref)
+        entry.users.add(user_id)
+        self._by_user[user_id] = ref
+        return entry
+
+    def _evict_to_fit(self, keep: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self.resident_bytes() > self.capacity_bytes:
+            victim = next((r for r, e in self._entries.items()
+                           if e.pins == 0 and r != keep), None)
+            if victim is None:
+                return  # everything else pinned (or alone): admit oversize
+            self._evict(victim)
+
+    def _evict(self, ref: int) -> None:
+        entry = self._entries.pop(ref)
+        for user in entry.users:
+            self._by_user.pop(user, None)
+        self.evictions += 1
+        record_service(cache_evictions=1)
+        entry.release()
+
+    def close(self) -> None:
+        """Drop every entry (drain path).  Entries with in-flight pins
+        are closed by their last unpin."""
+        while self._entries:
+            ref = next(iter(self._entries))
+            entry = self._entries.pop(ref)
+            for user in entry.users:
+                self._by_user.pop(user, None)
+            entry.release()

@@ -45,6 +45,20 @@ from ..tfhe.lwe import LweSecretKey
 from ..tfhe.repack import repack_exponents
 
 
+def rns_poly_bytes(poly: RnsPoly) -> int:
+    """Resident bytes of one RNS polynomial: ``nbytes`` of each machine-
+    dtype limb; wide (``object``-dtype) limbs priced at the paper's
+    §III-C coefficient width of ``ceil(log2 q_i / 8)`` bytes per slot."""
+    total = 0
+    for q, limb in zip(poly.basis.moduli, poly.limbs):
+        arr = np.asarray(limb)
+        if arr.dtype == object:
+            total += arr.size * ((int(q).bit_length() + 7) // 8)
+        else:
+            total += arr.nbytes
+    return total
+
+
 @dataclass
 class SwitchingKeySet:
     """Blind-rotate + repacking keys over the raised basis ``Q * p``."""
@@ -59,6 +73,28 @@ class SwitchingKeySet:
     #: local pipeline and all simulated cluster nodes).
     _test_vectors: Dict[Tuple[int, int], RnsPoly] = field(
         default_factory=dict, repr=False, compare=False)
+
+    def resident_bytes(self) -> int:
+        """Measured bytes of this key set's polynomial material — the
+        blind-rotate RGSW entries plus every automorphism key-switch key
+        (the quantities §III-C audits by formula; ``bench_keysizes.py``
+        checks the formula against the paper, this counts the *actual*
+        resident arrays).  The service's LRU key cache charges each user
+        this amount (ARK direction: bound the resident key working set).
+
+        Machine-dtype limbs are priced at ``ndarray.nbytes``; wide
+        (``object``-dtype) limbs at the §III-C coefficient width
+        ``ceil(log2 q / 8)`` bytes per slot, since a Python-int pointer
+        array has no meaningful ``nbytes``.
+        """
+        total = sum(rns_poly_bytes(p) for rgsw in
+                    list(self.brk.plus) + list(self.brk.minus)
+                    for row in rgsw.rows for ct in row
+                    for p in list(ct.mask) + [ct.body])
+        for ksk in self.auto_keys.keys.values():
+            total += sum(rns_poly_bytes(p) for ct in ksk.rows
+                         for p in list(ct.mask) + [ct.body])
+        return total
 
     def test_vector(self, n: int, q: int) -> RnsPoly:
         """The Algorithm-2 blind-rotate LUT over this key set's raised

@@ -369,8 +369,17 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
                 continue  # loop re-checks exitcode
         return _WorkerHandle(wid, process, parent_conn, processed)
 
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (workers stopped, shared key
+        block released).  The service's key cache asserts this on its
+        eviction and drain paths."""
+        return self._closed
+
     def close(self) -> None:
-        """Stop every worker and release the shared key block.  Idempotent."""
+        """Stop every worker and release the shared key block.  Idempotent
+        (safe to call repeatedly, from ``__exit__``, cache eviction, and
+        ``__del__`` alike — only the first call does work)."""
         if self._closed:
             return
         self._closed = True

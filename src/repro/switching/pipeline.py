@@ -49,7 +49,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, fields
 import time
-from typing import Dict, List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence, Tuple
 
 import numpy as np
 
@@ -235,6 +235,21 @@ def finish(packed: GlweCiphertext, ms: ModSwitched, raised_basis: RnsBasis,
 # -- the pipeline -----------------------------------------------------------------
 
 
+@dataclass(frozen=True)
+class PreparedRequest:
+    """Stages 1-3a of one ciphertext, held between ``prepare`` and
+    ``complete`` while the fan-out runs — possibly coalesced with other
+    requests' LWEs into a single executor batch (``repro.service``).
+
+    ``seconds`` is the ModSwitch+Extract wall-clock (the trace's
+    ``extract`` share)."""
+
+    ms: ModSwitched
+    lwes: List[LweCiphertext]
+    scale: float
+    seconds: float
+
+
 class BootstrapPipeline:
     """Executes Algorithm 2 end to end with a pluggable fan-out executor.
 
@@ -243,6 +258,14 @@ class BootstrapPipeline:
     simulation passes its message-passing executor instead.  The repack
     stage runs on the primary either way, through the counter-reporting
     dispatcher with this pipeline's ``repack_engine``.
+
+    The per-ciphertext stages are also exposed separately —
+    :meth:`prepare` (ModSwitch + Extract) and :meth:`complete`
+    (Repack + Finish) — so a caller can run the fan-out stage *across*
+    requests: every BlindRotate is independent, so the LWEs of many
+    prepared ciphertexts can travel through one ``executor.fanout`` batch
+    and be sliced back per request with bit-identical results
+    (:meth:`run_many`, and the coalescing bootstrap service built on it).
     """
 
     def __init__(self, ctx: CkksContext, keys,
@@ -262,6 +285,43 @@ class BootstrapPipeline:
         """The fan-out stage's engine (owned by the executor)."""
         return self.executor.blind_rotate_engine
 
+    def prepare(self, ct: CkksCiphertext) -> PreparedRequest:
+        """Stages ModSwitch + Extract (steps 1-3a) for one ciphertext."""
+        if ct.level != 0:
+            raise ParameterError(
+                f"scheme-switching bootstrap consumes a level-0 ciphertext, "
+                f"got level {ct.level}")
+        two_n = 2 * self.ctx.n
+        q = ct.basis.moduli[0]
+        t0 = time.perf_counter()
+        ms = mod_switch(ct, two_n, q)
+        lwes = extract_lwes(ms, two_n)
+        return PreparedRequest(ms=ms, lwes=lwes, scale=ct.scale,
+                               seconds=time.perf_counter() - t0)
+
+    def complete(self, prep: PreparedRequest, accs: Sequence[GlweCiphertext],
+                 trace: BootstrapTrace) -> CkksCiphertext:
+        """Stages Repack + Finish (steps 3c-5) for one prepared request's
+        own accumulators (exactly ``len(prep.lwes)`` of them, in extract
+        order).  Counters and step timings *accumulate* onto ``trace`` so
+        several completions can share one coalesced-run trace."""
+        n = self.ctx.n
+        t2 = time.perf_counter()
+        packed, repack_ctr = repack_with_counters(list(accs),
+                                                  self.keys.auto_keys,
+                                                  engine=self.repack_engine)
+        trace.repack_merge_keyswitches += repack_ctr.merge_keyswitches
+        trace.repack_trace_keyswitches += repack_ctr.trace_keyswitches
+        trace.repack_keyswitches += repack_ctr.total_keyswitches
+        t3 = time.perf_counter()
+        out = finish(packed, prep.ms, self.raised_basis, n, 2 * n,
+                     prep.scale, trace)
+        t4 = time.perf_counter()
+        step = trace.step_seconds
+        step["repack"] = step.get("repack", 0.0) + (t3 - t2)
+        step["finish"] = step.get("finish", 0.0) + (t4 - t3)
+        return out
+
     def run(self, ct: CkksCiphertext,
             trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
         """Refresh a level-0 ciphertext to the top level (minus one)."""
@@ -271,39 +331,54 @@ class BootstrapPipeline:
                 f"got level {ct.level}")
         trace = trace if trace is not None else BootstrapTrace()
         trace.reset()
-        n = self.ctx.n
-        two_n = 2 * n
-        q = ct.basis.moduli[0]
 
-        # Stage ModSwitch (steps 1-2).
-        t0 = time.perf_counter()
-        ms = mod_switch(ct, two_n, q)
-        trace.modswitch_ops = 2 * n
-
-        # Stage Extract (step 3a).
-        lwes = extract_lwes(ms, two_n)
-        trace.num_lwe = len(lwes)
-        t1 = time.perf_counter()
+        # Stages ModSwitch + Extract (steps 1-3a).
+        prep = self.prepare(ct)
+        trace.modswitch_ops = 2 * self.ctx.n
+        trace.num_lwe = len(prep.lwes)
+        trace.step_seconds["extract"] = prep.seconds
 
         # Stage BlindRotateFanout (step 3b) — the pluggable part.
-        accs = self.executor.fanout(lwes, trace)
+        t1 = time.perf_counter()
+        accs = self.executor.fanout(prep.lwes, trace)
         trace.num_blind_rotates = len(accs)
-        t2 = time.perf_counter()
+        trace.step_seconds["blind_rotate"] = time.perf_counter() - t1
 
-        # Stage Repack (step 3c) on the primary.
-        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
-                                                  engine=self.repack_engine)
-        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
-        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
-        trace.repack_keyswitches = repack_ctr.total_keyswitches
-        t3 = time.perf_counter()
+        # Stages Repack + Finish (steps 3c-5).
+        return self.complete(prep, accs, trace)
 
-        # Stage Finish (steps 4-5).
-        out = finish(packed, ms, self.raised_basis, n, two_n, ct.scale, trace)
-        t4 = time.perf_counter()
-        trace.step_seconds = {"extract": t1 - t0, "blind_rotate": t2 - t1,
-                              "repack": t3 - t2, "finish": t4 - t3}
-        return out
+    def run_many(self, cts: Sequence[CkksCiphertext],
+                 trace: Optional[BootstrapTrace] = None
+                 ) -> List[CkksCiphertext]:
+        """Bootstrap several ciphertexts with ONE coalesced fan-out.
+
+        All requests' extracted LWEs travel through a single
+        ``executor.fanout`` batch — the engines' batched tensors fill up
+        across requests — and the accumulators are sliced back per
+        request for individual Repack + Finish.  Because every
+        BlindRotate is an independent exact computation, each output is
+        bit-identical to a solo :meth:`run` of the same ciphertext
+        (tests assert it); ``trace`` holds the whole coalesced run.
+        """
+        trace = trace if trace is not None else BootstrapTrace()
+        trace.reset()
+        preps = [self.prepare(ct) for ct in cts]
+        trace.modswitch_ops = 2 * self.ctx.n * len(preps)
+        trace.step_seconds["extract"] = sum(p.seconds for p in preps)
+        all_lwes: List[LweCiphertext] = []
+        spans: List[Tuple[int, int]] = []
+        for prep in preps:
+            spans.append((len(all_lwes), len(all_lwes) + len(prep.lwes)))
+            all_lwes.extend(prep.lwes)
+        trace.num_lwe = len(all_lwes)
+
+        t1 = time.perf_counter()
+        accs = self.executor.fanout(all_lwes, trace)
+        trace.num_blind_rotates = len(accs)
+        trace.step_seconds["blind_rotate"] = time.perf_counter() - t1
+
+        return [self.complete(prep, accs[start:stop], trace)
+                for prep, (start, stop) in zip(preps, spans)]
 
 
 def build_switching_test_vector(n: int, q: int, raised: RnsBasis) -> RnsPoly:

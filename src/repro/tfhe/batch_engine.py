@@ -45,13 +45,14 @@ cannot change any canonical residue.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..errors import ParameterError
 from ..math.modular import crt_compose
-from ..math.ntt import get_ntt_engine
+from ..math.ntt import fast_mod_u64, get_ntt_engine
 from ..math.rns import RnsBasis, RnsPoly
 from .blind_rotate import BlindRotateKey, get_monomial_cache
 from .glwe import GlweCiphertext, _shift_rns
@@ -113,6 +114,12 @@ class BatchBlindRotateEngine:
         # monomial-scaled products) must fit in a uint64 lane.
         self._lazy = [e.fast and (self.rows + 2) * (e.q - 1) ** 2 <= _U64_MAX
                       for e in self.engines]
+        #: Quotient workspaces for the drain reductions, keyed by shape —
+        #: the i-loop reuses them so the fast floordiv-based reduction
+        #: allocates nothing steady-state.  Thread-local because the
+        #: engine is cached on the key and the bootstrap service may
+        #: drive one key from several worker threads.
+        self._quot_bufs = threading.local()
 
     # -- construction ---------------------------------------------------------
 
@@ -205,7 +212,7 @@ class BatchBlindRotateEngine:
                     qu = np.uint64(e.q)
                     du = deval.view(np.uint64)
                     ep = np.matmul(du, key_i.view(np.uint64))
-                    ep %= qu
+                    fast_mod_u64(ep, qu, ep, self._quot(ep.shape))
                     # Scale each contraction by its monomial in place, then
                     # accumulate both onto the recomposition: recomp < d*q^2
                     # and each scaled product < q^2, so the three-term sum
@@ -222,7 +229,7 @@ class BatchBlindRotateEngine:
                                         self.g_mod[li].view(np.uint64))
                         out += ep[..., :self.cols]
                         out += ep[..., self.cols:]
-                    out %= qu
+                    fast_mod_u64(out, qu, out, self._quot(out.shape))
                     acc[li][:, idx, :] = out.view(np.int64)
                 else:
                     ep = e.lazy_mac_sum(deval[:, :, :, None],
@@ -233,6 +240,17 @@ class BatchBlindRotateEngine:
                                       e.mul(ep[..., self.cols:], mm[:, :, None])))
                     acc[li][:, idx, :] = out
         return self._export(acc, batch)
+
+    def _quot(self, shape: Tuple[int, ...]) -> np.ndarray:
+        cache: Dict[Tuple[int, ...], np.ndarray]
+        cache = getattr(self._quot_bufs, "bufs", None)
+        if cache is None:
+            cache = self._quot_bufs.bufs = {}
+        buf = cache.get(shape)
+        if buf is None:
+            buf = np.empty(shape, dtype=np.uint64)
+            cache[shape] = buf
+        return buf
 
     # -- stages ---------------------------------------------------------------
 

@@ -264,6 +264,17 @@ class TestLifecycle:
         with pytest.raises(ClusterExecutionError, match="closed"):
             BootstrapPipeline(ctx, swk, executor=pool).run(level0_ct)
 
+    def test_context_manager_reports_closed(self, stack):
+        """``closed`` tracks the context-manager lifecycle, so cache
+        owners (the service's LRU key cache) can observe executor state."""
+        ctx, _, _, swk = stack
+        with ProcessPoolFanoutExecutor.for_keys(ctx, swk,
+                                                num_workers=1) as pool:
+            assert not pool.closed
+        assert pool.closed
+        pool.close()  # still idempotent after __exit__
+        assert pool.closed
+
     def test_pool_reusable_across_bootstraps(self, stack, level0_ct):
         """The pool is persistent: spin-up is paid once, both runs are
         bit-identical to the local path."""

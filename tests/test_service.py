@@ -1,0 +1,511 @@
+"""Tests for the coalescing bootstrap service: batch-composition
+invariance (a request's result is byte-equal no matter which other
+requests it was batched with, across executors and engines), LRU
+key-cache eviction order and byte accounting, backpressure, graceful
+drain, and the pipeline's prepare/complete split (``run_many``)."""
+
+import asyncio
+import datetime
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, CkksEvaluator, CkksKeyGenerator
+from repro.errors import ParameterError, ServiceClosedError, ServiceOverloadError
+from repro.math.gadget import GadgetVector
+from repro.math.modular import find_ntt_primes
+from repro.math.rns import RnsBasis
+from repro.math.sampling import Sampler
+from repro.params import make_toy_params
+from repro.profiling import count_ops
+from repro.service import (BootstrapService, KeyCacheEntry, LruKeyCache,
+                           UserKeys, pool_executor_factory)
+from repro.service.key_cache import rns_poly_bytes
+from repro.switching import SwitchingKeySet
+from repro.switching.pipeline import BootstrapPipeline, BootstrapTrace, LocalExecutor
+from repro.tfhe.blind_rotate import BlindRotateKey, build_test_vector
+from repro.tfhe.glwe import GlweSecretKey
+from repro.tfhe.lwe import LweSecretKey, lwe_encrypt
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "benchmarks"))
+import _timing  # noqa: E402
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                         special_limbs=2)
+
+#: Toy LWE-serving shape: ring dimension of the accumulator / LUT.
+N_RING = 64
+#: LWE dimension of the toy blind-rotate key.
+N_T = 8
+
+
+class _KeyBox:
+    """Minimal key-set stand-in: executors only need ``.brk``."""
+
+    def __init__(self, brk):
+        self.brk = brk
+
+
+@pytest.fixture(scope="module")
+def lwe_stack():
+    q = find_ntt_primes(28, N_RING, 1)[0]
+    basis = RnsBasis([q])
+    gadget = GadgetVector(q=q, base_bits=14, digits=2)
+    s = Sampler(1234)
+    lwe_sk = LweSecretKey.generate(N_T, s)
+    glwe_sk = GlweSecretKey.generate(N_RING, 1, s)
+    brk = BlindRotateKey.generate(lwe_sk, glwe_sk, basis, gadget, s)
+
+    def g(t):
+        t = t % (2 * N_RING)
+        return (q // 8) * (1 if t < N_RING else -1) % q
+
+    tv = build_test_vector(g, N_RING, basis)
+    return basis, q, lwe_sk, brk, tv
+
+
+@pytest.fixture(scope="module")
+def ckks_stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(501))
+    sk = gen.secret_key()
+    ev = CkksEvaluator(ctx, gen.keyset(sk), Sampler(502))
+    swk = SwitchingKeySet.generate(ctx, sk, Sampler(503), base_bits=4,
+                                   error_std=0.8)
+    return ctx, sk, ev, swk
+
+
+def make_lwes(lwe_stack, count, seed=42):
+    _, _, lwe_sk, _, _ = lwe_stack
+    s = Sampler(seed)
+    return [lwe_encrypt(i * 5, lwe_sk, 2 * N_RING, s, error_std=0.5)
+            for i in range(count)]
+
+
+def solo_results(lwe_stack, lwes, engine="vectorized"):
+    """Reference: each request dispatched alone (batch of one)."""
+    _, _, _, brk, tv = lwe_stack
+    ex = LocalExecutor(_KeyBox(brk), tv, engine)
+    return [ex.fanout([lw], BootstrapTrace())[0] for lw in lwes]
+
+
+def assert_glwe_equal(a, b):
+    for pa, pb in zip(list(a.mask) + [a.body], list(b.mask) + [b.body]):
+        ca, cb = pa.to_coeff(), pb.to_coeff()
+        for la, lb in zip(ca.limbs, cb.limbs):
+            assert np.asarray(la).tolist() == np.asarray(lb).tolist()
+
+
+def assert_ct_equal(a, b):
+    for ref_l, got_l in zip(a.c0.to_coeff().limbs, b.c0.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+    for ref_l, got_l in zip(a.c1.to_coeff().limbs, b.c1.to_coeff().limbs):
+        assert ref_l.tolist() == got_l.tolist()
+
+
+def serve_all(lwe_stack, lwes, user_ids, **svc_kwargs):
+    """Run every request through one service instance; returns results
+    in submission order plus the service trace."""
+    _, _, _, brk, tv = lwe_stack
+    uk = UserKeys(_KeyBox(brk), tv)
+
+    async def main():
+        svc = BootstrapService(lambda uid: uk, **svc_kwargs)
+        async with svc:
+            results = await asyncio.gather(
+                *[svc.submit(uid, lw) for uid, lw in zip(user_ids, lwes)])
+        return results, svc.trace
+
+    return asyncio.run(main())
+
+
+class TestBatchCompositionInvariance:
+    """The correctness gate: coalescing must be invisible in the bytes."""
+
+    @pytest.mark.parametrize("max_batch", [1, 3, 8, 32])
+    def test_any_batch_size_matches_solo(self, lwe_stack, max_batch):
+        lwes = make_lwes(lwe_stack, 10)
+        reference = solo_results(lwe_stack, lwes)
+        got, trace = serve_all(lwe_stack, lwes, ["u"] * len(lwes),
+                               max_batch=max_batch, max_delay_s=0.005)
+        for ref, out in zip(reference, got):
+            assert_glwe_equal(ref, out)
+        assert trace.requests_completed == len(lwes)
+        assert max(trace.batch_fill) <= max_batch
+
+    @pytest.mark.parametrize("engine", ["vectorized", "reference"])
+    def test_engines_match_solo(self, lwe_stack, engine):
+        lwes = make_lwes(lwe_stack, 6)
+        reference = solo_results(lwe_stack, lwes, engine)
+        got, _ = serve_all(lwe_stack, lwes, ["u"] * len(lwes),
+                           max_batch=4, max_delay_s=0.005,
+                           blind_rotate_engine=engine)
+        for ref, out in zip(reference, got):
+            assert_glwe_equal(ref, out)
+
+    def test_multi_user_shared_keys_coalesce_and_match(self, lwe_stack):
+        """Users sharing one key set coalesce into common batches; each
+        still gets exactly the solo-dispatch bytes."""
+        lwes = make_lwes(lwe_stack, 9)
+        users = [f"user-{i % 3}" for i in range(9)]
+        reference = solo_results(lwe_stack, lwes)
+        got, trace = serve_all(lwe_stack, lwes, users,
+                               max_batch=8, max_delay_s=0.01)
+        for ref, out in zip(reference, got):
+            assert_glwe_equal(ref, out)
+        # 3 user ids, one UserKeys object: one entry, cross-user batches.
+        assert trace.key_cache_misses == 3
+        assert trace.key_cache_hits == 6
+        assert trace.mean_batch_fill > 1.0
+
+    def test_process_pool_executor_matches_solo(self, lwe_stack):
+        lwes = make_lwes(lwe_stack, 6)
+        reference = solo_results(lwe_stack, lwes)
+        got, trace = serve_all(lwe_stack, lwes, ["u"] * len(lwes),
+                               max_batch=6, max_delay_s=0.02,
+                               executor_factory=pool_executor_factory(
+                                   num_workers=2))
+        for ref, out in zip(reference, got):
+            assert_glwe_equal(ref, out)
+        assert trace.drained  # drain also closed the pool
+
+    def test_concurrent_tenants_share_ntt_engine_safely(self, lwe_stack):
+        """NTT engines are cached process-wide per (n, q), but the service
+        runs concurrent per-tenant batches on worker threads — the engine
+        workspaces must be thread-local (regression: a shared butterfly
+        buffer raced across tenants and corrupted transforms)."""
+        import concurrent.futures
+
+        basis, q, lwe_sk, brk, tv = lwe_stack
+        gadget = GadgetVector(q=q, base_bits=14, digits=2)
+        s2 = Sampler(999)
+        brk2 = BlindRotateKey.generate(LweSecretKey.generate(N_T, s2),
+                                       GlweSecretKey.generate(N_RING, 1, s2),
+                                       basis, gadget, s2)
+        lwes = make_lwes(lwe_stack, 4)
+        ex_a = LocalExecutor(_KeyBox(brk), tv, "vectorized")
+        ex_b = LocalExecutor(_KeyBox(brk2), tv, "vectorized")
+        want_a = ex_a.fanout(lwes, BootstrapTrace())
+        want_b = ex_b.fanout(lwes, BootstrapTrace())
+
+        def hammer(ex):
+            return [ex.fanout(lwes, BootstrapTrace()) for _ in range(8)]
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            runs_a = pool.submit(hammer, ex_a)
+            runs_b = pool.submit(hammer, ex_b)
+            for run in runs_a.result():
+                for ref, out in zip(want_a, run):
+                    assert_glwe_equal(ref, out)
+            for run in runs_b.result():
+                for ref, out in zip(want_b, run):
+                    assert_glwe_equal(ref, out)
+
+    @settings(max_examples=8, deadline=None)
+    @given(max_batch=st.integers(min_value=1, max_value=7),
+           count=st.integers(min_value=1, max_value=7),
+           users=st.integers(min_value=1, max_value=3))
+    def test_property_composition_invariance(self, lwe_stack, max_batch,
+                                             count, users):
+        """Property form: any request count, batch bound, and user
+        spread produces byte-identical per-request results."""
+        lwes = make_lwes(lwe_stack, count)
+        reference = solo_results(lwe_stack, lwes)
+        got, _ = serve_all(lwe_stack, lwes,
+                           [f"u{i % users}" for i in range(count)],
+                           max_batch=max_batch, max_delay_s=0.002)
+        for ref, out in zip(reference, got):
+            assert_glwe_equal(ref, out)
+
+
+class TestCiphertextRequests:
+    def test_ciphertext_request_matches_pipeline(self, ckks_stack):
+        ctx, _, ev, swk = ckks_stack
+        z = np.random.default_rng(7).uniform(-1, 1, ctx.slots)
+        ct = ev.encrypt(z, level=0)
+        reference = BootstrapPipeline(ctx, swk).run(ct)
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            async with BootstrapService(lambda uid: uk, max_batch=ctx.n,
+                                        max_delay_s=0.005) as svc:
+                return await svc.submit_ciphertext("tenant", ct)
+
+        assert_ct_equal(reference, asyncio.run(main()))
+
+    def test_cobatched_ciphertexts_match_solo_runs(self, ckks_stack):
+        """Two users' Algorithm-2 bootstraps share ONE fan-out call and
+        still equal their solo pipeline runs byte for byte."""
+        ctx, _, ev, swk = ckks_stack
+        rng = np.random.default_rng(11)
+        cts = [ev.encrypt(rng.uniform(-1, 1, ctx.slots), level=0)
+               for _ in range(2)]
+        pipe = BootstrapPipeline(ctx, swk)
+        reference = [pipe.run(ct) for ct in cts]
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk, max_batch=2 * ctx.n,
+                                   max_delay_s=0.05)
+            async with svc:
+                results = await asyncio.gather(
+                    svc.submit_ciphertext("alice", cts[0]),
+                    svc.submit_ciphertext("bob", cts[1]))
+            return results, svc.trace
+
+        got, trace = asyncio.run(main())
+        for ref, out in zip(reference, got):
+            assert_ct_equal(ref, out)
+        # Both rode one coalesced batch of 2N blind rotates.
+        assert trace.batch_fill == {2 * ctx.n: 1}
+
+    def test_ciphertext_requires_ctx(self, lwe_stack):
+        _, _, _, brk, tv = lwe_stack
+        uk = UserKeys(_KeyBox(brk), tv)  # no ctx
+
+        async def main():
+            async with BootstrapService(lambda uid: uk) as svc:
+                with pytest.raises(ParameterError, match="ctx"):
+                    await svc.submit_ciphertext("u", object())
+
+        asyncio.run(main())
+
+
+class _FakeExecutor:
+    def __init__(self):
+        self.closed = False
+
+    def close(self):
+        self.closed = True
+
+
+def _fake_cache(capacity_bytes, nbytes=100):
+    """A cache over synthetic UserKeys with fixed per-entry bytes."""
+    boxes = {}
+
+    def provider(uid):
+        if uid not in boxes:
+            uk = UserKeys.__new__(UserKeys)
+            uk.keys = None
+            uk.test_vector = None
+            uk.ctx = None
+            boxes[uid] = uk
+        return boxes[uid]
+
+    def factory(uk):
+        return KeyCacheEntry(uk, _FakeExecutor(), None, nbytes)
+
+    return LruKeyCache(provider, factory, capacity_bytes)
+
+
+class TestLruKeyCache:
+    def test_eviction_order_is_least_recently_used(self):
+        cache = _fake_cache(capacity_bytes=300, nbytes=100)
+        for uid in "abc":
+            cache.get(uid)
+        cache.get("a")  # refresh a: LRU order is now b, c, a
+        cache.get("d")  # evicts b
+        assert cache.resident_users() == {"a", "c", "d"}
+        assert cache.evictions == 1
+        cache.get("e")  # evicts c
+        assert cache.resident_users() == {"a", "d", "e"}
+
+    def test_byte_accounting_and_peak(self):
+        cache = _fake_cache(capacity_bytes=250, nbytes=100)
+        a = cache.get("a")
+        cache.get("b")
+        assert cache.resident_bytes() == 200
+        cache.get("c")  # 300 > 250: evict a
+        assert cache.resident_bytes() == 200
+        assert cache.peak_resident_bytes == 300
+        assert a.executor.closed
+
+    def test_pinned_entry_survives_eviction_pressure(self):
+        cache = _fake_cache(capacity_bytes=150, nbytes=100)
+        a = cache.get("a")
+        a.pin()
+        b = cache.get("b")  # over capacity but a is pinned: b is newest
+        assert cache.resident_users() == {"a", "b"}
+        c = cache.get("c")  # evicts b (unpinned), keeps pinned a
+        assert cache.resident_users() == {"a", "c"}
+        assert b.executor.closed and not a.executor.closed
+        assert c is cache.get("c")
+        a.unpin()
+        cache.get("d")  # now a is evictable
+        assert "a" not in cache.resident_users()
+        assert a.executor.closed
+
+    def test_evicted_while_pinned_closes_on_last_unpin(self):
+        cache = _fake_cache(capacity_bytes=100, nbytes=100)
+        a = cache.get("a")
+        a.pin()
+        a.pin()
+        cache._evict(next(iter(cache._entries)))
+        assert a.defunct and not a.executor.closed
+        a.unpin()
+        assert not a.executor.closed
+        a.unpin()
+        assert a.executor.closed
+
+    def test_shared_keys_alias_one_entry(self):
+        cache = _fake_cache(capacity_bytes=None, nbytes=100)
+        shared = cache._provider("tenant")
+        cache._provider = lambda uid: shared  # every user, same keys
+        e1, e2 = cache.get("u1"), cache.get("u2")
+        assert e1 is e2
+        assert len(cache) == 1
+        assert cache.resident_bytes() == 100
+        assert cache.resident_users() == {"u1", "u2"}
+        cache._evict(next(iter(cache._entries)))
+        assert cache.resident_users() == set()
+
+    def test_close_releases_everything(self):
+        cache = _fake_cache(capacity_bytes=None)
+        entries = [cache.get(u) for u in "abc"]
+        cache.close()
+        assert len(cache) == 0
+        assert all(e.executor.closed for e in entries)
+
+    def test_real_keyset_accounting_matches_resident_bytes(self, ckks_stack):
+        ctx, _, _, swk = ckks_stack
+        uk = UserKeys.from_switching(ctx, swk)
+        assert uk.resident_bytes() == (swk.resident_bytes()
+                                       + rns_poly_bytes(uk.test_vector))
+        assert uk.resident_bytes() > 0
+
+
+class TestBackpressureAndLifecycle:
+    def test_overload_raises_typed_error(self, lwe_stack):
+        _, _, _, brk, tv = lwe_stack
+        uk = UserKeys(_KeyBox(brk), tv)
+        lwes = make_lwes(lwe_stack, 3)
+
+        async def main():
+            # Huge delay + huge batch: requests sit queued until drain.
+            svc = BootstrapService(lambda uid: uk, max_batch=64,
+                                   max_delay_s=30.0, max_queue=2)
+            await svc.start()
+            tasks = [asyncio.ensure_future(svc.submit("u", lw))
+                     for lw in lwes[:2]]
+            await asyncio.sleep(0.01)
+            with pytest.raises(ServiceOverloadError) as info:
+                await svc.submit("u", lwes[2])
+            assert info.value.retry_after > 0
+            await svc.stop()  # drain waives the deadline
+            results = await asyncio.gather(*tasks)
+            return results, svc.trace
+
+        results, trace = asyncio.run(main())
+        reference = solo_results(lwe_stack, lwes[:2])
+        for ref, out in zip(reference, results):
+            assert_glwe_equal(ref, out)
+        assert trace.requests_rejected == 1
+        assert trace.requests_completed == 2
+        assert trace.drained
+
+    def test_submit_outside_lifecycle_raises(self, lwe_stack):
+        _, _, _, brk, tv = lwe_stack
+        uk = UserKeys(_KeyBox(brk), tv)
+        (lwe,) = make_lwes(lwe_stack, 1)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk)
+            with pytest.raises(ServiceClosedError):
+                await svc.submit("u", lwe)  # not started
+            await svc.start()
+            await svc.stop()
+            await svc.stop()  # idempotent
+            with pytest.raises(ServiceClosedError):
+                await svc.submit("u", lwe)  # stopped
+            with pytest.raises(ServiceClosedError):
+                await svc.start()  # cannot restart a stopped service
+
+        asyncio.run(main())
+
+    def test_bad_parameters_rejected(self, lwe_stack):
+        _, _, _, brk, tv = lwe_stack
+        uk = UserKeys(_KeyBox(brk), tv)
+        with pytest.raises(ParameterError):
+            BootstrapService(lambda uid: uk, max_batch=0)
+        with pytest.raises(ParameterError):
+            BootstrapService(lambda uid: uk, max_queue=0)
+        with pytest.raises(ParameterError):
+            BootstrapService(lambda uid: uk, max_delay_s=-1.0)
+
+    def test_service_activity_lands_in_opstats(self, lwe_stack):
+        lwes = make_lwes(lwe_stack, 6)
+        with count_ops() as stats:
+            _, trace = serve_all(lwe_stack, lwes, ["u"] * 6,
+                                 max_batch=3, max_delay_s=0.005)
+        assert stats.service_requests == 6
+        assert stats.service_batches == trace.batches
+        assert stats.service_coalesced_lwes == 6
+        assert stats.service_key_cache_misses == 1
+        assert stats.service_key_cache_hits == 5
+        assert sum(stats.service_batch_fill_hist.values()) == trace.batches
+
+
+class TestRunMany:
+    def test_run_many_matches_individual_runs(self, ckks_stack):
+        ctx, _, ev, swk = ckks_stack
+        rng = np.random.default_rng(23)
+        cts = [ev.encrypt(rng.uniform(-1, 1, ctx.slots), level=0)
+               for _ in range(2)]
+        pipe = BootstrapPipeline(ctx, swk)
+        reference = [pipe.run(ct) for ct in cts]
+        trace = BootstrapTrace()
+        got = pipe.run_many(cts, trace)
+        for ref, out in zip(reference, got):
+            assert_ct_equal(ref, out)
+        assert trace.num_blind_rotates == 2 * ctx.n
+
+
+class TestTrajectoryStamp:
+    @pytest.fixture(autouse=True)
+    def _fresh_cache(self):
+        # git_commit() memoises per process; each test resolves afresh.
+        _timing._git_commit_cache = _timing._GIT_UNRESOLVED
+        yield
+        _timing._git_commit_cache = _timing._GIT_UNRESOLVED
+
+    def _write(self, tmp_path, monkeypatch):
+        out_dir = tmp_path / "out"
+        monkeypatch.setattr(_timing, "OUT_DIR", str(out_dir))
+        monkeypatch.setattr(_timing, "TRAJECTORY_PATH",
+                            str(out_dir / "trajectory.jsonl"))
+        bench_path = tmp_path / "BENCH_test.json"
+        _timing.write_bench_json(str(bench_path), "stamp_test",
+                                 [{"seconds": 1.0}])
+        with open(out_dir / "trajectory.jsonl") as fh:
+            (record,) = [json.loads(line) for line in fh]
+        return bench_path, record
+
+    def test_record_stamped_with_commit_and_timestamp(self, tmp_path,
+                                                      monkeypatch):
+        _, record = self._write(tmp_path, monkeypatch)
+        head = subprocess.run(["git", "rev-parse", "HEAD"],
+                              cwd=_timing.REPO_ROOT, capture_output=True,
+                              text=True).stdout.strip()
+        assert record["git_commit"] == head
+        assert len(record["git_commit"]) == 40
+        # ISO-8601 UTC; strptime raises if malformed.
+        datetime.datetime.strptime(record["timestamp"], "%Y-%m-%dT%H:%M:%SZ")
+        assert record["benchmark"] == "stamp_test"
+
+    def test_degrades_to_none_without_git(self, tmp_path, monkeypatch):
+        def no_git(*args, **kwargs):
+            raise FileNotFoundError("git not installed")
+
+        monkeypatch.setattr(_timing.subprocess, "run", no_git)
+        bench_path, record = self._write(tmp_path, monkeypatch)
+        assert record["git_commit"] is None
+        # The bench output itself must still be written.
+        assert bench_path.exists()
+        assert _timing.git_commit() is None
