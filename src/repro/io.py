@@ -272,6 +272,7 @@ def publish_shared_arrays(arrays: Dict[str, np.ndarray],
 
 def attach_shared_arrays(manifest: SharedBufferManifest,
                          verify: bool = True,
+                         writable: bool = False,
                          ) -> Tuple[object, Dict[str, np.ndarray]]:
     """Attach to a published block and return zero-copy views.
 
@@ -281,6 +282,13 @@ def attach_shared_arrays(manifest: SharedBufferManifest,
     ``verify=True`` (the default) every array's CRC32 is checked once
     against the manifest, so corruption or a stale/foreign block is
     detected at attach time rather than mid-bootstrap.
+
+    Views are **read-only** by default: the block aliases the publisher's
+    key material across every attached worker, so an in-place write in
+    one worker silently corrupts all of them (and invalidates the
+    manifest CRCs).  A consumer that genuinely owns the block's contents
+    — a scratch-buffer protocol, not key material — must opt in with
+    ``writable=True``.
     """
     shared_memory = _shm_module()
     try:
@@ -314,5 +322,7 @@ def attach_shared_arrays(manifest: SharedBufferManifest,
             raise SharedBufferError(
                 f"array {spec.name!r} in shared block {manifest.block!r} "
                 f"failed its CRC32 check — block corrupted or mismatched")
+        if not writable:
+            view.setflags(write=False)
         views[spec.name] = view
     return block, views

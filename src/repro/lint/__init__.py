@@ -9,17 +9,31 @@ over the repo's own AST (stdlib :mod:`ast` only, no third-party
 dependencies) with per-rule codes, an inline suppression syntax and a
 checked-in baseline for pre-existing findings.
 
+Since the serving layer went concurrent (asyncio coalescer, process
+pool, thread-local engine workspaces) the pack has two layers: the
+HL0xx rules stay single-file, while the HL1xx concurrency rules run
+over a repo-wide call graph built by :mod:`repro.lint.dataflow`
+(entry-point reachability from coroutines, thread targets, and worker
+mains).
+
 Run it as ``python -m repro.lint src tests benchmarks``; see
-``DESIGN.md`` section 8 for the rule catalogue and workflow.
+``DESIGN.md`` sections 8 and 13 for the rule catalogue and workflow.
 """
 
 from __future__ import annotations
 
+from .concurrency_rules import (
+    AsyncHygieneRule,
+    ProcessPayloadRule,
+    SharedArrayAliasingRule,
+    SharedMutableStateRule,
+)
 from .core import (
     BAD_SUPPRESSION_CODE,
     Baseline,
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     all_rules,
     analyze_file,
@@ -27,6 +41,7 @@ from .core import (
     analyze_source,
     iter_python_files,
 )
+from .dataflow import EntryPoint, FunctionInfo, MutableGlobal, ProjectIndex
 from .rules import (
     HotPathObjectDtypeRule,
     LazyBoundProofRule,
@@ -40,15 +55,24 @@ __all__ = [
     "Baseline",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "analyze_file",
     "analyze_paths",
     "analyze_source",
     "iter_python_files",
+    "EntryPoint",
+    "FunctionInfo",
+    "MutableGlobal",
+    "ProjectIndex",
     "HotPathObjectDtypeRule",
     "LazyBoundProofRule",
     "NttDomainDisciplineRule",
     "ParamConstructionRule",
     "SecretHygieneRule",
+    "AsyncHygieneRule",
+    "ProcessPayloadRule",
+    "SharedArrayAliasingRule",
+    "SharedMutableStateRule",
 ]

@@ -34,8 +34,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--update-baseline", action="store_true",
                         help="rewrite the baseline from the current findings "
                              "and exit 0")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
-                        help="output format (default: text)")
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
+                        help="output format (default: text); 'sarif' emits "
+                             "SARIF 2.1.0 for CI code-scanning annotation")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     parser.add_argument("--statistics", action="store_true",
@@ -57,6 +59,58 @@ def _resolve_baseline(args: argparse.Namespace) -> Optional[Path]:
     return default if default.exists() or args.update_baseline else None
 
 
+def _sarif(findings: Sequence[Finding]) -> Dict[str, object]:
+    """SARIF 2.1.0 document: one run, one rule entry per registered rule,
+    one result per finding.  GitHub code scanning ingests this shape and
+    renders each result as an inline PR annotation."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.description},
+        }
+        for rule in all_rules()
+    ]
+    results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "partialFingerprints": {"heaplint/v1": f.fingerprint()},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": f.path},
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 0) + 1,
+                            "snippet": {"text": f.snippet},
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    return {
+        "$schema": ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json"),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "heaplint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
 def _emit(findings: Sequence[Finding], fmt: str) -> None:
     if fmt == "json":
         print(json.dumps(
@@ -64,6 +118,8 @@ def _emit(findings: Sequence[Finding], fmt: str) -> None:
               "message": f.message, "fingerprint": f.fingerprint()}
              for f in findings],
             indent=2))
+    elif fmt == "sarif":
+        print(json.dumps(_sarif(findings), indent=2))
     else:
         for f in findings:
             print(f.render())

@@ -1,0 +1,578 @@
+"""HL1xx: concurrency and process-boundary rules.
+
+These rules target the bug classes the repo has actually hit (or is one
+refactor away from hitting) now that bootstrapping is served through
+three concurrency layers at once — an asyncio coalescing service, a
+``multiprocessing`` fan-out pool with shared-memory key manifests, and
+thread-local numpy workspaces:
+
+* **HL101** — mutable module/class-level state (dicts, lists, sets,
+  ndarrays) written by a function reachable from a threaded or async
+  entry point, without a lock around the write, a ``threading.local``
+  carrier, or an explicit ``# heaplint: threadsafe <reason>`` waiver.
+  This is the PR-7 WRITEBACKIFCOPY bug class: two tenants racing through
+  one process-wide engine cache.
+* **HL102** — asyncio hygiene: blocking calls (``time.sleep``, pipe
+  ``.recv``, ``multiprocessing.connection.wait``, direct engine
+  ``fanout``) inside ``async def``; coroutine calls whose result is
+  never awaited; a *synchronous* ``threading.Lock`` held across an
+  ``await``.
+* **HL103** — process-boundary payloads: values flowing into
+  ``multiprocessing.Process`` dispatch, ``publish_shared_arrays``, or a
+  pipe/connection ``.send`` must be picklable — lambdas, closures
+  (nested functions), open file handles, and object-dtype arrays are
+  flagged.
+* **HL104** — numpy aliasing: in-place writes into views obtained from
+  ``attach_shared_arrays`` (cross-worker shared memory) unless the view
+  was first frozen with ``.setflags(write=False)``.
+
+HL101/HL102 are :class:`~repro.lint.core.ProjectRule` subclasses — they
+consume the repo-wide call graph from :mod:`repro.lint.dataflow`.
+HL103/HL104 are local dataflow over one function body and stay per-file.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import FileContext, Finding, ProjectRule, Rule
+from .dataflow import FunctionInfo, ProjectIndex, call_name, dotted_name
+
+#: Method calls that mutate their receiver in place.
+MUTATOR_METHODS = frozenset({
+    "append", "add", "update", "clear", "pop", "popitem", "setdefault",
+    "extend", "remove", "discard", "insert", "appendleft", "fill",
+    "sort", "resize", "put", "itemset",
+})
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on parsed trees
+        return ""
+
+
+def _is_lockish(expr: ast.expr) -> bool:
+    """Whether a ``with`` context expression looks like a mutex."""
+    text = _unparse(expr).lower()
+    return "lock" in text or "mutex" in text or "rlock" in text
+
+
+# ---------------------------------------------------------------------------
+# HL101: shared mutable state written on a concurrent path without a lock
+# ---------------------------------------------------------------------------
+
+
+class SharedMutableStateRule(ProjectRule):
+    code = "HL101"
+    name = "shared-mutable-state"
+    description = (
+        "Module/class-level mutable state written by a function reachable "
+        "from a threaded or async entry point must be written under a lock, "
+        "kept in threading.local, or carry a '# heaplint: threadsafe' waiver."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, str]] = set()
+        for qual, info in index.functions.items():
+            reach = index.concurrent_reach(qual)
+            if reach is None:
+                continue
+            module_globals = {
+                g.name: g for g in index.mutable_globals.get(info.module, [])
+            }
+            if not module_globals:
+                continue
+            # Receiver spellings that denote each shared binding from
+            # inside this function.
+            spellings: Dict[str, str] = {}
+            for gname in module_globals:
+                if "." in gname:
+                    cls, attr = gname.split(".", 1)
+                    spellings[f"{cls}.{attr}"] = gname
+                    if info.cls == cls:
+                        spellings[f"self.{attr}"] = gname
+                        spellings[f"cls.{attr}"] = gname
+                else:
+                    spellings[gname] = gname
+            rebindable = {
+                g for g in module_globals if "." not in g
+            } & self._global_decls(info.node)
+            for node, gname in self._writes(info.node, spellings, rebindable):
+                glob = module_globals[gname]
+                line = getattr(node, "lineno", 1)
+                key = (info.ctx.path, line, gname)
+                if key in seen:
+                    continue
+                seen.add(key)
+                if info.ctx.is_threadsafe_waived(line):
+                    continue
+                if info.ctx.is_threadsafe_waived(glob.line):
+                    continue
+                kind, chain = reach
+                yield info.ctx.finding(
+                    self.code, node,
+                    f"unlocked write to shared {glob.kind} '{gname}' on a "
+                    f"{kind} path ({chain}); guard with a lock, use "
+                    f"threading.local, or waive with "
+                    f"'# heaplint: threadsafe <reason>'",
+                )
+
+    @staticmethod
+    def _global_decls(func: ast.AST) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Global):
+                names.update(node.names)
+        return names
+
+    def _writes(self, func: ast.AST, spellings: Dict[str, str],
+                rebindable: Set[str]) -> Iterator[Tuple[ast.AST, str]]:
+        """Yield ``(node, shared-name)`` for unguarded writes in ``func``."""
+        yield from self._scan(list(ast.iter_child_nodes(func)), spellings,
+                              rebindable, locked=False)
+
+    def _scan(self, nodes: Sequence[ast.AST], spellings: Dict[str, str],
+              rebindable: Set[str], locked: bool,
+              ) -> Iterator[Tuple[ast.AST, str]]:
+        for node in nodes:
+            if isinstance(node, ast.With):
+                inner = locked or any(
+                    _is_lockish(item.context_expr) for item in node.items)
+                yield from self._scan(node.body, spellings, rebindable, inner)
+                continue
+            if not locked:
+                yield from self._match_write(node, spellings, rebindable)
+            yield from self._scan(list(ast.iter_child_nodes(node)),
+                                  spellings, rebindable, locked)
+
+    def _match_write(self, node: ast.AST, spellings: Dict[str, str],
+                     rebindable: Set[str],
+                     ) -> Iterator[Tuple[ast.AST, str]]:
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                if isinstance(target, ast.Subscript):
+                    base = dotted_name(target.value)
+                    if base in spellings:
+                        yield node, spellings[base]
+                elif isinstance(target, ast.Name) and \
+                        target.id in rebindable:
+                    yield node, target.id
+        elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute):
+            if node.func.attr in MUTATOR_METHODS:
+                base = dotted_name(node.func.value)
+                if base in spellings:
+                    yield node, spellings[base]
+
+
+# ---------------------------------------------------------------------------
+# HL102: asyncio hygiene
+# ---------------------------------------------------------------------------
+
+#: asyncio scheduling helpers whose bare-call result is intentionally not
+#: awaited at the call site.
+_SCHEDULERS = frozenset({"create_task", "ensure_future", "gather", "run",
+                         "run_until_complete"})
+
+
+class AsyncHygieneRule(ProjectRule):
+    code = "HL102"
+    name = "async-hygiene"
+    description = (
+        "No blocking calls inside 'async def' (time.sleep, pipe .recv, "
+        "multiprocessing connection.wait, direct engine fanout), no "
+        "coroutine results dropped without await, and no synchronous lock "
+        "held across an await."
+    )
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        seen: Set[Tuple[str, int, str]] = set()
+        for info in index.functions.values():
+            for finding in self._check_function(info, index):
+                key = (finding.path, finding.line, finding.message)
+                if key not in seen:
+                    seen.add(key)
+                    yield finding
+
+    def _check_function(self, info: FunctionInfo,
+                        index: ProjectIndex) -> Iterator[Finding]:
+        if info.is_async:
+            yield from self._blocking_calls(info)
+            yield from self._lock_across_await(info)
+        yield from self._dropped_coroutines(info, index)
+
+    def _own_nodes(self, func: ast.AST) -> Iterator[ast.AST]:
+        """Walk ``func`` without descending into nested def/lambda bodies
+        (code in a nested sync def does not run on the event loop just
+        because its enclosing function is a coroutine)."""
+        stack: List[ast.AST] = list(ast.iter_child_nodes(func))
+        while stack:
+            node = stack.pop()
+            yield node
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                 ast.Lambda)):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+
+    def _blocking_calls(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            dotted = dotted_name(node.func)
+            message: Optional[str] = None
+            if dotted == "time.sleep":
+                message = ("time.sleep blocks the event loop; use "
+                           "'await asyncio.sleep(...)'")
+            elif name == "recv" and isinstance(node.func, ast.Attribute):
+                message = ("pipe/connection .recv() blocks the event loop; "
+                           "move it to a worker via asyncio.to_thread")
+            elif name == "fanout":
+                message = ("engine fanout() is CPU/IPC-bound and blocks "
+                           "the event loop; dispatch it via "
+                           "asyncio.to_thread or an executor")
+            elif name == "wait" and dotted.endswith("connection.wait"):
+                message = ("multiprocessing connection.wait blocks the "
+                           "event loop; poll from a worker thread")
+            if message is not None:
+                yield info.ctx.finding(
+                    self.code, node,
+                    f"blocking call inside 'async def {info.name}': "
+                    f"{message}")
+
+    def _lock_across_await(self, info: FunctionInfo) -> Iterator[Finding]:
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, ast.With):
+                continue
+            if not any(_is_lockish(item.context_expr) for item in node.items):
+                continue
+            for inner in node.body:
+                for sub in ast.walk(inner):
+                    if isinstance(sub, ast.Await):
+                        yield info.ctx.finding(
+                            self.code, node,
+                            f"synchronous lock held across 'await' in "
+                            f"'async def {info.name}'; other tasks on this "
+                            f"loop will deadlock behind it — use "
+                            f"asyncio.Lock with 'async with'")
+                        break
+                else:
+                    continue
+                break
+
+    def _dropped_coroutines(self, info: FunctionInfo,
+                            index: ProjectIndex) -> Iterator[Finding]:
+        for node in self._own_nodes(info.node):
+            if not isinstance(node, ast.Expr) or not isinstance(
+                    node.value, ast.Call):
+                continue
+            call = node.value
+            name = call_name(call)
+            if name in _SCHEDULERS:
+                continue
+            # Only plain names and self/cls method calls resolve precisely
+            # enough to assert "this is a coroutine": `obj.start()` on an
+            # arbitrary receiver must not match `async def start` elsewhere
+            # (e.g. Process.start vs a service's async start).
+            if isinstance(call.func, ast.Attribute):
+                receiver = dotted_name(call.func.value)
+                if receiver not in ("self", "cls") or info.cls is None:
+                    continue
+                own = f"{info.module}.{info.cls}.{name}"
+                own_info = index.functions.get(own)
+                is_coro = own_info is not None and own_info.is_async
+            else:
+                is_coro = index.is_async_function(name)
+            if is_coro:
+                yield info.ctx.finding(
+                    self.code, node,
+                    f"coroutine '{name}(...)' is never awaited — the call "
+                    f"builds a coroutine object and drops it; await it or "
+                    f"schedule it with asyncio.create_task")
+
+
+# ---------------------------------------------------------------------------
+# HL103: process-boundary payloads must be picklable
+# ---------------------------------------------------------------------------
+
+
+class ProcessPayloadRule(Rule):
+    code = "HL103"
+    name = "process-payload"
+    description = (
+        "Values crossing a process boundary (multiprocessing dispatch, "
+        "publish_shared_arrays, pipe/connection .send) must be picklable: "
+        "no lambdas, closures, open file handles, or object-dtype arrays."
+    )
+
+    #: Receiver-name fragments that identify a pipe/connection/socket.
+    _WIRE_RECEIVERS = ("conn", "pipe", "sock", "chan")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, func)
+
+    def _check_function(self, ctx: FileContext,
+                        func: ast.AST) -> Iterator[Finding]:
+        tainted = self._tainted_names(func)
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            name = call_name(node)
+            if name in ("Process", "Timer"):
+                yield from self._check_process_ctor(ctx, node, tainted)
+            elif name == "publish_shared_arrays":
+                for arg in node.args:
+                    yield from self._check_payload(
+                        ctx, arg, tainted, "publish_shared_arrays payload")
+            elif name == "send" and isinstance(node.func, ast.Attribute):
+                receiver = dotted_name(node.func.value).lower()
+                if any(frag in receiver for frag in self._WIRE_RECEIVERS):
+                    for arg in node.args:
+                        yield from self._check_payload(
+                            ctx, arg, tainted,
+                            f"payload sent over '{receiver}'")
+            elif name in ("apply_async", "starmap"):
+                if node.args:
+                    yield from self._check_payload(
+                        ctx, node.args[0], tainted,
+                        f"worker function passed to {name}")
+            elif name == "map" and isinstance(node.func, ast.Attribute):
+                receiver = dotted_name(node.func.value).lower()
+                if "pool" in receiver and node.args:
+                    yield from self._check_payload(
+                        ctx, node.args[0], tainted,
+                        "worker function passed to pool.map")
+
+    def _check_process_ctor(self, ctx: FileContext, node: ast.Call,
+                            tainted: Dict[str, str]) -> Iterator[Finding]:
+        for kw in node.keywords:
+            if kw.arg == "target":
+                yield from self._check_payload(
+                    ctx, kw.value, tainted, "Process target")
+            elif kw.arg == "args" and isinstance(
+                    kw.value, (ast.Tuple, ast.List)):
+                for elt in kw.value.elts:
+                    yield from self._check_payload(
+                        ctx, elt, tainted, "Process args element")
+
+    def _check_payload(self, ctx: FileContext, expr: ast.expr,
+                       tainted: Dict[str, str],
+                       where: str) -> Iterator[Finding]:
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for elt in expr.elts:
+                yield from self._check_payload(ctx, elt, tainted, where)
+            return
+        if isinstance(expr, ast.Dict):
+            for value in expr.values:
+                if value is not None:
+                    yield from self._check_payload(ctx, value, tainted, where)
+            return
+        if isinstance(expr, ast.Lambda):
+            yield ctx.finding(
+                self.code, expr,
+                f"{where} is a lambda — lambdas cannot be pickled across a "
+                f"process boundary (spawn start method); use a module-level "
+                f"function")
+        elif isinstance(expr, ast.Call):
+            if call_name(expr) == "open":
+                yield ctx.finding(
+                    self.code, expr,
+                    f"{where} is an open file handle — file objects cannot "
+                    f"cross a process boundary; send the path instead")
+            elif self._is_object_dtype_call(expr):
+                yield ctx.finding(
+                    self.code, expr,
+                    f"{where} is an object-dtype array — element-wise "
+                    f"pickling is slow and shape-lossy; convert to a fixed-"
+                    f"width dtype or CRC-framed bytes first")
+        elif isinstance(expr, ast.Name) and expr.id in tainted:
+            yield ctx.finding(
+                self.code, expr,
+                f"{where} '{expr.id}' is {tainted[expr.id]} — it cannot "
+                f"cross a process boundary; use a module-level function / "
+                f"picklable value")
+
+    def _tainted_names(self, func: ast.AST) -> Dict[str, str]:
+        """Local names bound to unpicklable values, with a description."""
+        tainted: Dict[str, str] = {}
+        for node in ast.walk(func):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) \
+                    and node is not func:
+                tainted[node.name] = (
+                    "a nested function (closure)")
+            elif isinstance(node, ast.Assign):
+                for target in node.targets:
+                    if not isinstance(target, ast.Name):
+                        continue
+                    if isinstance(node.value, ast.Lambda):
+                        tainted[target.id] = "a lambda"
+                    elif isinstance(node.value, ast.Call):
+                        if call_name(node.value) == "open":
+                            tainted[target.id] = "an open file handle"
+                        elif self._is_object_dtype_call(node.value):
+                            tainted[target.id] = "an object-dtype array"
+        return tainted
+
+    @staticmethod
+    def _is_object_dtype_call(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg != "dtype":
+                continue
+            if isinstance(kw.value, ast.Name) and kw.value.id == "object":
+                return True
+            if dotted_name(kw.value) in ("np.object_", "numpy.object_"):
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# HL104: in-place writes into cross-worker shared-memory views
+# ---------------------------------------------------------------------------
+
+
+class SharedArrayAliasingRule(Rule):
+    code = "HL104"
+    name = "shared-array-aliasing"
+    description = (
+        "Views obtained from attach_shared_arrays alias memory owned by "
+        "another process; in-place writes corrupt every attached worker. "
+        "Freeze with .setflags(write=False) or copy before writing."
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for func in ast.walk(ctx.tree):
+            if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                tainted: Set[str] = set()
+                yield from self._scan(ctx, list(func.body), tainted)
+
+    def _scan(self, ctx: FileContext, stmts: Sequence[ast.stmt],
+              tainted: Set[str]) -> Iterator[Finding]:
+        """Process statements in order so a freeze discharges later writes."""
+        for stmt in stmts:
+            if isinstance(stmt, ast.Assign):
+                yield from self._check_write_targets(ctx, stmt.targets,
+                                                     stmt, tainted)
+                self._propagate(stmt, tainted)
+            elif isinstance(stmt, ast.AugAssign):
+                yield from self._check_write_targets(ctx, [stmt.target],
+                                                     stmt, tainted)
+            elif isinstance(stmt, ast.Expr):
+                yield from self._check_call(ctx, stmt.value, tainted)
+            elif isinstance(stmt, ast.For):
+                if isinstance(stmt.target, ast.Name) and \
+                        self._expr_tainted(stmt.iter, tainted):
+                    tainted.add(stmt.target.id)
+                yield from self._scan(ctx, stmt.body, tainted)
+                yield from self._scan(ctx, stmt.orelse, tainted)
+            elif isinstance(stmt, (ast.If, ast.While)):
+                yield from self._scan(ctx, stmt.body, tainted)
+                yield from self._scan(ctx, stmt.orelse, tainted)
+            elif isinstance(stmt, ast.With):
+                yield from self._scan(ctx, stmt.body, tainted)
+            elif isinstance(stmt, ast.Try):
+                yield from self._scan(ctx, stmt.body, tainted)
+                for handler in stmt.handlers:
+                    yield from self._scan(ctx, handler.body, tainted)
+                yield from self._scan(ctx, stmt.orelse, tainted)
+                yield from self._scan(ctx, stmt.finalbody, tainted)
+
+    # -- taint bookkeeping ---------------------------------------------------
+
+    def _propagate(self, stmt: ast.Assign, tainted: Set[str]) -> None:
+        source = self._expr_tainted(stmt.value, tainted)
+        for target in stmt.targets:
+            if isinstance(target, ast.Name):
+                if source:
+                    tainted.add(target.id)
+                else:
+                    tainted.discard(target.id)
+            elif isinstance(target, ast.Tuple) and source:
+                for elt in target.elts:
+                    if isinstance(elt, ast.Name):
+                        tainted.add(elt.id)
+
+    def _expr_tainted(self, expr: ast.expr, tainted: Set[str]) -> bool:
+        if isinstance(expr, ast.Call):
+            if call_name(expr) == "attach_shared_arrays":
+                return True
+            return False
+        if isinstance(expr, ast.Name):
+            return expr.id in tainted
+        if isinstance(expr, ast.Subscript):
+            return self._expr_tainted(expr.value, tainted)
+        if isinstance(expr, ast.Starred):
+            return self._expr_tainted(expr.value, tainted)
+        return False
+
+    # -- write detection -----------------------------------------------------
+
+    def _check_write_targets(self, ctx: FileContext,
+                             targets: Sequence[ast.expr], stmt: ast.stmt,
+                             tainted: Set[str]) -> Iterator[Finding]:
+        for target in targets:
+            base: Optional[ast.expr] = None
+            if isinstance(target, ast.Subscript):
+                base = target.value
+            elif isinstance(target, ast.Name) and isinstance(
+                    stmt, ast.AugAssign):
+                base = target
+            if base is not None and self._expr_tainted(base, tainted):
+                yield ctx.finding(
+                    self.code, stmt,
+                    f"in-place write into shared-memory view "
+                    f"'{_unparse(base)}' from attach_shared_arrays — this "
+                    f"aliases another process's key material; copy first "
+                    f"or freeze the view with .setflags(write=False)")
+
+    def _check_call(self, ctx: FileContext, expr: ast.expr,
+                    tainted: Set[str]) -> Iterator[Finding]:
+        if not isinstance(expr, ast.Call):
+            return
+        name = call_name(expr)
+        # Freeze discharges the taint for that name.
+        if name == "setflags" and isinstance(expr.func, ast.Attribute):
+            if self._freezes(expr):
+                base = expr.func.value
+                if isinstance(base, ast.Name):
+                    tainted.discard(base.id)
+            return
+        if name == "copyto" and expr.args and \
+                self._expr_tainted(expr.args[0], tainted):
+            yield ctx.finding(
+                self.code, expr,
+                "np.copyto into a shared-memory view from "
+                "attach_shared_arrays overwrites another process's key "
+                "material")
+            return
+        if name == "fill" and isinstance(expr.func, ast.Attribute) and \
+                self._expr_tainted(expr.func.value, tainted):
+            yield ctx.finding(
+                self.code, expr,
+                ".fill() on a shared-memory view from attach_shared_arrays "
+                "overwrites another process's key material")
+            return
+        for kw in expr.keywords:
+            if kw.arg == "out" and self._expr_tainted(kw.value, tainted):
+                yield ctx.finding(
+                    self.code, expr,
+                    "out= targets a shared-memory view from "
+                    "attach_shared_arrays; the kernel would write into "
+                    "another process's key material")
+
+    @staticmethod
+    def _freezes(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "write" and isinstance(kw.value, ast.Constant) \
+                    and kw.value.value is False:
+                return True
+        if call.args and isinstance(call.args[0], ast.Constant) and \
+                call.args[0].value is False:
+            return True
+        return False

@@ -40,6 +40,13 @@ _SUPPRESS_RE = re.compile(
 )
 _SUPPRESS_ANY_RE = re.compile(r"#\s*heaplint:\s*disable")
 
+# ``# heaplint: threadsafe <reason>`` asserts that the shared state defined
+# (or written) on the annotated line is safe without a lock — e.g. written
+# only before threads start, or monotonic-idempotent by construction.  The
+# reason is mandatory, same as for disable= suppressions.
+_THREADSAFE_RE = re.compile(r"#\s*heaplint:\s*threadsafe(?P<reason>.*)$")
+_THREADSAFE_ANY_RE = re.compile(r"#\s*heaplint:\s*threadsafe")
+
 
 @dataclass(frozen=True)
 class Finding:
@@ -86,6 +93,7 @@ class FileContext:
         self.suppressions: List[Suppression] = []
         self.bad_suppressions: List[Finding] = []
         self._suppressed_lines: Dict[int, Set[str]] = {}
+        self._threadsafe_lines: Dict[int, str] = {}
         self._collect_suppressions()
 
     # -- suppression handling ----------------------------------------------
@@ -102,6 +110,9 @@ class FileContext:
 
     def _collect_suppressions(self) -> None:
         for lineno, col, comment, full_line in self._comment_tokens():
+            if _THREADSAFE_ANY_RE.search(comment):
+                self._collect_threadsafe(lineno, col, comment, full_line)
+                continue
             if not _SUPPRESS_ANY_RE.search(comment):
                 continue
             snippet = full_line.rstrip("\n")
@@ -134,6 +145,31 @@ class FileContext:
                 target = self._next_code_line(lineno)
             self._suppressed_lines.setdefault(target, set()).update(codes)
 
+    def _collect_threadsafe(self, lineno: int, col: int, comment: str,
+                            full_line: str) -> None:
+        match = _THREADSAFE_RE.search(comment)
+        reason = match.group("reason").strip() if match else ""
+        if not reason:
+            self.bad_suppressions.append(
+                Finding(
+                    rule=BAD_SUPPRESSION_CODE,
+                    path=self.path,
+                    line=lineno,
+                    col=col,
+                    message=(
+                        "malformed heaplint waiver: expected "
+                        "'# heaplint: threadsafe <reason>' with a "
+                        "non-empty reason"
+                    ),
+                    snippet=full_line.rstrip("\n"),
+                )
+            )
+            return
+        target = lineno
+        if full_line[:col].strip() == "":
+            target = self._next_code_line(lineno)
+        self._threadsafe_lines[target] = reason
+
     def _next_code_line(self, after: int) -> int:
         """First non-blank, non-comment line after ``after`` (1-based)."""
         for i in range(after, len(self.lines)):
@@ -144,6 +180,10 @@ class FileContext:
 
     def is_suppressed(self, code: str, line: int) -> bool:
         return code in self._suppressed_lines.get(line, set())
+
+    def is_threadsafe_waived(self, line: int) -> bool:
+        """Whether ``line`` carries a ``# heaplint: threadsafe`` waiver."""
+        return line in self._threadsafe_lines
 
     # -- helpers for rules --------------------------------------------------
 
@@ -176,8 +216,30 @@ class Rule:
         raise NotImplementedError
 
 
+class ProjectRule(Rule):
+    """A rule that needs the whole-repo view (call graph, reachability).
+
+    Project rules run once per lint invocation over every parsed file at
+    the same time, after the per-file rules.  ``check`` is unused; the
+    runner calls :meth:`check_project` with the shared
+    :class:`~repro.lint.dataflow.ProjectIndex`.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, index: "object") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 def all_rules() -> List[Rule]:
     """Fresh instances of every registered rule, ordered by code."""
+    from .concurrency_rules import (
+        AsyncHygieneRule,
+        ProcessPayloadRule,
+        SharedArrayAliasingRule,
+        SharedMutableStateRule,
+    )
     from .rules import (
         HotPathObjectDtypeRule,
         LazyBoundProofRule,
@@ -192,6 +254,10 @@ def all_rules() -> List[Rule]:
         NttDomainDisciplineRule(),
         SecretHygieneRule(),
         ParamConstructionRule(),
+        SharedMutableStateRule(),
+        AsyncHygieneRule(),
+        ProcessPayloadRule(),
+        SharedArrayAliasingRule(),
     ]
     return sorted(rules, key=lambda r: r.code)
 
@@ -256,28 +322,56 @@ class Baseline:
 # -- runner -----------------------------------------------------------------
 
 
+def _syntax_finding(path: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        rule=BAD_SUPPRESSION_CODE,
+        path=path.replace("\\", "/"),
+        line=exc.lineno or 1,
+        col=exc.offset or 0,
+        message=f"file does not parse: {exc.msg}",
+        snippet=(exc.text or "").rstrip(),
+    )
+
+
+def _run_rules(contexts: Sequence[FileContext],
+               rules: Sequence[Rule]) -> List[Finding]:
+    """Per-file rules on each context, then project rules once over all."""
+    from .dataflow import ProjectIndex
+
+    by_path = {ctx.path: ctx for ctx in contexts}
+    found: List[Finding] = []
+    for ctx in contexts:
+        found.extend(ctx.bad_suppressions)
+        for rule in rules:
+            if isinstance(rule, ProjectRule):
+                continue
+            for f in rule.check(ctx):
+                if not ctx.is_suppressed(f.rule, f.line):
+                    found.append(f)
+    project_rules = [r for r in rules if isinstance(r, ProjectRule)]
+    if project_rules:
+        index = ProjectIndex(contexts)
+        for rule in project_rules:
+            for f in rule.check_project(index):
+                ctx = by_path.get(f.path)
+                if ctx is None or not ctx.is_suppressed(f.rule, f.line):
+                    found.append(f)
+    return found
+
+
 def analyze_source(source: str, path: str,
                    rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """All unsuppressed findings for one module's source text."""
+    """All unsuppressed findings for one module's source text.
+
+    The single file stands in as the whole project, so project rules
+    (call graph, reachability) see exactly this module — which is what
+    fixture tests want.
+    """
     try:
         ctx = FileContext(path, source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule=BAD_SUPPRESSION_CODE,
-                path=path.replace("\\", "/"),
-                line=exc.lineno or 1,
-                col=exc.offset or 0,
-                message=f"file does not parse: {exc.msg}",
-                snippet=(exc.text or "").rstrip(),
-            )
-        ]
-    found: List[Finding] = list(ctx.bad_suppressions)
-    for rule in rules if rules is not None else all_rules():
-        for f in rule.check(ctx):
-            if not ctx.is_suppressed(f.rule, f.line):
-                found.append(f)
-    return found
+        return [_syntax_finding(path, exc)]
+    return _run_rules([ctx], list(rules) if rules is not None else all_rules())
 
 
 def analyze_file(path: Path, root: Optional[Path] = None,
@@ -309,10 +403,25 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 def analyze_paths(paths: Sequence[Path], root: Optional[Path] = None,
                   rules: Optional[Sequence[Rule]] = None) -> List[Finding]:
-    """Run every rule over every python file under ``paths``."""
-    findings: List[Finding] = []
+    """Run every rule over every python file under ``paths``.
+
+    All files are parsed up front so project rules analyze the full
+    cross-module call graph, not one file at a time.
+    """
     rule_set = list(rules) if rules is not None else all_rules()
+    contexts: List[FileContext] = []
+    findings: List[Finding] = []
     for f in iter_python_files(paths):
-        findings.extend(analyze_file(f, root=root, rules=rule_set))
+        rel = str(f)
+        if root is not None:
+            try:
+                rel = str(f.resolve().relative_to(root.resolve()))
+            except ValueError:
+                rel = str(f)
+        try:
+            contexts.append(FileContext(rel, f.read_text(encoding="utf-8")))
+        except SyntaxError as exc:
+            findings.append(_syntax_finding(rel, exc))
+    findings.extend(_run_rules(contexts, rule_set))
     findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
     return findings

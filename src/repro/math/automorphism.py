@@ -20,6 +20,7 @@ permutation its hoisted decomposition path needs.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Tuple
 
@@ -50,16 +51,26 @@ class AutomorphismPerm:
 
 
 _PERM_CACHE: Dict[Tuple[int, int], AutomorphismPerm] = {}
+_PERM_CACHE_LOCK = threading.Lock()
 
 
 def get_automorphism_perm(n: int, t: int) -> AutomorphismPerm:
-    """Shared :class:`AutomorphismPerm` for ``(n, t)`` (``t`` odd)."""
+    """Shared :class:`AutomorphismPerm` for ``(n, t)`` (``t`` odd).
+
+    Lock-free on a hit; the miss path double-checks under a lock so
+    concurrent tenants share one permutation table.
+    """
     t = int(t) % (2 * n)
     if t % 2 == 0:
         raise ParameterError("automorphism exponent must be odd")
     key = (n, t)
     perm = _PERM_CACHE.get(key)
-    if perm is None:
+    if perm is not None:
+        return perm
+    with _PERM_CACHE_LOCK:
+        perm = _PERM_CACHE.get(key)
+        if perm is not None:
+            return perm
         i = np.arange(n)
         e = (i * t) % (2 * n)
         dest = e % n

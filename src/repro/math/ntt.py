@@ -507,15 +507,25 @@ class StackedNttEngine:
 
 
 _STACKED_CACHE: Dict[Tuple[int, Tuple[int, ...]], StackedNttEngine] = {}
+_STACKED_CACHE_LOCK = threading.Lock()
 
 
 def get_stacked_ntt_engine(n: int, moduli: Sequence[int]) -> StackedNttEngine:
-    """Process-wide cache of stacked multi-modulus NTT engines."""
+    """Process-wide cache of stacked multi-modulus NTT engines.
+
+    Lock-free on a hit (dict reads are atomic under the GIL); the miss
+    path double-checks under a lock so two tenants racing on a cold key
+    get the *same* engine instead of each publishing their own — the
+    HL101 bug class PR 7 hit with concurrent service tenants.
+    """
     key = (n, tuple(int(q) for q in moduli))
     engine = _STACKED_CACHE.get(key)
     if engine is None:
-        engine = StackedNttEngine(n, key[1])
-        _STACKED_CACHE[key] = engine
+        with _STACKED_CACHE_LOCK:
+            engine = _STACKED_CACHE.get(key)
+            if engine is None:
+                engine = StackedNttEngine(n, key[1])
+                _STACKED_CACHE[key] = engine
     return engine
 
 
@@ -569,31 +579,50 @@ def _profile_ntt(n: int, arr: np.ndarray) -> None:
 
 
 _BITREV_CACHE: Dict[int, np.ndarray] = {}
+_BITREV_CACHE_LOCK = threading.Lock()
 
 
 def _bitrev_indices(n: int) -> np.ndarray:
-    """Bit-reversal permutation indices for length ``n`` (cached)."""
+    """Bit-reversal permutation indices for length ``n`` (cached).
+
+    Double-checked: the hit path stays lock-free, the build races behind
+    a lock so every caller shares one (read-only) index table.
+    """
     cached = _BITREV_CACHE.get(n)
     if cached is not None:
         return cached
-    bits = n.bit_length() - 1
-    idx = np.arange(n)
-    rev = np.zeros(n, dtype=np.int64)
-    for _ in range(bits):
-        rev = (rev << 1) | (idx & 1)
-        idx >>= 1
-    _BITREV_CACHE[n] = rev
+    with _BITREV_CACHE_LOCK:
+        cached = _BITREV_CACHE.get(n)
+        if cached is not None:
+            return cached
+        bits = n.bit_length() - 1
+        idx = np.arange(n)
+        rev = np.zeros(n, dtype=np.int64)
+        for _ in range(bits):
+            rev = (rev << 1) | (idx & 1)
+            idx >>= 1
+        rev.setflags(write=False)
+        _BITREV_CACHE[n] = rev
     return rev
 
 
 _ENGINE_CACHE: Dict[Tuple[int, int], NttEngine] = {}
+_ENGINE_CACHE_LOCK = threading.Lock()
 
 
 def get_ntt_engine(n: int, q: int) -> NttEngine:
-    """Process-wide cache of NTT engines (twiddle tables are expensive)."""
+    """Process-wide cache of NTT engines (twiddle tables are expensive).
+
+    Lock-free hit, double-checked miss: concurrent tenants on a cold key
+    must converge on one engine (its thread-local workspaces make the
+    *instance* safe to share; two half-built instances are not).
+    """
     key = (n, q)
     engine = _ENGINE_CACHE.get(key)
     if engine is None:
-        engine = NttEngine(n, q)
-        _ENGINE_CACHE[key] = engine
+        with _ENGINE_CACHE_LOCK:
+            engine = _ENGINE_CACHE.get(key)
+            if engine is None:
+                engine = NttEngine(n, q)
+                _ENGINE_CACHE[key] = engine
     return engine

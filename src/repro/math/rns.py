@@ -16,6 +16,7 @@ polynomial per prime ``q_i`` (paper Section II-A).  This module provides
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
@@ -363,18 +364,29 @@ class BconvPlan:
 
 
 _BCONV_PLANS: Dict[Tuple[Tuple[int, ...], Tuple[int, ...]], BconvPlan] = {}
+_BCONV_PLANS_LOCK = threading.Lock()
 
 
 def get_bconv_plan(src_moduli: Sequence[int], dst_moduli: Sequence[int]) -> BconvPlan:
-    """Process-wide plan cache keyed on the two moduli tuples."""
+    """Process-wide plan cache keyed on the two moduli tuples.
+
+    Lock-free on a hit; the miss path double-checks under a lock so
+    concurrent tenants share one plan instead of racing two half-built
+    ones into the cache.
+    """
     from ..profiling import record_bconv_plan
 
     key = (tuple(int(q) for q in src_moduli), tuple(int(q) for q in dst_moduli))
     plan = _BCONV_PLANS.get(key)
     if plan is None:
-        plan = BconvPlan(key[0], key[1])
-        _BCONV_PLANS[key] = plan
-        record_bconv_plan(hit=False)
+        with _BCONV_PLANS_LOCK:
+            plan = _BCONV_PLANS.get(key)
+            if plan is None:
+                plan = BconvPlan(key[0], key[1])
+                _BCONV_PLANS[key] = plan
+                record_bconv_plan(hit=False)
+                return plan
+        record_bconv_plan(hit=True)
     else:
         record_bconv_plan(hit=True)
     return plan

@@ -57,7 +57,7 @@ from __future__ import annotations
 import asyncio
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..errors import ParameterError, ServiceClosedError, ServiceOverloadError
@@ -180,14 +180,15 @@ class BootstrapService:
         self.repack_engine = repack_engine
         self.blind_rotate_engine = blind_rotate_engine
         self.trace = trace if trace is not None else ServiceTrace()
-        self._executor_factory = executor_factory if executor_factory \
-            is not None else (lambda uk: LocalExecutor(
+        self._executor_factory: Callable[[UserKeys], Any] = \
+            executor_factory if executor_factory is not None \
+            else (lambda uk: LocalExecutor(
                 uk.keys, uk.test_vector, blind_rotate_engine))
         self.cache = LruKeyCache(key_provider, self._make_entry,
                                  key_cache_bytes)
         self._pending: List[_Request] = []
         self._inflight = 0
-        self._batch_tasks: set = set()
+        self._batch_tasks: Set["asyncio.Future[None]"] = set()
         self._wakeup = asyncio.Event()
         self._dispatcher: Optional["asyncio.Task[None]"] = None
         self._started = False

@@ -62,10 +62,10 @@ class CommLog:
     fault recovery.
     """
 
-    bytes_sent: Dict[tuple, int] = field(default_factory=dict)
-    messages: Dict[tuple, int] = field(default_factory=dict)
-    retry_bytes: Dict[tuple, int] = field(default_factory=dict)
-    retry_messages: Dict[tuple, int] = field(default_factory=dict)
+    bytes_sent: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    retry_bytes: Dict[Tuple[int, int], int] = field(default_factory=dict)
+    retry_messages: Dict[Tuple[int, int], int] = field(default_factory=dict)
 
     def record(self, src: int, dst: int, payload: bytes,
                retry: bool = False) -> None:
@@ -215,7 +215,7 @@ class FaultInjector:
         worker that unpickled it, and in a fresh interpreter — so one
         seed pins an injection scenario across both executors."""
         rng = random.Random(seed)
-        faults = []
+        faults: List[Fault] = []
         for _ in range(count):
             kind = rng.choice(list(kinds))
             node_id = rng.choice(list(node_ids))
@@ -263,6 +263,9 @@ class FaultTolerantFanout:
     #: exhausting it — only possible with persistent faults on healthy
     #: workers — raises ClusterExecutionError instead of looping forever.
     max_retries: Optional[int] = None
+    #: Outcome buffer for the synchronous default transport; reset at
+    #: the top of every :meth:`fanout`.
+    _sync_outcomes: List[Tuple[int, bool]]
 
     # -- subclass contract ---------------------------------------------------
 
@@ -315,7 +318,7 @@ class FaultTolerantFanout:
         num_workers = len(healthy)
         schedule = make_schedule(len(lwes), num_workers)
         results: List[Optional[GlweCiphertext]] = [None] * len(lwes)
-        self._sync_outcomes: List[Tuple[int, bool]] = []
+        self._sync_outcomes = []
         pending: Dict[int, Tuple[int, int]] = {}  # wid -> slice in flight
         failed: List[Tuple[int, int, int]] = []  # (start, stop, failed id)
 

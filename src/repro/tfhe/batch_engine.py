@@ -123,20 +123,37 @@ class BatchBlindRotateEngine:
 
     # -- construction ---------------------------------------------------------
 
+    #: Guards the lazy per-key engine caches: the service drives one key
+    #: from several worker threads, and two tenants racing on a cold key
+    #: must not each lift the (large) tensor form or publish separate
+    #: caches onto the key object.
+    _FOR_KEY_LOCK = threading.Lock()
+
     @classmethod
     def for_key(cls, brk: BlindRotateKey, n: int,
                 basis: RnsBasis) -> "BatchBlindRotateEngine":
-        """Engine cached on the key (keyed by ``(n, moduli)``)."""
-        cache: Dict[Tuple[int, Tuple[int, ...]], "BatchBlindRotateEngine"]
-        cache = getattr(brk, "_batch_engines", None)
-        if cache is None:
-            cache = {}
-            brk._batch_engines = cache
+        """Engine cached on the key (keyed by ``(n, moduli)``).
+
+        Lock-free on a hit; the miss path double-checks under a class
+        lock so concurrent callers converge on one engine per key.
+        """
         key = (n, tuple(basis.moduli))
-        engine = cache.get(key)
-        if engine is None:
-            engine = cls(brk, n, basis)
-            cache[key] = engine
+        cache: Optional[Dict[Tuple[int, Tuple[int, ...]],
+                             "BatchBlindRotateEngine"]]
+        cache = getattr(brk, "_batch_engines", None)
+        if cache is not None:
+            engine = cache.get(key)
+            if engine is not None:
+                return engine
+        with cls._FOR_KEY_LOCK:
+            cache = getattr(brk, "_batch_engines", None)
+            if cache is None:
+                cache = {}
+                brk._batch_engines = cache
+            engine = cache.get(key)
+            if engine is None:
+                engine = cls(brk, n, basis)
+                cache[key] = engine
         return engine
 
     def _lift(self, plus, minus) -> List[np.ndarray]:

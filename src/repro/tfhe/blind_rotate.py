@@ -18,6 +18,7 @@ where ``s_i^+ = [s_i = 1]`` and ``s_i^- = [s_i = -1]``.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -89,6 +90,11 @@ class MonomialCache:
         self._cache: Dict[int, List[np.ndarray]] = {}
         self._plain_cache: Dict[int, List[np.ndarray]] = {}
         self._dense: Optional[List[np.ndarray]] = None
+        # The instance is shared process-wide via get_monomial_cache; the
+        # per-entry caches are race-benign (idempotent build, atomic dict
+        # store), but the dense table is expensive enough that concurrent
+        # tenants should build it once, not once each.
+        self._dense_lock = threading.Lock()
 
     def monomial(self, a: int) -> List[np.ndarray]:
         """Per-limb eval vectors of ``X^a`` with ``a`` taken mod 2N.
@@ -135,17 +141,20 @@ class MonomialCache:
         if two_n * self.n > self._DENSE_LIMIT:
             return None
         if self._dense is None:
-            dense = []
-            for q, x_eval in zip(self.basis.moduli, self._x_eval):
-                eng = get_ntt_engine(self.n, q)
-                rows = eng.mod.zeros((two_n, self.n))
-                rows[0] = 1  # X^0
-                for a in range(1, two_n):
-                    rows[a] = eng.mod.mul(rows[a - 1], x_eval)
-                rows = eng.mod.sub(rows, eng.mod.zeros(self.n) + 1)
-                # Column-major gathers want (N, 2N) contiguous columns.
-                dense.append(np.ascontiguousarray(rows.T))
-            self._dense = dense
+            with self._dense_lock:
+                if self._dense is None:
+                    dense = []
+                    for q, x_eval in zip(self.basis.moduli, self._x_eval):
+                        eng = get_ntt_engine(self.n, q)
+                        rows = eng.mod.zeros((two_n, self.n))
+                        rows[0] = 1  # X^0
+                        for a in range(1, two_n):
+                            rows[a] = eng.mod.mul(rows[a - 1], x_eval)
+                        rows = eng.mod.sub(rows, eng.mod.zeros(self.n) + 1)
+                        # Column-major gathers want (N, 2N) contiguous
+                        # columns.
+                        dense.append(np.ascontiguousarray(rows.T))
+                    self._dense = dense
         return [d[:, a_vals] for d in self._dense]
 
 
@@ -155,15 +164,24 @@ class MonomialCache:
 #: call (the seed behaviour) wasted that work on every batch.
 _MONO_CACHE: Dict[Tuple[int, Tuple[int, ...]], MonomialCache] = {}
 _RGSW_ONE_CACHE: Dict[Tuple[int, int, Tuple[int, ...], GadgetVector], RgswCiphertext] = {}
+_SHARED_CACHE_LOCK = threading.Lock()
 
 
 def get_monomial_cache(n: int, basis: RnsBasis) -> MonomialCache:
-    """Shared :class:`MonomialCache` for ``(n, basis.moduli)``."""
+    """Shared :class:`MonomialCache` for ``(n, basis.moduli)``.
+
+    Lock-free hit, double-checked miss: two tenants racing on a cold
+    ring must share one cache (its expensive lazy ``_dense`` table is
+    guarded by a per-instance lock).
+    """
     key = (n, tuple(basis.moduli))
     cache = _MONO_CACHE.get(key)
     if cache is None:
-        cache = MonomialCache(n, basis)
-        _MONO_CACHE[key] = cache
+        with _SHARED_CACHE_LOCK:
+            cache = _MONO_CACHE.get(key)
+            if cache is None:
+                cache = MonomialCache(n, basis)
+                _MONO_CACHE[key] = cache
     return cache
 
 
@@ -172,8 +190,11 @@ def get_rgsw_one(h: int, n: int, basis: RnsBasis, gadget: GadgetVector) -> RgswC
     key = (h, n, tuple(basis.moduli), gadget)
     one = _RGSW_ONE_CACHE.get(key)
     if one is None:
-        one = rgsw_trivial(1, h, n, basis, gadget)
-        _RGSW_ONE_CACHE[key] = one
+        with _SHARED_CACHE_LOCK:
+            one = _RGSW_ONE_CACHE.get(key)
+            if one is None:
+                one = rgsw_trivial(1, h, n, basis, gadget)
+                _RGSW_ONE_CACHE[key] = one
     return one
 
 

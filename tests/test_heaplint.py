@@ -27,10 +27,11 @@ def codes(findings):
 
 
 class TestRuleCatalogue:
-    def test_five_rules_registered(self):
+    def test_nine_rules_registered(self):
         rules = all_rules()
         assert [r.code for r in rules] == [
-            "HL001", "HL002", "HL003", "HL004", "HL005"]
+            "HL001", "HL002", "HL003", "HL004", "HL005",
+            "HL101", "HL102", "HL103", "HL104"]
 
     def test_descriptions_nonempty(self):
         assert all(r.description and r.name for r in all_rules())
@@ -256,6 +257,349 @@ class TestHl005ParamConstruction:
         assert analyze_source(src, COLD_PATH) == []
 
 
+class TestHl101SharedMutableState:
+    """Unlocked writes to module-level mutable state on concurrent paths
+    — the PR-7 engine-cache race, reduced to fixtures."""
+
+    UNLOCKED = (
+        "import threading\n\n"
+        "_CACHE = {}\n\n"
+        "def get_engine(key):\n"
+        "    eng = _CACHE.get(key)\n"
+        "    if eng is None:\n"
+        "        eng = object()\n"
+        "        _CACHE[key] = eng\n"
+        "    return eng\n\n"
+        "def worker():\n"
+        "    get_engine(1)\n\n"
+        "def serve():\n"
+        "    t = threading.Thread(target=worker)\n"
+        "    t.start()\n")
+
+    def test_flags_unlocked_cache_write_on_thread_path(self):
+        found = analyze_source(self.UNLOCKED, COLD_PATH)
+        assert codes(found) == ["HL101"]
+        assert "_CACHE" in found[0].message
+        assert "thread" in found[0].message
+
+    def test_flags_write_reachable_from_async_entry(self):
+        src = ("_STATS = {}\n\n"
+               "def record(key):\n"
+               "    _STATS[key] = _STATS.get(key, 0) + 1\n\n"
+               "async def handle(request):\n"
+               "    record(request)\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL101"]
+        assert "async" in found[0].message
+
+    def test_flags_mutator_method_call(self):
+        src = ("import threading\n\n"
+               "_LOG = []\n\n"
+               "def worker():\n"
+               "    _LOG.append(1)\n\n"
+               "def serve():\n"
+               "    threading.Thread(target=worker).start()\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL101"]
+
+    def test_double_checked_lock_clean(self):
+        src = ("import threading\n\n"
+               "_CACHE = {}\n"
+               "_LOCK = threading.Lock()\n\n"
+               "def get_engine(key):\n"
+               "    eng = _CACHE.get(key)\n"
+               "    if eng is None:\n"
+               "        with _LOCK:\n"
+               "            eng = _CACHE.get(key)\n"
+               "            if eng is None:\n"
+               "                eng = object()\n"
+               "                _CACHE[key] = eng\n"
+               "    return eng\n\n"
+               "def worker():\n"
+               "    get_engine(1)\n\n"
+               "def serve():\n"
+               "    threading.Thread(target=worker).start()\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_unreachable_write_clean(self):
+        """Same cache, but nothing threaded or async reaches it."""
+        src = ("_CACHE = {}\n\n"
+               "def get_engine(key):\n"
+               "    eng = _CACHE.get(key)\n"
+               "    if eng is None:\n"
+               "        eng = object()\n"
+               "        _CACHE[key] = eng\n"
+               "    return eng\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_threadsafe_waiver_on_definition(self):
+        src = ("import threading\n\n"
+               "_STATS = {}  # heaplint: threadsafe append-only counters,"
+               " torn reads acceptable\n\n"
+               "def worker():\n"
+               "    _STATS[1] = 1\n\n"
+               "def serve():\n"
+               "    threading.Thread(target=worker).start()\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_threadsafe_waiver_on_write_line(self):
+        src = ("import threading\n\n"
+               "_STATS = {}\n\n"
+               "def worker():\n"
+               "    # heaplint: threadsafe single writer, readers tolerate"
+               " stale values\n"
+               "    _STATS[1] = 1\n\n"
+               "def serve():\n"
+               "    threading.Thread(target=worker).start()\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_threadsafe_waiver_without_reason_reported(self):
+        src = "_STATS = {}  # heaplint: threadsafe\n"
+        assert codes(analyze_source(src, COLD_PATH)) == [BAD_SUPPRESSION_CODE]
+
+    def test_disable_suppression_honored(self):
+        src = ("import threading\n\n"
+               "_CACHE = {}\n\n"
+               "def worker():\n"
+               "    _CACHE[1] = 1  # heaplint: disable=HL101 bench-only"
+               " single thread\n\n"
+               "def serve():\n"
+               "    threading.Thread(target=worker).start()\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl102AsyncHygiene:
+    def test_flags_time_sleep_in_async_def(self):
+        src = ("import time\n\n"
+               "async def poll():\n"
+               "    time.sleep(0.1)\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL102"]
+        assert "asyncio.sleep" in found[0].message
+
+    def test_flags_pipe_recv_in_async_def(self):
+        src = ("async def pump(conn):\n"
+               "    return conn.recv()\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL102"]
+
+    def test_flags_direct_fanout_in_async_def(self):
+        src = ("async def run(executor, tasks):\n"
+               "    return executor.fanout(tasks)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL102"]
+
+    def test_flags_sync_lock_across_await(self):
+        src = ("import threading\n\n"
+               "_LOCK = threading.Lock()\n\n"
+               "async def handle(queue):\n"
+               "    with _LOCK:\n"
+               "        item = await queue.get()\n"
+               "    return item\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL102"]
+        assert "asyncio.Lock" in found[0].message
+
+    def test_flags_never_awaited_coroutine(self):
+        src = ("async def flush():\n"
+               "    pass\n\n"
+               "def shutdown():\n"
+               "    flush()\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL102"]
+        assert "never awaited" in found[0].message
+
+    def test_asyncio_sleep_clean(self):
+        src = ("import asyncio\n\n"
+               "async def poll():\n"
+               "    await asyncio.sleep(0.1)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_async_with_asyncio_lock_clean(self):
+        src = ("async def handle(entry, queue):\n"
+               "    async with entry.lock:\n"
+               "        item = await queue.get()\n"
+               "    return item\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_blocking_call_in_nested_sync_def_clean(self):
+        """A sync helper defined inside a coroutine runs wherever it is
+        called (e.g. shipped to a worker thread) — not on the loop."""
+        src = ("import time\n\n"
+               "import asyncio\n\n"
+               "async def run():\n"
+               "    def blocking():\n"
+               "        time.sleep(1)\n"
+               "        return 3\n"
+               "    return await asyncio.to_thread(blocking)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_create_task_not_flagged_as_dropped(self):
+        src = ("import asyncio\n\n"
+               "async def flush():\n"
+               "    pass\n\n"
+               "def kick(loop):\n"
+               "    asyncio.create_task(flush())\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_method_start_on_foreign_object_clean(self):
+        """`proc.start()` must not match an unrelated `async def start`
+        elsewhere (Process.start vs a service's coroutine)."""
+        src = ("from multiprocessing import Process\n\n"
+               "class Service:\n"
+               "    async def start(self):\n"
+               "        pass\n\n"
+               "def spawn(main):\n"
+               "    proc = Process(target=main)\n"
+               "    proc.start()\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_suppression_honored(self):
+        src = ("import time\n\n"
+               "async def poll():\n"
+               "    time.sleep(0.1)  # heaplint: disable=HL102 startup"
+               " probe, loop not yet serving\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl103ProcessPayload:
+    def test_flags_lambda_process_target(self):
+        src = ("from multiprocessing import Process\n\n"
+               "def spawn():\n"
+               "    return Process(target=lambda: None)\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL103"]
+        assert "lambda" in found[0].message
+
+    def test_flags_nested_function_target(self):
+        src = ("from multiprocessing import Process\n\n"
+               "def spawn(manifest):\n"
+               "    def helper():\n"
+               "        return manifest\n"
+               "    return Process(target=helper)\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL103"]
+        assert "closure" in found[0].message
+
+    def test_flags_open_handle_in_args(self):
+        src = ("from multiprocessing import Process\n\n"
+               "def spawn(main, path):\n"
+               "    fh = open(path)\n"
+               "    return Process(target=main, args=(fh, 3))\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL103"]
+        assert "file handle" in found[0].message
+
+    def test_flags_object_dtype_publish(self):
+        src = ("import numpy as np\n\n"
+               "def publish(publish_fn):\n"
+               "    wide = np.empty(4, dtype=object)\n"
+               "    return publish_shared_arrays({'key': wide})\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL103"]
+        assert "object-dtype" in found[0].message
+
+    def test_flags_lambda_over_connection(self):
+        src = ("def reply(conn):\n"
+               "    handler = lambda x: x\n"
+               "    conn.send(handler)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL103"]
+
+    def test_module_level_target_and_plain_data_clean(self):
+        src = ("from multiprocessing import Process\n\n"
+               "def worker_main(conn, wid, manifest):\n"
+               "    pass\n\n"
+               "def spawn(conn, manifest):\n"
+               "    return Process(target=worker_main,"
+               " args=(conn, 0, manifest))\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_builtin_map_with_lambda_clean(self):
+        """Plain builtin map is in-process; only pool.map crosses."""
+        src = ("def scale(xs):\n"
+               "    return list(map(lambda x: 2 * x, xs))\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_pool_map_with_lambda_flagged(self):
+        src = ("def fan(pool, xs):\n"
+               "    return pool.map(lambda x: 2 * x, xs)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL103"]
+
+    def test_suppression_honored(self):
+        src = ("from multiprocessing import Process\n\n"
+               "def spawn():\n"
+               "    return Process(target=lambda: None)"
+               "  # heaplint: disable=HL103 fork-only test helper\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
+class TestHl104SharedArrayAliasing:
+    def test_flags_subscript_write_into_attached_view(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    views['key'][0] = 1\n")
+        found = analyze_source(src, COLD_PATH)
+        assert codes(found) == ["HL104"]
+        assert "attach_shared_arrays" in found[0].message
+
+    def test_flags_write_through_alias(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    key = views['key']\n"
+               "    key[0, 0] = 7\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL104"]
+
+    def test_flags_augmented_assignment(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    tv = views['tv']\n"
+               "    tv += 1\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL104"]
+
+    def test_flags_out_kwarg(self):
+        src = ("import numpy as np\n\n"
+               "def worker(manifest, a, b):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    v = views['key']\n"
+               "    np.add(a, b, out=v)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL104"]
+
+    def test_flags_loop_variable_write(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    for v in views:\n"
+               "        v[0] = 0\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL104"]
+
+    def test_setflags_freeze_discharges(self):
+        """Per the rule contract, a view explicitly frozen read-only is
+        no longer an aliasing hazard (the write would raise loudly)."""
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    v = views['key']\n"
+               "    v.setflags(write=False)\n"
+               "    v[0] = 1\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_copy_then_write_clean(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    scratch = views['key'].copy()\n"
+               "    scratch[0] = 1\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_reads_clean(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    total = views['key'].sum() + views['tv'][0]\n"
+               "    return total\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_suppression_honored(self):
+        src = ("def worker(manifest):\n"
+               "    block, views = attach_shared_arrays(manifest)\n"
+               "    views['scratch'][0] = 1  # heaplint: disable=HL104"
+               " worker-owned scratch protocol\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
 class TestSuppressionSyntax:
     def test_standalone_comment_covers_next_code_line(self):
         src = ("import numpy as np\n\n"
@@ -349,8 +693,38 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for code in ("HL001", "HL002", "HL003", "HL004", "HL005"):
+        for code in ("HL001", "HL002", "HL003", "HL004", "HL005",
+                     "HL101", "HL102", "HL103", "HL104"):
             assert code in out
+
+    def test_sarif_output(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "bad_params.py"
+        target.write_text(self.BAD)
+        assert lint_main([str(target), "--no-baseline",
+                          "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        run = doc["runs"][0]
+        assert run["tool"]["driver"]["name"] == "heaplint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"HL001", "HL101", "HL102", "HL103", "HL104"} <= rule_ids
+        result = run["results"][0]
+        assert result["ruleId"] == "HL005"
+        assert result["locations"][0]["physicalLocation"][
+            "artifactLocation"]["uri"].endswith("bad_params.py")
+        assert "heaplint/v1" in result["partialFingerprints"]
+
+    def test_sarif_clean_tree_is_valid_empty_run(self, tmp_path, capsys):
+        import json
+
+        target = tmp_path / "fine.py"
+        target.write_text("x = 1\n")
+        assert lint_main([str(target), "--no-baseline",
+                          "--format", "sarif"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["runs"][0]["results"] == []
 
 
 class TestRepoSmoke:

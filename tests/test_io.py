@@ -218,6 +218,7 @@ class TestSharedBuffers:
     def test_object_dtype_rejected(self):
         wide = np.array([2**80, 2**90], dtype=object)
         with pytest.raises(SharedBufferError, match="object dtype"):
+            # heaplint: disable=HL103 intentionally invalid payload, asserts the rejection
             publish_shared_arrays({"wide": wide})
 
     def test_corruption_detected_at_attach(self):
@@ -231,6 +232,58 @@ class TestSharedBuffers:
             # verify=False attaches anyway (benchmark escape hatch).
             attached, views = attach_shared_arrays(manifest, verify=False)
             attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_attached_views_are_read_only_by_default(self):
+        """A worker writing into attached key material must raise, not
+        silently corrupt every sibling attached to the same block."""
+        arrays = self._sample_arrays()
+        block, manifest = publish_shared_arrays(arrays)
+        try:
+            attached, views = attach_shared_arrays(manifest)
+            try:
+                for name in arrays:
+                    assert not views[name].flags.writeable
+                with pytest.raises(ValueError, match="read-only"):
+                    # heaplint: disable=HL104 asserts the write raises
+                    views["key"][0, 0, 0] = 1
+                with pytest.raises(ValueError, match="read-only"):
+                    # heaplint: disable=HL104 asserts the write raises
+                    views["tv"] += 1
+                # The shared bytes are untouched after the failed writes.
+                fresh, fresh_views = attach_shared_arrays(manifest)
+                try:
+                    for name, arr in arrays.items():
+                        assert np.array_equal(fresh_views[name], arr)
+                finally:
+                    fresh.close()
+            finally:
+                attached.close()
+        finally:
+            block.close()
+            block.unlink()
+
+    def test_attach_writable_opt_in(self):
+        """Consumers that own the block's contents can still opt in."""
+        arrays = self._sample_arrays()
+        block, manifest = publish_shared_arrays(arrays)
+        try:
+            attached, views = attach_shared_arrays(manifest, writable=True)
+            try:
+                assert views["key"].flags.writeable
+                # heaplint: disable=HL104 writable=True opt-in under test
+                views["key"][0, 0, 0] = 123
+                # Zero-copy both ways: a second attach sees the write.
+                other, other_views = attach_shared_arrays(manifest,
+                                                          verify=False)
+                try:
+                    assert other_views["key"][0, 0, 0] == 123
+                finally:
+                    other.close()
+            finally:
+                attached.close()
         finally:
             block.close()
             block.unlink()

@@ -162,6 +162,32 @@ class TestEngineCache:
         q = find_ntt_primes(24, 32, 1)[0]
         assert get_ntt_engine(32, q) is get_ntt_engine(32, q)
 
+    def test_cold_key_race_converges_on_one_engine(self):
+        """Regression for the unlocked get-or-create the HL101 rule
+        flags: threads racing on a cold (n, q) must all receive the SAME
+        engine.  Before the double-checked lock, each racer could build
+        and publish its own instance — callers then held engines whose
+        workspaces were invisible to each other."""
+        import concurrent.futures
+        import threading
+
+        from repro.math import ntt as ntt_mod
+
+        n = 128
+        q = find_ntt_primes(25, n, 2)[1]  # unlikely to be cached already
+        ntt_mod._ENGINE_CACHE.pop((n, q), None)  # force the cold path
+        workers = 8
+        barrier = threading.Barrier(workers)
+
+        def grab():
+            barrier.wait(timeout=30)
+            return get_ntt_engine(n, q)
+
+        with concurrent.futures.ThreadPoolExecutor(workers) as pool:
+            engines = [f.result(timeout=60)
+                       for f in [pool.submit(grab) for _ in range(workers)]]
+        assert all(e is engines[0] for e in engines)
+
 
 class TestOnTheFlyTwiddles:
     """Section IV-D: cached vs regenerated twiddles are bit-identical."""

@@ -208,6 +208,56 @@ class TestBatchCompositionInvariance:
                 for ref, out in zip(want_b, run):
                     assert_glwe_equal(ref, out)
 
+    def test_two_services_concurrent_through_shared_engine_cache(
+            self, lwe_stack):
+        """Two full BootstrapService instances — separate event loops on
+        separate threads, distinct tenant keys — hammer the SAME
+        process-wide NTT/monomial/plan caches concurrently.  Every result
+        must stay bit-identical to a solo run: if the double-checked
+        locks on those caches (or the thread-local engine workspaces from
+        the PR-7 fix) regress, this goes red."""
+        import concurrent.futures
+        import threading
+
+        basis, q, lwe_sk, brk, tv = lwe_stack
+        gadget = GadgetVector(q=q, base_bits=14, digits=2)
+        s2 = Sampler(4242)
+        brk2 = BlindRotateKey.generate(LweSecretKey.generate(N_T, s2),
+                                       GlweSecretKey.generate(N_RING, 1, s2),
+                                       basis, gadget, s2)
+        lwes = make_lwes(lwe_stack, 6)
+        references = {}
+        for name, key in (("a", brk), ("b", brk2)):
+            ex = LocalExecutor(_KeyBox(key), tv, "vectorized")
+            references[name] = [ex.fanout([lw], BootstrapTrace())[0]
+                                for lw in lwes]
+
+        barrier = threading.Barrier(2)
+
+        def serve(key, rounds=3):
+            uk = UserKeys(_KeyBox(key), tv)
+
+            async def main():
+                svc = BootstrapService(lambda uid: uk, max_batch=4,
+                                       max_delay_s=0.002)
+                out = []
+                async with svc:
+                    for _ in range(rounds):
+                        out.append(await asyncio.gather(
+                            *[svc.submit("tenant", lw) for lw in lwes]))
+                return out
+
+            barrier.wait(timeout=60)
+            return asyncio.run(main())
+
+        with concurrent.futures.ThreadPoolExecutor(max_workers=2) as pool:
+            futures = {"a": pool.submit(serve, brk),
+                       "b": pool.submit(serve, brk2)}
+            for name, fut in futures.items():
+                for round_results in fut.result(timeout=300):
+                    for ref, out in zip(references[name], round_results):
+                        assert_glwe_equal(ref, out)
+
     @settings(max_examples=8, deadline=None)
     @given(max_batch=st.integers(min_value=1, max_value=7),
            count=st.integers(min_value=1, max_value=7),
