@@ -17,7 +17,7 @@ import numpy as np
 
 from ..errors import KeyError_, ParameterError
 from ..math.rns import RnsBasis, RnsPoly
-from ..math.sampling import Sampler
+from ..math.sampling import Sampler, mask_stream
 from .context import CkksContext
 
 
@@ -70,6 +70,14 @@ class SwitchKey:
         default_factory=dict, repr=False, compare=False)
     _eval_tensors: Dict[Tuple[int, ...], np.ndarray] = field(
         default_factory=dict, repr=False, compare=False)
+    #: Mask seed when generated seeded (the ``a_j`` halves replay from
+    #: it); ``None`` for eager keys.  Treated as secret material by the
+    #: lint rules — never format or log it.
+    mask_seed: Optional[int] = field(default=None, repr=False, compare=False)
+
+    def bodies(self) -> List[RnsPoly]:
+        """Stored half of the seed+``b`` form, digit-group order."""
+        return [b for b, _a in self.components]
 
     def restricted(self, ext: RnsBasis) -> List[Tuple[RnsPoly, RnsPoly]]:
         """Components with limbs restricted to ``ext`` (cached per basis).
@@ -132,11 +140,18 @@ class CkksKeyGenerator:
 
     # -- switching keys -----------------------------------------------------------------
 
-    def switch_key(self, sk_src: SecretKey, sk_dst: SecretKey) -> SwitchKey:
+    def switch_key(self, sk_src: SecretKey, sk_dst: SecretKey,
+                   mask_seed: Optional[int] = None) -> SwitchKey:
         """Key switching ``s_src -> s_dst`` over the extended basis.
 
         Component ``j`` encrypts ``P * Q_j_star * s_src`` where
         ``Q_j_star = Q / Q_j`` for digit group ``j``.
+
+        With ``mask_seed`` the uniform ``a_j`` halves stream from a
+        replayable seeded source (digit-group order, limbs in basis
+        order) instead of the generator's sampler, so only the ``b_j``
+        halves plus the seed need storing;
+        :func:`expand_ckks_switch_key` rebuilds the key bit-identically.
         """
         ctx = self.ctx
         n = ctx.n
@@ -145,6 +160,7 @@ class CkksKeyGenerator:
         groups = ctx.digit_groups(ctx.max_level)
         s_dst = sk_dst.on_basis(n, ext)
         big_q = ctx.full_basis.product
+        masks = mask_stream(mask_seed) if mask_seed is not None else None
         comps = []
         for group in groups:
             qj = 1
@@ -153,14 +169,17 @@ class CkksKeyGenerator:
             qj_star = big_q // qj
             # CRT interpolation factor: qj_tilde = 1 (mod Q_j), 0 (mod Q/Q_j).
             qj_tilde = qj_star * pow(qj_star % qj, -1, qj)
-            a = self._uniform_poly(n, ext)
+            if masks is None:
+                a = self._uniform_poly(n, ext)
+            else:
+                a = _uniform_poly_from(masks, n, ext)
             e = self._error_poly(n, ext)
             payload = RnsPoly.from_int_coeffs(
                 n, ext, (sk_src.coeffs * (p_prod * qj_tilde)) % ext.product
             ).to_eval()
             b = (-(a * s_dst)) + e.to_eval() + payload
             comps.append((b, a))
-        return SwitchKey(components=comps)
+        return SwitchKey(components=comps, mask_seed=mask_seed)
 
     def relin_key(self, sk: SecretKey) -> SwitchKey:
         """Switching key for ``s^2 -> s`` (used after Mult)."""
@@ -196,6 +215,27 @@ class CkksKeyGenerator:
     def _error_poly(self, n: int, basis: RnsBasis) -> RnsPoly:
         e = self.sampler.gaussian(n, self.ctx.params.error_std).astype(object)
         return RnsPoly.from_int_coeffs(n, basis, e)
+
+
+def _uniform_poly_from(rng: Sampler, n: int, basis: RnsBasis) -> RnsPoly:
+    """Evaluation-domain uniform polynomial from a replayable stream
+    (one ``uniform(n, q)`` call per limb, basis order)."""
+    limbs = [e.asarray(rng.uniform(n, q))
+             for e, q in zip(basis.engines, basis.moduli)]
+    return RnsPoly(n, basis, limbs, "eval")
+
+
+def expand_ckks_switch_key(mask_seed: int, bodies: List[RnsPoly],
+                           ext: RnsBasis) -> SwitchKey:
+    """Rebuild a seeded hybrid switch key from its seed and ``b_j`` halves.
+
+    Replays exactly the ``a_j`` draws :meth:`CkksKeyGenerator.switch_key`
+    made for ``mask_seed``, so the expansion is bit-identical to the key
+    produced at keygen for every digit-group count (``dnum``)."""
+    rng = mask_stream(mask_seed)
+    n = bodies[0].n
+    comps = [(b, _uniform_poly_from(rng, n, ext)) for b in bodies]
+    return SwitchKey(components=comps, mask_seed=mask_seed)
 
 
 # -- integer-coefficient helpers (exact, secret-key side only) ---------------------

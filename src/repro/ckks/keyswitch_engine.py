@@ -206,23 +206,38 @@ class CkksKeyswitchEngine:
         """Eval-domain ``(L_ext, dnum_active, 2, N)`` view of a switch key.
 
         Index 2 separates the ``b`` (0) and ``a`` (1) components.  Lifted
-        once per ``(key, extended basis)`` and cached on the key object.
+        once per ``(key, extended basis)`` through the process-wide key
+        registry (ARK-style inter-operation reuse: keyswitch, rotation
+        and relinearisation share the same tensor, and the bytes are
+        accounted centrally).  ``key._eval_tensors`` mirrors the registry
+        entry — kept consistent by the registry's drop hook — so the key
+        object still carries its derived views for introspection.
         """
         cache_key = plan.ext_moduli
         kt = key._eval_tensors.get(cache_key)
-        if kt is None:
+        if kt is not None:
+            return kt
+
+        def build() -> np.ndarray:
             full = key.components[0][0].basis
             pos = [full.moduli.index(q) for q in plan.ext_moduli]
-            kt = np.empty((plan.rows_ext, plan.dnum_active, 2, self.n),
-                          dtype=np.int64)
+            lifted = np.empty((plan.rows_ext, plan.dnum_active, 2, self.n),
+                              dtype=np.int64)
             for slot, g in enumerate(plan.groups):
                 b_j, a_j = key.components[g.j]
                 for row, p in enumerate(pos):
-                    kt[row, slot, 0] = np.ascontiguousarray(
+                    lifted[row, slot, 0] = np.ascontiguousarray(
                         b_j.limbs[p], dtype=np.int64)
-                    kt[row, slot, 1] = np.ascontiguousarray(
+                    lifted[row, slot, 1] = np.ascontiguousarray(
                         a_j.limbs[p], dtype=np.int64)
-            key._eval_tensors[cache_key] = kt
+            return lifted
+
+        from ..keyreg import get_key_registry
+
+        kt = get_key_registry().get_or_build(
+            key, "ckks_switch_lift", cache_key, build,
+            on_drop=lambda o, _k=cache_key: o._eval_tensors.pop(_k, None))
+        key._eval_tensors[cache_key] = kt
         return kt
 
     # -- digit inner product --------------------------------------------------------

@@ -37,6 +37,7 @@ from .traffic import (
     bootstrap_hbm_seconds,
     key_traffic_reduction,
     scheme_switching_key_bytes,
+    seeded_scheme_switching_key_bytes,
 )
 
 __all__ = [
@@ -89,4 +90,5 @@ __all__ = [
     "bootstrap_hbm_seconds",
     "key_traffic_reduction",
     "scheme_switching_key_bytes",
+    "seeded_scheme_switching_key_bytes",
 ]

@@ -185,6 +185,125 @@ def deserialize_glwe(blob: bytes):
     )
 
 
+# -- seeded key material (ARK-style seed + b-half at-rest form) -------------------
+
+
+@dataclass
+class SeededKeyMaterial:
+    """Seed + ``b``-half at-rest form of one seeded key structure.
+
+    ``bodies`` holds the stored halves as fixed-width evaluation-domain
+    stacks (one array per limb/group, e.g. ``brk_b_0`` of shape
+    ``(n_t, 2, (h+1)d, N)``); ``meta`` carries the public parameters
+    (ring size, moduli, gadget) *and the mask seeds* needed to replay the
+    uniform ``a``-halves.  The seeds are secret material: with seed and
+    body an attacker reconstructs the full key ciphertexts, so this
+    object redacts its repr and must never be logged (heaplint HL004
+    enforces the same rule for anything named ``*_seed``).
+
+    The same representation serves both transports: :func:`
+    serialize_seeded_key_material` CRC-frames it for the wire, and
+    :func:`publish_seeded_material` maps the bodies into shared memory so
+    pool workers expand the masks locally instead of mapping them.
+    """
+
+    kind: str
+    meta: Dict[str, object]
+    bodies: Dict[str, np.ndarray]
+
+    def resident_bytes(self) -> int:
+        """At-rest bytes: the stored bodies (seeds and params are noise)."""
+        return sum(arr.nbytes for arr in self.bodies.values())
+
+    def __repr__(self) -> str:
+        """Redacted: shapes only — the meta holds mask seeds."""
+        shapes = {name: tuple(arr.shape) for name, arr in self.bodies.items()}
+        return (f"SeededKeyMaterial(kind={self.kind!r}, meta=<redacted>, "
+                f"bodies={shapes})")
+
+
+def serialize_seeded_key_material(material: SeededKeyMaterial) -> bytes:
+    """CRC-framed wire form: a framed JSON header (kind, meta, array
+    directory) followed by one framed raw-byte segment per body array.
+    Every segment carries its own CRC32, so truncation or corruption of
+    either the directory or any body is detected on read."""
+    header = {
+        "version": FORMAT_VERSION,
+        "kind": "seeded_keys",
+        "material_kind": material.kind,
+        "meta": material.meta,
+        "arrays": [{"name": name, "dtype": arr.dtype.str,
+                    "shape": list(arr.shape)}
+                   for name, arr in material.bodies.items()],
+    }
+    parts = [frame_blob(json.dumps(header).encode())]
+    for name, arr in material.bodies.items():
+        if arr.dtype == object or arr.dtype.hasobject:
+            raise WireFormatError(
+                f"seeded body {name!r} has object dtype — wide-modulus "
+                f"limbs cannot be serialised as fixed-width segments")
+        parts.append(frame_blob(np.ascontiguousarray(arr).tobytes()))
+    return b"".join(parts)
+
+
+def _walk_frames(blob: bytes):
+    """Yield the payload of each consecutive :func:`frame_blob` segment."""
+    offset = 0
+    while offset < len(blob):
+        if len(blob) - offset < WIRE_HEADER.size:
+            raise WireFormatError("trailing bytes shorter than a frame header")
+        _, length = WIRE_HEADER.unpack_from(blob, offset)
+        end = offset + WIRE_HEADER.size + length
+        yield unframe_blob(blob[offset:end])
+        offset = end
+
+
+def deserialize_seeded_key_material(blob: bytes) -> SeededKeyMaterial:
+    """Parse and CRC-verify a :func:`serialize_seeded_key_material` blob."""
+    frames = _walk_frames(blob)
+    try:
+        header = json.loads(next(frames).decode())
+    except StopIteration:
+        raise WireFormatError("seeded key blob is empty") from None
+    _check(header, "seeded_keys")
+    bodies: Dict[str, np.ndarray] = {}
+    for spec in header["arrays"]:
+        try:
+            payload = next(frames)
+        except StopIteration:
+            raise WireFormatError(
+                f"seeded key blob truncated before array {spec['name']!r}") from None
+        arr = np.frombuffer(payload, dtype=np.dtype(spec["dtype"]))
+        bodies[spec["name"]] = arr.reshape(spec["shape"]).copy()
+    return SeededKeyMaterial(kind=header["material_kind"],
+                             meta=header["meta"], bodies=bodies)
+
+
+def publish_seeded_material(material: SeededKeyMaterial,
+                            ) -> Tuple[object, "SharedBufferManifest"]:
+    """Map a seeded key's bodies into one shared-memory block.
+
+    Only the ``b``-halves occupy shared bytes; the seeds and parameters
+    ride in the (picklable) manifest meta, and each attaching worker
+    replays the mask streams locally — the ARK tradeoff of per-worker
+    expansion compute for roughly half the shared key bytes.
+    """
+    meta = {"seeded_kind": material.kind, "seeded_meta": dict(material.meta)}
+    return publish_shared_arrays(material.bodies, meta=meta)
+
+
+def seeded_material_from_views(manifest: "SharedBufferManifest",
+                               views: Dict[str, np.ndarray]) -> SeededKeyMaterial:
+    """Rebuild a :class:`SeededKeyMaterial` over a worker's attached
+    (CRC-verified, read-only) views — zero-copy for the bodies."""
+    meta = manifest.meta
+    if "seeded_meta" not in meta:
+        raise SharedBufferError("manifest does not describe seeded key material")
+    return SeededKeyMaterial(kind=str(meta["seeded_kind"]),
+                             meta=dict(meta["seeded_meta"]),  # type: ignore[arg-type]
+                             bodies=views)
+
+
 # -- shared-memory buffers (multiprocessing key material) -------------------------
 
 

@@ -1,0 +1,217 @@
+"""Byte-accounted registry of derived (lifted) eval-domain key tensors.
+
+ARK's inter-operation key-reuse insight: switching keys are long-lived,
+so anything *derived* from them — the batched engines' lifted tensor
+forms — should be computed once and shared by every operation that
+touches the key.  Before this registry three such caches existed ad hoc:
+
+* the CKKS keyswitch engine's per-``(key, extended basis)``
+  ``(L_ext, dnum, 2, N)`` tensors (PR 4, stored on the ``SwitchKey``);
+* the repack engine's per-exponent ``(N, d, 2)`` lifted automorphism
+  tensors (stored on the engine);
+* the batched blind-rotate engine's per-``(n, moduli)`` key tensor
+  stack (stored on the ``BlindRotateKey``).
+
+All three now route through one process-wide :class:`EvalKeyRegistry`
+keyed ``(owner, kind, subkey)``, so the same lifted tensor serves
+keyswitch, rotation and repack; the total derived-tensor footprint is
+one number the service can report; and the streaming key cache's second
+eviction tier (`drop back to seed+b`) can release every tensor derived
+from a key it demotes with one :meth:`~EvalKeyRegistry.drop_owner` call.
+
+Owners are weakly referenced: when a key object dies, its entries (and
+their bytes) vanish from the accounting automatically.  An optional
+byte capacity turns the registry into an LRU over derived tensors —
+by default it is unbounded and acts as pure shared accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["EvalKeyRegistry", "get_key_registry"]
+
+
+def _value_nbytes(value: Any) -> int:
+    """Bytes of a lifted tensor value: an ndarray or a list/tuple of them."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (list, tuple)):
+        return sum(int(v.nbytes) for v in value if isinstance(v, np.ndarray))
+    return 0
+
+
+@dataclass
+class _Entry:
+    ref: "weakref.ref[Any]"
+    value: Any
+    nbytes: int
+    #: Called with the (still-live) owner when the entry is dropped, so
+    #: legacy per-object mirrors (``SwitchKey._eval_tensors``, the repack
+    #: engine's dict) stay consistent.  Must not strongly capture the
+    #: owner — entries would then keep their owner alive forever.
+    on_drop: Optional[Callable[[Any], None]] = None
+
+
+@dataclass
+class RegistryStats:
+    """Counter snapshot for benches and the service trace."""
+
+    hits: int = 0
+    misses: int = 0
+    drops: int = 0
+    dropped_bytes: int = 0
+    resident_bytes: int = 0
+    entries: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+
+class EvalKeyRegistry:
+    """Process-wide cache of lifted key tensors, keyed ``(owner, kind,
+    subkey)`` with weakly-referenced owners and running byte accounting."""
+
+    def __init__(self, capacity_bytes: Optional[int] = None):
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple[int, str, Hashable], _Entry]" = OrderedDict()
+        self._owner_keys: Dict[int, List[Tuple[int, str, Hashable]]] = {}
+        self._finalizers: Dict[int, weakref.finalize] = {}
+        self._resident = 0
+        self.capacity_bytes = capacity_bytes
+        self.hits = 0
+        self.misses = 0
+        self.drops = 0
+        self.dropped_bytes = 0
+
+    # -- core ------------------------------------------------------------------
+
+    def get_or_build(self, owner: Any, kind: str, subkey: Hashable,
+                     build: Callable[[], Any],
+                     on_drop: Optional[Callable[[Any], None]] = None) -> Any:
+        """Return the cached tensor for ``(owner, kind, subkey)``, building
+        it once on miss.  ``build`` runs under the registry lock (builds
+        are pure lifts; holding the lock keeps concurrent tenants from
+        double-lifting the same large tensor)."""
+        key = (id(owner), kind, subkey)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.ref() is not None:
+                self.hits += 1
+                self._entries.move_to_end(key)
+                return entry.value
+            self.misses += 1
+            value = build()
+            self._insert(owner, key, value, _value_nbytes(value), on_drop)
+            return value
+
+    def register(self, owner: Any, kind: str, subkey: Hashable, value: Any,
+                 nbytes: Optional[int] = None,
+                 on_drop: Optional[Callable[[Any], None]] = None) -> None:
+        """Account a tensor built elsewhere (idempotent per key)."""
+        key = (id(owner), kind, subkey)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.ref() is not None:
+                self._entries.move_to_end(key)
+                return
+            self._insert(owner, key, value,
+                         _value_nbytes(value) if nbytes is None else int(nbytes),
+                         on_drop)
+
+    def _insert(self, owner: Any, key: Tuple[int, str, Hashable], value: Any,
+                nbytes: int, on_drop: Optional[Callable[[Any], None]]) -> None:
+        oid = id(owner)
+        self._entries[key] = _Entry(ref=weakref.ref(owner), value=value,
+                                    nbytes=nbytes, on_drop=on_drop)
+        self._owner_keys.setdefault(oid, []).append(key)
+        self._resident += nbytes
+        if oid not in self._finalizers:
+            self._finalizers[oid] = weakref.finalize(
+                owner, self._owner_died, oid)
+        if self.capacity_bytes is not None:
+            self._evict_to_fit(keep=key)
+
+    def _evict_to_fit(self, keep: Tuple[int, str, Hashable]) -> None:
+        while self._resident > self.capacity_bytes and len(self._entries) > 1:
+            victim = next((k for k in self._entries if k != keep), None)
+            if victim is None:
+                return
+            self._drop_key(victim)
+
+    def _drop_key(self, key: Tuple[int, str, Hashable]) -> int:
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return 0
+        self._resident -= entry.nbytes
+        self.drops += 1
+        self.dropped_bytes += entry.nbytes
+        keys = self._owner_keys.get(key[0])
+        if keys is not None:
+            try:
+                keys.remove(key)
+            except ValueError:
+                pass
+            if not keys:
+                self._owner_keys.pop(key[0], None)
+        if entry.on_drop is not None:
+            owner = entry.ref()
+            if owner is not None:
+                entry.on_drop(owner)
+        return entry.nbytes
+
+    def _owner_died(self, oid: int) -> None:
+        with self._lock:
+            self._finalizers.pop(oid, None)
+            for key in list(self._owner_keys.get(oid, ())):
+                entry = self._entries.pop(key, None)
+                if entry is not None:
+                    self._resident -= entry.nbytes
+            self._owner_keys.pop(oid, None)
+
+    # -- owner-level operations ------------------------------------------------
+
+    def drop_owner(self, owner: Any) -> int:
+        """Drop every tensor derived from ``owner``; returns bytes freed.
+        The streaming cache's demote tier calls this so a key falling
+        back to seed+``b`` residency also sheds its lifted forms."""
+        with self._lock:
+            return sum(self._drop_key(key)
+                       for key in list(self._owner_keys.get(id(owner), ())))
+
+    def owner_bytes(self, owner: Any) -> int:
+        """Current derived-tensor bytes attributed to ``owner``."""
+        with self._lock:
+            return sum(self._entries[key].nbytes
+                       for key in self._owner_keys.get(id(owner), ())
+                       if key in self._entries)
+
+    # -- introspection ---------------------------------------------------------
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return self._resident
+
+    def stats(self) -> RegistryStats:
+        with self._lock:
+            per_kind: Dict[str, int] = {}
+            for (_oid, kind, _sub), entry in self._entries.items():
+                per_kind[kind] = per_kind.get(kind, 0) + entry.nbytes
+            return RegistryStats(hits=self.hits, misses=self.misses,
+                                 drops=self.drops,
+                                 dropped_bytes=self.dropped_bytes,
+                                 resident_bytes=self._resident,
+                                 entries=len(self._entries),
+                                 extra=per_kind)
+
+
+_REGISTRY = EvalKeyRegistry()
+
+
+def get_key_registry() -> EvalKeyRegistry:
+    """The process-wide registry every engine lifts through."""
+    return _REGISTRY

@@ -346,6 +346,14 @@ class SecretHygieneRule(Rule):
     fine, the coefficient payload is not; (b) a ``@dataclass`` whose name
     marks it as a secret key must define ``__repr__`` — the generated
     repr would dump every coefficient into any traceback or debug log.
+
+    Key *seeds* are secrets too: with seeded key streaming the per-key
+    PRNG seed plus the ``b``-halves reconstructs the full evaluation
+    key, so a leaked ``mask_seed``/``key_seed`` (or any
+    ``derive_seed(...)`` result) is as damaging as leaked coefficients.
+    Seed-named values flow through the same sink checks, and a
+    ``@dataclass`` carrying a seed-named field must either redact it
+    (``field(repr=False)``) or define its own ``__repr__``.
     """
 
     code = "HL004"
@@ -355,6 +363,13 @@ class SecretHygieneRule(Rule):
 
     _SECRET_NAME_RE = re.compile(
         r"(^|_)(sk|secret|secret_key)(_|$)|(^|_)sk\d*$", re.IGNORECASE)
+    #: Key-expansion seeds: together with the stored b-halves these
+    #: reconstruct the full key, so they get the same hygiene.  The
+    #: plain name ``seed`` stays benign (samplers take public seeds
+    #: everywhere); only key-scoped seed names are secrets.
+    _SEED_NAME_RE = re.compile(
+        r"(^|_)(mask_seeds?|key_seed|brk_seed|auto_seed)(_|$)",
+        re.IGNORECASE)
     _SECRET_TYPE_RE = re.compile(r"SecretKey")
     #: Attributes safe to format: structure, never coefficient payload.
     _SAFE_ATTRS = frozenset(
@@ -378,6 +393,10 @@ class SecretHygieneRule(Rule):
             name = _call_name(node)
             if self._SECRET_TYPE_RE.search(name):
                 return True
+            # derive_seed(master, ...) results are per-key expansion
+            # seeds — secret regardless of what they're assigned to.
+            if name.split(".")[-1] == "derive_seed":
+                return True
             if name in ("secret_key", "generate") and isinstance(
                     node.func, ast.Attribute):
                 return self._SECRET_TYPE_RE.search(
@@ -391,14 +410,16 @@ class SecretHygieneRule(Rule):
         if args is not None:
             for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
                 if self._annotation_is_secret(arg.annotation) \
-                        or self._SECRET_NAME_RE.search(arg.arg):
+                        or self._SECRET_NAME_RE.search(arg.arg) \
+                        or self._SEED_NAME_RE.search(arg.arg):
                     secrets.add(arg.arg)
         for node in ast.walk(func):
             if isinstance(node, ast.Assign):
                 for target in node.targets:
                     if isinstance(target, ast.Name) and (
                             self._value_is_secret(node.value)
-                            or self._SECRET_NAME_RE.search(target.id)):
+                            or self._SECRET_NAME_RE.search(target.id)
+                            or self._SEED_NAME_RE.search(target.id)):
                         secrets.add(target.id)
             elif isinstance(node, ast.AnnAssign) and isinstance(
                     node.target, ast.Name):
@@ -472,12 +493,19 @@ class SecretHygieneRule(Rule):
                         "coefficient data",
                     )
 
+    @staticmethod
+    def _field_repr_disabled(value: Optional[ast.expr]) -> bool:
+        """True for ``field(..., repr=False)`` declarations."""
+        if not isinstance(value, ast.Call):
+            return False
+        if _call_name(value).split(".")[-1] != "field":
+            return False
+        return any(kw.arg == "repr" and isinstance(kw.value, ast.Constant)
+                   and kw.value.value is False for kw in value.keywords)
+
     def _check_dataclasses(self, ctx: FileContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.ClassDef):
-                continue
-            if not self._SECRET_TYPE_RE.search(node.name) \
-                    and not self._SECRET_NAME_RE.search(node.name):
                 continue
             is_dataclass = any(
                 _dotted_name(d if not isinstance(d, ast.Call) else d.func)
@@ -487,12 +515,31 @@ class SecretHygieneRule(Rule):
                 continue
             has_repr = any(isinstance(b, ast.FunctionDef)
                            and b.name == "__repr__" for b in node.body)
-            if not has_repr:
+            if has_repr:
+                continue
+            if self._SECRET_TYPE_RE.search(node.name) \
+                    or self._SECRET_NAME_RE.search(node.name):
                 yield ctx.finding(
                     self.code, node,
                     f"dataclass '{node.name}' holds secret-key material but "
                     "has no redacting __repr__: the generated repr dumps "
                     "every coefficient into tracebacks and logs",
+                )
+                continue
+            leaky_seeds = [
+                b.target.id for b in node.body
+                if isinstance(b, ast.AnnAssign)
+                and isinstance(b.target, ast.Name)
+                and self._SEED_NAME_RE.search(b.target.id)
+                and not self._field_repr_disabled(b.value)]
+            if leaky_seeds:
+                yield ctx.finding(
+                    self.code, node,
+                    f"dataclass '{node.name}' exposes key seed field(s) "
+                    f"{', '.join(sorted(leaky_seeds))} in its generated "
+                    "repr; declare them field(repr=False) or write a "
+                    "redacting __repr__ — seed + b-halves reconstruct the "
+                    "full evaluation key",
                 )
 
 

@@ -9,11 +9,42 @@ single seed makes whole protocol runs reproducible in tests.
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+from typing import Optional, Union
 
 import numpy as np
 
 DEFAULT_ERROR_STD = 3.2  # sigma used across the HE literature
+
+
+def derive_seed(master_seed: int, *path: Union[int, str]) -> int:
+    """Stable 63-bit child seed for ``(master, path)``.
+
+    Used by the seeded key schedule (ARK-style runtime key generation):
+    one master key seed fans out into one mask seed per key component
+    (``derive_seed(ks, "brk", i, "+")``, ``derive_seed(ks, "auto", t)``,
+    ...).  The derivation is a SHA-256 of the canonical path string, so
+    it is identical across processes and Python versions — a worker that
+    only received the master seed expands the exact same mask streams
+    the generator drew.
+    """
+    h = hashlib.sha256()
+    h.update(str(int(master_seed)).encode())
+    for part in path:
+        h.update(b"/")
+        h.update(str(part).encode())
+    return int.from_bytes(h.digest()[:8], "big") >> 1
+
+
+def mask_stream(seed: int, error_std: float = DEFAULT_ERROR_STD) -> "Sampler":
+    """The replayable uniform-mask stream for one seeded key component.
+
+    Seeded keygen draws every uniform ``a``-half from this stream in a
+    fixed documented order; expansion constructs the same stream from the
+    stored seed and replays it.  (A plain :class:`Sampler` — the alias
+    exists so call sites say what the stream is for.)
+    """
+    return Sampler(seed, error_std)
 
 
 class Sampler:

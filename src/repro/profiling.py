@@ -82,6 +82,7 @@ class OpStats:
     service_key_cache_hits: int = 0       # requests served by resident keys
     service_key_cache_misses: int = 0     # key-provider loads
     service_key_cache_evictions: int = 0  # entries evicted to fit capacity
+    service_key_cache_demotions: int = 0  # entries dropped to seed+b form
 
     def record_keyswitch(self, *, modup_macs: int = 0, moddown_macs: int = 0,
                          ntt_saved: int = 0, hoisted_rotations: int = 0) -> None:
@@ -113,7 +114,8 @@ class OpStats:
                        coalesce_wait_s: float = 0.0,
                        queue_depth: Optional[int] = None,
                        cache_hits: int = 0, cache_misses: int = 0,
-                       cache_evictions: int = 0) -> None:
+                       cache_evictions: int = 0,
+                       cache_demotions: int = 0) -> None:
         """Record coalescing-service activity: accepted/rejected
         requests, one dispatched batch (``batch_fill`` = its LWE count,
         ``queue_depth`` = pending requests at dispatch), queue wait, and
@@ -132,6 +134,7 @@ class OpStats:
         self.service_key_cache_hits += cache_hits
         self.service_key_cache_misses += cache_misses
         self.service_key_cache_evictions += cache_evictions
+        self.service_key_cache_demotions += cache_demotions
 
     def merge(self, other: "OpStats") -> None:
         """Add another region's tally into this one (every scalar counter
@@ -251,7 +254,8 @@ def record_service(*, requests: int = 0, rejected: int = 0,
                    coalesce_wait_s: float = 0.0,
                    queue_depth: Optional[int] = None,
                    cache_hits: int = 0, cache_misses: int = 0,
-                   cache_evictions: int = 0) -> None:
+                   cache_evictions: int = 0,
+                   cache_demotions: int = 0) -> None:
     """Record bootstrap-service activity (request intake, one coalesced
     batch dispatch, key-cache traffic) on the active collector."""
     if _ACTIVE is not None:
@@ -261,7 +265,8 @@ def record_service(*, requests: int = 0, rejected: int = 0,
                                queue_depth=queue_depth,
                                cache_hits=cache_hits,
                                cache_misses=cache_misses,
-                               cache_evictions=cache_evictions)
+                               cache_evictions=cache_evictions,
+                               cache_demotions=cache_demotions)
 
 
 @contextlib.contextmanager

@@ -24,6 +24,21 @@ Users may *share* key material — the provider returning the same
 application serving many end users under one evaluation-key context.
 Shared keys alias one cache entry (bytes counted once, one executor),
 which is what lets the coalescer batch those users' requests together.
+
+Streaming keys add a second, cheaper eviction tier: when the resident
+keys support ``drop_expanded()`` (see :class:`~repro.switching.keys.
+StreamingSwitchingKeys`), an over-capacity cache first *demotes* cold
+unpinned entries — freeing the expanded eval-domain tensors while the
+seed+``b`` material (and the entry's executor) stays resident — and
+only falls back to full eviction if demotion alone cannot fit.  A
+demoted user's next request pays re-expansion, not a provider reload
+and executor rebuild.
+
+Because a streaming entry's footprint changes as it expands and
+demotes, entries carry an optional ``nbytes_fn`` re-measured on every
+cache hit; the cache maintains a running byte total (updated on
+insert/refresh/evict) instead of re-walking every entry per eviction
+iteration, which made eviction quadratic in resident users.
 """
 
 from __future__ import annotations
@@ -81,15 +96,19 @@ class KeyCacheEntry:
     """One resident user: keys + the executor (and pipeline) bound to
     them, with the pin count that guards the executor's lifetime."""
 
-    __slots__ = ("user_keys", "executor", "pipeline", "nbytes", "users",
-                 "pins", "defunct", "closed", "lock")
+    __slots__ = ("user_keys", "executor", "pipeline", "nbytes",
+                 "nbytes_fn", "users", "pins", "defunct", "closed", "lock")
 
     def __init__(self, user_keys: UserKeys, executor: Any,
-                 pipeline: Any, nbytes: int):
+                 pipeline: Any, nbytes: int,
+                 nbytes_fn: Optional[Callable[[], int]] = None):
         self.user_keys = user_keys
         self.executor = executor
         self.pipeline = pipeline
         self.nbytes = nbytes
+        #: Re-measures the entry's footprint (streaming keys grow on
+        #: expansion and shrink on demotion); ``None`` = static size.
+        self.nbytes_fn = nbytes_fn
         #: Every user id this entry serves (shared-key aliasing).
         self.users: Set[Any] = set()
         self.pins = 0
@@ -125,6 +144,26 @@ class KeyCacheEntry:
         else:
             self.defunct = True
 
+    def measure(self) -> int:
+        """Current footprint: re-measured via ``nbytes_fn`` when the
+        entry's keys can change size, else the recorded size."""
+        if self.nbytes_fn is not None:
+            self.nbytes = int(self.nbytes_fn())
+        return self.nbytes
+
+    def demote(self) -> int:
+        """Drop the keys back to seed+``b`` residency if they support
+        it; returns bytes freed (0 for eager keys)."""
+        drop = getattr(self.user_keys.keys, "drop_expanded", None)
+        if not callable(drop):
+            return 0
+        freed = int(drop())
+        if self.nbytes_fn is not None:
+            self.measure()
+        else:
+            self.nbytes = max(0, self.nbytes - freed)
+        return freed
+
 
 class LruKeyCache:
     """Byte-accounted LRU over :class:`KeyCacheEntry`.
@@ -155,16 +194,34 @@ class LruKeyCache:
         #: id(UserKeys) -> entry, in LRU order (front = coldest).
         self._entries: "OrderedDict[int, KeyCacheEntry]" = OrderedDict()
         self._by_user: Dict[Any, int] = {}
+        #: Running total of resident entry bytes — kept in sync on every
+        #: insert/refresh/evict so eviction is O(victims), not a full
+        #: re-walk of the cache per freed entry.
+        self._resident = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.demotions = 0
         self.peak_resident_bytes = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def resident_bytes(self) -> int:
+        return self._resident
+
+    def recount_bytes(self) -> int:
+        """Walk every entry and return the measured total (does not
+        mutate the running total) — the consistency oracle for tests."""
         return sum(e.nbytes for e in self._entries.values())
+
+    def _refresh(self, entry: KeyCacheEntry) -> None:
+        """Re-measure one entry and fold the delta into the running
+        total (streaming keys change size between touches)."""
+        before = entry.nbytes
+        self._resident += entry.measure() - before
+        self.peak_resident_bytes = max(self.peak_resident_bytes,
+                                       self._resident)
 
     def resident_users(self) -> Set[Any]:
         return set(self._by_user)
@@ -176,8 +233,11 @@ class LruKeyCache:
         if ref is not None and ref in self._entries:
             self.hits += 1
             record_service(cache_hits=1)
+            entry = self._entries[ref]
             self._entries.move_to_end(ref)
-            return self._entries[ref]
+            self._refresh(entry)
+            self._evict_to_fit(keep=ref)
+            return entry
 
         self.misses += 1
         record_service(cache_misses=1)
@@ -187,12 +247,14 @@ class LruKeyCache:
         if entry is None:
             entry = self._factory(user_keys)
             self._entries[ref] = entry
+            self._resident += entry.nbytes
             self.peak_resident_bytes = max(self.peak_resident_bytes,
-                                           self.resident_bytes())
+                                           self._resident)
             self._evict_to_fit(keep=ref)
         else:
             # Another user id already loaded these exact keys: alias.
             self._entries.move_to_end(ref)
+            self._refresh(entry)
         entry.users.add(user_id)
         self._by_user[user_id] = ref
         return entry
@@ -200,7 +262,22 @@ class LruKeyCache:
     def _evict_to_fit(self, keep: int) -> None:
         if self.capacity_bytes is None:
             return
-        while self.resident_bytes() > self.capacity_bytes:
+        # Tier 1: demote cold streaming entries back to seed+b residency
+        # — the expanded tensors go, the entry (and executor) stays.
+        if self._resident > self.capacity_bytes:
+            for ref in list(self._entries):
+                if self._resident <= self.capacity_bytes:
+                    return
+                entry = self._entries.get(ref)
+                if entry is None or entry.pins > 0 or ref == keep:
+                    continue
+                before = entry.nbytes
+                if entry.demote() > 0:
+                    self._resident += entry.nbytes - before
+                    self.demotions += 1
+                    record_service(cache_demotions=1)
+        # Tier 2: full eviction (closes the executor).
+        while self._resident > self.capacity_bytes:
             victim = next((r for r, e in self._entries.items()
                            if e.pins == 0 and r != keep), None)
             if victim is None:
@@ -209,6 +286,7 @@ class LruKeyCache:
 
     def _evict(self, ref: int) -> None:
         entry = self._entries.pop(ref)
+        self._resident -= entry.nbytes
         for user in entry.users:
             self._by_user.pop(user, None)
         self.evictions += 1
@@ -221,6 +299,7 @@ class LruKeyCache:
         while self._entries:
             ref = next(iter(self._entries))
             entry = self._entries.pop(ref)
+            self._resident -= entry.nbytes
             for user in entry.users:
                 self._by_user.pop(user, None)
             entry.release()

@@ -93,6 +93,9 @@ class ServiceTrace:
     key_cache_hits: int = 0
     key_cache_misses: int = 0
     key_cache_evictions: int = 0
+    #: Streaming entries dropped back to seed+b residency (tier-1
+    #: eviction: expanded tensors freed, entry and executor kept).
+    key_cache_demotions: int = 0
     peak_resident_key_bytes: int = 0
     #: True once ``stop()`` finished a graceful drain.
     drained: bool = False
@@ -436,14 +439,18 @@ class BootstrapService:
             pipeline = BootstrapPipeline(user_keys.ctx, user_keys.keys,
                                          executor=executor,
                                          repack_engine=self.repack_engine)
-        nbytes = user_keys.resident_bytes() + \
-            int(getattr(executor, "shared_key_bytes", 0))
-        return KeyCacheEntry(user_keys, executor, pipeline, nbytes)
+        def nbytes_fn() -> int:
+            return user_keys.resident_bytes() + \
+                int(getattr(executor, "shared_key_bytes", 0))
+
+        return KeyCacheEntry(user_keys, executor, pipeline, nbytes_fn(),
+                             nbytes_fn=nbytes_fn)
 
     def _sync_cache_stats(self) -> None:
         self.trace.key_cache_hits = self.cache.hits
         self.trace.key_cache_misses = self.cache.misses
         self.trace.key_cache_evictions = self.cache.evictions
+        self.trace.key_cache_demotions = self.cache.demotions
         self.trace.peak_resident_key_bytes = max(
             self.trace.peak_resident_key_bytes,
             self.cache.peak_resident_bytes)

@@ -27,22 +27,27 @@ substitution.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from ..ckks.context import CkksContext
 from ..ckks.keys import SecretKey
+from ..errors import ParameterError
+from ..io import SeededKeyMaterial
 from ..math.gadget import GadgetVector
 from ..math.rns import RnsBasis, RnsPoly, concat_bases
-from ..math.sampling import Sampler
+from ..math.sampling import Sampler, mask_stream
 from ..params import TfheParams
 from ..tfhe.blind_rotate import BlindRotateKey
 from ..tfhe.glwe import GlweSecretKey
-from ..tfhe.keyswitch import AutomorphismKeySet
+from ..tfhe.keyswitch import (AutomorphismKeySet, GlweKeySwitchKey,
+                              expand_glwe_keyswitch_key)
 from ..tfhe.lwe import LweSecretKey
 from ..tfhe.repack import repack_exponents
+from ..tfhe.rgsw import expand_rgsw, rgsw_bodies
 
 
 def rns_poly_bytes(poly: RnsPoly) -> int:
@@ -67,7 +72,11 @@ class SwitchingKeySet:
     auto_keys: AutomorphismKeySet
     raised_basis: RnsBasis
     gadget: GadgetVector
-    glwe_sk_ref: GlweSecretKey  # kept for tests/debug decryption only
+    #: Kept for tests/debug decryption only; ``None`` for key sets
+    #: expanded from seed+``b`` material (the secret never travels).
+    glwe_sk_ref: Optional[GlweSecretKey] = None
+    #: Master key seed when generated seeded; ``None`` for eager keys.
+    key_seed: Optional[int] = field(default=None, repr=False, compare=False)
     #: Cached Algorithm-2 test vectors keyed by ``(n, q)`` — built lazily
     #: by :meth:`test_vector` and shared by every execution path (the
     #: local pipeline and all simulated cluster nodes).
@@ -137,6 +146,329 @@ class SwitchingKeySet:
             error_std=error_std)
         return cls(brk=brk, auto_keys=auto_keys, raised_basis=raised,
                    gadget=gadget, glwe_sk_ref=glwe_sk)
+
+    @classmethod
+    def generate_seeded(cls, ctx: CkksContext, sk: SecretKey, key_seed: int,
+                        noise: Optional[Sampler] = None,
+                        base_bits: int = 6,
+                        error_std: float = 1.0) -> "SwitchingKeySet":
+        """Generate the key set with every uniform ``a``-half derived from
+        ``key_seed`` (ARK-style seeded schedule).
+
+        Same parameters and structure as :meth:`generate`, but each
+        blind-rotate RGSW and each automorphism key-switch key streams
+        its masks from a :func:`~repro.math.sampling.derive_seed` child of
+        ``key_seed``.  The result supports :meth:`compress` — only bodies
+        and seeds at rest, ~``(h+1)``x smaller — and any holder of the
+        compressed form re-expands the identical ciphertexts.  Noise is
+        drawn from ``noise`` (fresh entropy; never stored or replayed).
+        """
+        noise = noise or Sampler()
+        raised = concat_bases(ctx.full_basis, RnsBasis([ctx.special_basis.moduli[0]]))
+        total_bits = raised.product.bit_length()
+        digits = max(1, total_bits // base_bits)
+        gadget = GadgetVector(q=raised.product, base_bits=base_bits, digits=digits)
+        glwe_sk = GlweSecretKey(coeffs=[np.asarray(sk.coeffs, dtype=object)], n=ctx.n)
+        lwe_view = LweSecretKey(coeffs=np.asarray(sk.coeffs, dtype=object))
+        brk = BlindRotateKey.generate_seeded(lwe_view, glwe_sk, raised, gadget,
+                                             key_seed, noise, error_std=error_std)
+        auto_keys = AutomorphismKeySet.generate_seeded(
+            glwe_sk, repack_exponents(ctx.n), raised, gadget, key_seed, noise,
+            error_std=error_std)
+        return cls(brk=brk, auto_keys=auto_keys, raised_basis=raised,
+                   gadget=gadget, glwe_sk_ref=glwe_sk, key_seed=key_seed)
+
+    def compress(self) -> SeededKeyMaterial:
+        """Extract the seed+``b`` at-rest form of a seeded key set.
+
+        Bodies are stacked per limb into fixed-width evaluation-domain
+        arrays (``brk_b_<li>`` of shape ``(n_t, 2, (h+1)d, N)``,
+        ``auto_b_<li>`` of shape ``(T, d, N)``); the meta carries the
+        public parameters plus the per-component mask seeds.  Requires a
+        set produced by :meth:`generate_seeded` — eager keys have payload
+        material in their masks and cannot be reduced to seeds.
+        """
+        if self.brk.mask_seeds is None or self.auto_keys.mask_seeds is None:
+            raise ParameterError(
+                "only seeded key sets compress to seed+b form — "
+                "use SwitchingKeySet.generate_seeded")
+        basis = self.raised_basis
+        n = self.brk.plus[0].n
+        h = self.brk.h
+        d = self.gadget.digits
+        rows = (h + 1) * d
+        n_t = self.brk.n_t
+        exps = sorted(self.auto_keys.keys)
+        num_limbs = len(basis.moduli)
+        brk_b = [np.empty((n_t, 2, rows, n), dtype=np.int64) for _ in range(num_limbs)]
+        for i in range(n_t):
+            for pm, rgsw in ((0, self.brk.plus[i]), (1, self.brk.minus[i])):
+                for r, body in enumerate(rgsw_bodies(rgsw)):
+                    for li, limb in enumerate(body.to_eval().limbs):
+                        arr = np.asarray(limb)
+                        if arr.dtype == object:
+                            raise ParameterError(
+                                "wide-modulus limbs cannot compress to "
+                                "fixed-width seeded material")
+                        brk_b[li][i, pm, r] = arr
+        auto_b = [np.empty((len(exps), d, n), dtype=np.int64) for _ in range(num_limbs)]
+        for ti, t in enumerate(exps):
+            for k, body in enumerate(self.auto_keys.keys[t].bodies()):
+                for li, limb in enumerate(body.to_eval().limbs):
+                    auto_b[li][ti, k] = np.asarray(limb)
+        bodies = {f"brk_b_{li}": brk_b[li] for li in range(num_limbs)}
+        bodies.update({f"auto_b_{li}": auto_b[li] for li in range(num_limbs)})
+        meta = {
+            "n": n, "h": h, "n_t": n_t,
+            "moduli": [int(q) for q in basis.moduli],
+            "gadget_base_bits": self.gadget.base_bits,
+            "gadget_digits": d,
+            "key_seed": self.key_seed,
+            "brk_mask_seeds": [[int(p), int(m)] for p, m in self.brk.mask_seeds],
+            "auto_exponents": [int(t) for t in exps],
+            "auto_mask_seeds": [int(self.auto_keys.mask_seeds[t]) for t in exps],
+        }
+        return SeededKeyMaterial(kind="switching", meta=meta, bodies=bodies)
+
+
+# -- seed + b-half expansion (ARK-style streaming keys) ---------------------------
+
+
+def _material_params(material: SeededKeyMaterial):
+    """Decode the public parameters of a ``"switching"`` material."""
+    if material.kind != "switching":
+        raise ParameterError(
+            f"expected 'switching' seeded material, got {material.kind!r}")
+    meta = material.meta
+    basis = RnsBasis([int(q) for q in meta["moduli"]])  # type: ignore[union-attr]
+    gadget = GadgetVector(q=basis.product,
+                          base_bits=int(meta["gadget_base_bits"]),  # type: ignore[arg-type]
+                          digits=int(meta["gadget_digits"]))  # type: ignore[arg-type]
+    return basis, gadget
+
+
+def _expand_brk_entry(material: SeededKeyMaterial, basis: RnsBasis,
+                      gadget: GadgetVector, i: int):
+    """Expand blind-rotate entry ``i`` to its ``(plus, minus)`` RGSW pair."""
+    meta = material.meta
+    n = int(meta["n"])  # type: ignore[arg-type]
+    h = int(meta["h"])  # type: ignore[arg-type]
+    rows = (h + 1) * gadget.digits
+    limbs = [material.bodies[f"brk_b_{li}"] for li in range(len(basis.moduli))]
+    seed_p, seed_m = meta["brk_mask_seeds"][i]  # type: ignore[index]
+    out = []
+    for pm, seed in ((0, seed_p), (1, seed_m)):
+        bodies = [RnsPoly(n, basis, [lb[i, pm, r] for lb in limbs], "eval")
+                  for r in range(rows)]
+        out.append(expand_rgsw(mask_stream(int(seed)), bodies, basis, gadget, h))
+    return out[0], out[1]
+
+
+def _expand_auto_key(material: SeededKeyMaterial, basis: RnsBasis,
+                     gadget: GadgetVector, t: int) -> GlweKeySwitchKey:
+    """Expand the automorphism key for exponent ``t``."""
+    meta = material.meta
+    n = int(meta["n"])  # type: ignore[arg-type]
+    h = int(meta["h"])  # type: ignore[arg-type]
+    exps = [int(x) for x in meta["auto_exponents"]]  # type: ignore[union-attr]
+    ti = exps.index(t)
+    seed = int(meta["auto_mask_seeds"][ti])  # type: ignore[index]
+    limbs = [material.bodies[f"auto_b_{li}"] for li in range(len(basis.moduli))]
+    bodies = [RnsPoly(n, basis, [lb[ti, k] for lb in limbs], "eval")
+              for k in range(gadget.digits)]
+    return expand_glwe_keyswitch_key(mask_stream(seed), bodies, h, basis, gadget)
+
+
+def expand_switching_keys(material: SeededKeyMaterial) -> SwitchingKeySet:
+    """Eagerly expand a compressed key set — bit-identical to the
+    :meth:`SwitchingKeySet.generate_seeded` output it was compressed
+    from (``glwe_sk_ref`` excepted: the secret is not in the material)."""
+    basis, gadget = _material_params(material)
+    meta = material.meta
+    n_t = int(meta["n_t"])  # type: ignore[arg-type]
+    plus, minus = [], []
+    for i in range(n_t):
+        p, m = _expand_brk_entry(material, basis, gadget, i)
+        plus.append(p)
+        minus.append(m)
+    h = int(meta["h"])  # type: ignore[arg-type]
+    seeds = [(int(p), int(m)) for p, m in meta["brk_mask_seeds"]]  # type: ignore[union-attr]
+    brk = BlindRotateKey(plus=plus, minus=minus, gadget=gadget, h=h,
+                         mask_seeds=seeds)
+    exps = [int(t) for t in meta["auto_exponents"]]  # type: ignore[union-attr]
+    auto = AutomorphismKeySet(
+        keys={t: _expand_auto_key(material, basis, gadget, t) for t in exps},
+        mask_seeds={t: int(s) for t, s in
+                    zip(exps, meta["auto_mask_seeds"])})  # type: ignore[arg-type]
+    return SwitchingKeySet(brk=brk, auto_keys=auto, raised_basis=basis,
+                           gadget=gadget, glwe_sk_ref=None,
+                           key_seed=meta.get("key_seed"))  # type: ignore[arg-type]
+
+
+class _LazyAutoKeyDict(Mapping):
+    """Per-exponent expand-on-access mapping backing a streaming
+    :class:`~repro.tfhe.keyswitch.AutomorphismKeySet`.
+
+    ``keys.keys[t]`` (and therefore ``key_for(t)``) materialises exactly
+    the exponent the repack path touches; iteration walks the known
+    exponent list without forcing expansion of the rest.
+    """
+
+    def __init__(self, owner: "StreamingSwitchingKeys"):
+        self._owner = owner
+        self._exponents = [int(t) for t in owner.material.meta["auto_exponents"]]  # type: ignore[union-attr]
+        self._expanded: Dict[int, GlweKeySwitchKey] = {}
+
+    def __getitem__(self, t: int) -> GlweKeySwitchKey:
+        key = self._expanded.get(t)
+        if key is None:
+            if t not in self._exponents:
+                raise KeyError(t)
+            key = self._owner._expand_auto(t)
+            self._expanded[t] = key
+        return key
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._exponents)
+
+    def __len__(self) -> int:
+        return len(self._exponents)
+
+
+class StreamingSwitchingKeys:
+    """Lazy seed+``b``-resident key provider, duck-typing
+    :class:`SwitchingKeySet` for the pipeline and executors.
+
+    Holds only the compressed :class:`~repro.io.SeededKeyMaterial` until
+    an execution path touches a component:
+
+    * ``.brk`` expands every blind-rotate entry on first access (blind
+      rotation walks all ``n_t`` of them) and keeps the per-entry mask
+      seeds attached, so the process-pool publisher still ships only
+      seeds + bodies;
+    * ``.auto_keys.key_for(t)`` expands one automorphism key per
+      exponent on demand — a workload that never repacks never pays for
+      them;
+    * :meth:`drop_expanded` is the second eviction tier: it releases the
+      expanded ciphertexts *and* every lifted eval-domain tensor the
+      key registry derived from them, returning the entry to seed+``b``
+      residency instead of evicting the user outright.
+
+    ``resident_bytes()`` prices the compressed material plus whatever is
+    currently expanded (including registry-held derived tensors), so the
+    service's byte-accounted LRU sees the true footprint in every state.
+    """
+
+    def __init__(self, material: SeededKeyMaterial):
+        self.material = material
+        basis, gadget = _material_params(material)
+        self.raised_basis = basis
+        self.gadget = gadget
+        self.key_seed = material.meta.get("key_seed")
+        self._brk: Optional[BlindRotateKey] = None
+        self._brk_bytes = 0
+        self._auto_bytes: Dict[int, int] = {}
+        self.auto_keys = AutomorphismKeySet(
+            keys=_LazyAutoKeyDict(self),  # type: ignore[arg-type]
+            mask_seeds={int(t): int(s) for t, s in zip(
+                material.meta["auto_exponents"],  # type: ignore[arg-type]
+                material.meta["auto_mask_seeds"])})  # type: ignore[arg-type]
+        self._test_vectors: Dict[Tuple[int, int], RnsPoly] = {}
+        self._lock = threading.RLock()
+        #: Component expansions performed (brk counts as one per entry).
+        self.expansions = 0
+        #: drop_expanded() calls that actually freed bytes.
+        self.demotions = 0
+
+    # -- SwitchingKeySet surface ------------------------------------------
+
+    @property
+    def brk(self) -> BlindRotateKey:
+        with self._lock:
+            if self._brk is None:
+                basis, gadget = self.raised_basis, self.gadget
+                meta = self.material.meta
+                n_t = int(meta["n_t"])  # type: ignore[arg-type]
+                plus, minus = [], []
+                for i in range(n_t):
+                    p, m = _expand_brk_entry(self.material, basis, gadget, i)
+                    plus.append(p)
+                    minus.append(m)
+                seeds = [(int(p), int(m)) for p, m in meta["brk_mask_seeds"]]  # type: ignore[union-attr]
+                self._brk = BlindRotateKey(
+                    plus=plus, minus=minus, gadget=gadget,
+                    h=int(meta["h"]), mask_seeds=seeds)  # type: ignore[arg-type]
+                self.expansions += n_t
+                self._brk_bytes = sum(
+                    rns_poly_bytes(poly) for rgsw in plus + minus
+                    for comp in rgsw.rows for row in comp
+                    for poly in list(row.mask) + [row.body])
+            return self._brk
+
+    def test_vector(self, n: int, q: int) -> RnsPoly:
+        """Algorithm-2 LUT over the raised basis (cached per ``(n, q)``,
+        exactly as on :class:`SwitchingKeySet`)."""
+        key = (n, q)
+        if key not in self._test_vectors:
+            from .pipeline import build_switching_test_vector
+
+            self._test_vectors[key] = build_switching_test_vector(
+                n, q, self.raised_basis)
+        return self._test_vectors[key]
+
+    def resident_bytes(self) -> int:
+        with self._lock:
+            total = self.material.resident_bytes()
+            total += self._brk_bytes + sum(self._auto_bytes.values())
+            from ..keyreg import get_key_registry
+
+            reg = get_key_registry()
+            if self._brk is not None:
+                total += reg.owner_bytes(self._brk)
+            total += reg.owner_bytes(self.auto_keys)
+            return total
+
+    # -- streaming-specific surface ----------------------------------------
+
+    def _expand_auto(self, t: int) -> GlweKeySwitchKey:
+        with self._lock:
+            key = _expand_auto_key(self.material, self.raised_basis,
+                                   self.gadget, t)
+            self.expansions += 1
+            self._auto_bytes[t] = sum(
+                rns_poly_bytes(poly) for row in key.rows
+                for poly in list(row.mask) + [row.body])
+            return key
+
+    def drop_expanded(self) -> int:
+        """Second eviction tier: fall back to seed+``b`` residency.
+
+        Releases the expanded blind-rotate and automorphism ciphertexts,
+        plus every derived eval-domain tensor the key registry holds for
+        them (lifted blind-rotate stacks, per-exponent repack tensors).
+        Returns the bytes freed; a later access re-expands bit-identical
+        material from the seeds.
+        """
+        from ..keyreg import get_key_registry
+
+        with self._lock:
+            reg = get_key_registry()
+            freed = self._brk_bytes + sum(self._auto_bytes.values())
+            if self._brk is not None:
+                freed += reg.drop_owner(self._brk)
+            freed += reg.drop_owner(self.auto_keys)
+            self._brk = None
+            self._brk_bytes = 0
+            self._auto_bytes.clear()
+            lazy = self.auto_keys.keys
+            if isinstance(lazy, _LazyAutoKeyDict):
+                lazy._expanded.clear()
+            if freed:
+                self.demotions += 1
+            return freed
+
+    def compress(self) -> SeededKeyMaterial:
+        return self.material
 
 
 @dataclass(frozen=True)

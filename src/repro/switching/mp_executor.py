@@ -69,7 +69,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import ClusterExecutionError, ParameterError, WireFormatError
+from ..errors import (ClusterExecutionError, ParameterError,
+                      SharedBufferError, WireFormatError)
 from ..io import (
     SharedBufferManifest,
     attach_shared_arrays,
@@ -99,23 +100,25 @@ from .pipeline import BootstrapTrace
 def _pack_key_material(brk: BlindRotateKey,
                        test_vector: RnsPoly) -> Tuple[Dict[str, np.ndarray],
                                                       Dict[str, object]]:
-    """The publish-side layout: the batch engine's lifted key tensors
-    (one per limb) plus the test vector's coefficient limbs, with the
-    scalar parameters needed to rebuild both in ``meta``."""
+    """The publish-side layout, with the scalar parameters needed to
+    rebuild everything in ``meta``.
+
+    Eager keys ship the batch engine's full lifted tensors (one per
+    limb) plus the test vector's coefficient limbs.  Seeded keys
+    (``brk.mask_seeds`` present) ship only the **body** polynomials —
+    shape ``(n_t, 2, (h+1)d, N)`` per limb — plus the per-entry mask
+    seeds in ``meta``; workers replay the uniform mask halves locally,
+    which cuts the shared key bytes roughly in half (exactly half at
+    ``h = 1``) at the price of per-worker expansion compute and private
+    (non-shared) mask residency.  That is ARK's tradeoff, taken
+    literally: seeds travel, bandwidth doesn't.
+    """
     basis = test_vector.basis
     n = test_vector.n
-    # Built directly, NOT via `for_key`: that would cache the lifted
-    # tensors on the primary's key object, leaving the primary holding
-    # the full key working set twice (cache + shared block) even though
-    # it never BlindRotates in pool mode.  This engine is transient —
-    # its tensors are copied into shared memory and then dropped.
-    engine = BatchBlindRotateEngine(brk, n, basis)
     tv = test_vector.to_coeff()
     arrays: Dict[str, np.ndarray] = {
         "test_vector": np.stack([np.asarray(limb) for limb in tv.limbs]),
     }
-    for li, tensor in enumerate(engine.key_pm):
-        arrays[f"key_pm_{li}"] = tensor
     meta: Dict[str, object] = {
         "n": n,
         "n_t": brk.n_t,
@@ -126,7 +129,72 @@ def _pack_key_material(brk: BlindRotateKey,
         "gadget_digits": brk.gadget.digits,
         "tv_domain": "coeff",
     }
+    if brk.mask_seeds is not None:
+        from ..tfhe.rgsw import rgsw_bodies
+
+        d = brk.gadget.digits
+        rows_dim = (brk.h + 1) * d
+        nlimbs = len(basis)
+        bodies = [np.empty((brk.n_t, 2, rows_dim, n), dtype=np.int64)
+                  for _ in range(nlimbs)]
+        for i in range(brk.n_t):
+            for pm, rgsw in ((0, brk.plus[i]), (1, brk.minus[i])):
+                for r, body in enumerate(rgsw_bodies(rgsw)):
+                    for li, limb in enumerate(body.to_eval().limbs):
+                        arr = np.asarray(limb)
+                        if arr.dtype == object:
+                            raise SharedBufferError(
+                                "wide-modulus seeded keys cannot be "
+                                "shared as fixed-width bodies")
+                        bodies[li][i, pm, r] = arr
+        for li in range(nlimbs):
+            arrays[f"brk_b_{li}"] = bodies[li]
+        meta["seeded"] = True
+        meta["brk_mask_seeds"] = [[int(p), int(m)] for p, m in brk.mask_seeds]
+        return arrays, meta
+    # Built directly, NOT via `for_key`: that would cache the lifted
+    # tensors on the primary's key object, leaving the primary holding
+    # the full key working set twice (cache + shared block) even though
+    # it never BlindRotates in pool mode.  This engine is transient —
+    # its tensors are copied into shared memory and then dropped.
+    engine = BatchBlindRotateEngine(brk, n, basis)
+    for li, tensor in enumerate(engine.key_pm):
+        arrays[f"key_pm_{li}"] = tensor
     return arrays, meta
+
+
+def _expand_seeded_key_pm(views: Dict[str, np.ndarray], meta: Dict[str, object],
+                          n: int, n_t: int, h: int, d: int,
+                          basis: RnsBasis) -> List[np.ndarray]:
+    """Worker-side runtime key expansion (ARK): rebuild the full lifted
+    tensor stack from shared bodies plus mask seeds.
+
+    Bodies are copied out of the shared block into the worker-local
+    tensor; the mask columns are pure PRNG replay of the exact draw
+    order :func:`~repro.tfhe.rgsw.rgsw_encrypt_seeded` used (entry seed
+    → rows ``c`` outer / ``k`` inner → mask components → limbs in basis
+    order), written directly as evaluation-domain residues — no NTTs.
+    The expanded stack is bit-identical to the eager-published tensors.
+    """
+    from ..math.sampling import mask_stream
+
+    cols = h + 1
+    seeds = meta["brk_mask_seeds"]
+    key_pm = [e.zeros((n_t, n, (h + 1) * d, 2 * cols)) for e in basis.engines]
+    bodies = [views[f"brk_b_{li}"] for li in range(len(basis))]
+    for i in range(n_t):
+        seed_p, seed_m = seeds[i]  # type: ignore[index]
+        for pm, (col_off, seed) in enumerate(((0, seed_p), (cols, seed_m))):
+            rng = mask_stream(int(seed))
+            for c in range(cols):
+                for k in range(d):
+                    r = c * d + k
+                    for mc in range(h):
+                        for li, q in enumerate(basis.moduli):
+                            key_pm[li][i, :, r, col_off + mc] = rng.uniform(n, q)
+                    for li in range(len(basis)):
+                        key_pm[li][i, :, r, col_off + h] = bodies[li][i, pm, r]
+    return key_pm
 
 
 def _rebuild_key_material(manifest: SharedBufferManifest):
@@ -152,7 +220,10 @@ def _rebuild_key_material(manifest: SharedBufferManifest):
     d = gadget.digits
     cols = h + 1
     nlimbs = len(basis)
-    key_pm = [views[f"key_pm_{li}"] for li in range(nlimbs)]
+    if meta.get("seeded"):
+        key_pm = _expand_seeded_key_pm(views, meta, n, n_t, h, d, basis)
+    else:
+        key_pm = [views[f"key_pm_{li}"] for li in range(nlimbs)]
 
     def rgsw_view(i: int, col_off: int) -> RgswCiphertext:
         rows: List[List[GlweCiphertext]] = []
@@ -169,9 +240,12 @@ def _rebuild_key_material(manifest: SharedBufferManifest):
             rows.append(comp)
         return RgswCiphertext(rows=rows, gadget=gadget)
 
+    seeds = meta.get("brk_mask_seeds")
     brk = BlindRotateKey(plus=[rgsw_view(i, 0) for i in range(n_t)],
                          minus=[rgsw_view(i, cols) for i in range(n_t)],
-                         gadget=gadget, h=h)
+                         gadget=gadget, h=h,
+                         mask_seeds=[(int(p), int(m)) for p, m in seeds]
+                         if seeds is not None else None)
     tv_stack = views["test_vector"]
     test_vector = RnsPoly(n, basis, [tv_stack[li] for li in range(nlimbs)],
                           str(meta["tv_domain"]))

@@ -154,6 +154,18 @@ class BatchBlindRotateEngine:
             if engine is None:
                 engine = cls(brk, n, basis)
                 cache[key] = engine
+                # Account the lifted tensor stack in the process-wide key
+                # registry (ARK-style reuse bookkeeping): the streaming
+                # cache's demote tier drops the engine with the key, and
+                # the registry's byte totals price the lift.  on_drop
+                # keeps the per-key engine cache consistent without
+                # strongly capturing the key.
+                from ..keyreg import get_key_registry
+
+                get_key_registry().register(
+                    brk, "brk_lift", key, engine.key_pm,
+                    on_drop=lambda o, _k=key: getattr(
+                        o, "_batch_engines", {}).pop(_k, None))
         return engine
 
     def _lift(self, plus, minus) -> List[np.ndarray]:

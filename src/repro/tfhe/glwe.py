@@ -146,6 +146,48 @@ def glwe_encrypt(message: RnsPoly, sk: GlweSecretKey, sampler: Sampler,
     return GlweCiphertext(mask=mask, body=body)
 
 
+def draw_uniform_masks(mask_rng: Sampler, h: int, n: int,
+                       basis: RnsBasis) -> List[RnsPoly]:
+    """Draw the ``h`` uniform mask polynomials of one GLWE row.
+
+    This is THE canonical draw order of the seeded key schedule: mask
+    polynomials in component order, limbs in basis order, every limb one
+    ``uniform(n, q)`` call, interpreted directly as evaluation-domain
+    residues.  :func:`glwe_encrypt_seeded` consumes it at keygen and every
+    expansion path (eager re-expansion, streaming key cache misses, the
+    process-pool workers) replays it bit-identically from the stored seed.
+    """
+    masks = []
+    for _ in range(h):
+        limbs = [e.asarray(mask_rng.uniform(n, q))
+                 for e, q in zip(basis.engines, basis.moduli)]
+        masks.append(RnsPoly(n, basis, limbs, "eval"))
+    return masks
+
+
+def glwe_encrypt_seeded(message: RnsPoly, sk: GlweSecretKey, mask_rng: Sampler,
+                        noise: Sampler,
+                        error_std: Optional[float] = None) -> GlweCiphertext:
+    """Encrypt with masks from a replayable seeded stream.
+
+    Identical to :func:`glwe_encrypt` except the uniform ``a``-halves come
+    from ``mask_rng`` (a :func:`~repro.math.sampling.mask_stream`) while
+    the Gaussian error comes from the separate ``noise`` sampler.  Only
+    the body and the mask seed need to be stored — the masks are
+    recomputed on demand by replaying the stream.
+    """
+    basis = message.basis
+    n = message.n
+    s_polys = sk.on_basis(basis)
+    mask = draw_uniform_masks(mask_rng, sk.h, n, basis)
+    acc = RnsPoly.zero(n, basis, "eval")
+    for a, s in zip(mask, s_polys):
+        acc = acc + a * s
+    e_poly = RnsPoly.from_int_coeffs(n, basis, noise.gaussian(n, error_std).astype(object))
+    body = message.to_eval() + e_poly.to_eval() - acc
+    return GlweCiphertext(mask=mask, body=body)
+
+
 def glwe_phase(ct: GlweCiphertext, sk: GlweSecretKey) -> RnsPoly:
     """``body + sum mask_i * s_i`` = message + noise."""
     s_polys = sk.on_basis(ct.basis)

@@ -93,6 +93,20 @@ def lwe_encrypt(m: int, sk: LweSecretKey, q: int, sampler: Sampler,
     return LweCiphertext(a=a, b=b, q=q)
 
 
+def lwe_encrypt_seeded(m: int, sk: LweSecretKey, q: int, mask_rng: Sampler,
+                       noise: Sampler,
+                       error_std: Optional[float] = None) -> LweCiphertext:
+    """Encrypt with the uniform ``a``-vector drawn from a replayable
+    seeded stream (one ``uniform(dim, q)`` call); errors come from the
+    separate ``noise`` sampler.  Only ``b`` plus the seed need storing."""
+    eng = ModulusEngine(q)
+    a = eng.asarray(mask_rng.uniform(sk.dim, q))
+    e = int(noise.gaussian(1, error_std)[0])
+    inner = int(np.dot(a.astype(object), sk.coeffs)) % q
+    b = (m + e - inner) % q
+    return LweCiphertext(a=a, b=b, q=q)
+
+
 def lwe_phase(ct: LweCiphertext, sk: LweSecretKey) -> int:
     """``b + <a, s> mod q`` — equals ``m + e``."""
     inner = int(np.dot(ct.a.astype(object), sk.coeffs))
@@ -144,8 +158,44 @@ class LweKeySwitchKey:
             rows.append(row)
         return cls(rows=rows, gadget=gadget)
 
+    @classmethod
+    def generate_seeded(cls, sk_in: LweSecretKey, sk_out: LweSecretKey, q: int,
+                        gadget: GadgetVector, mask_rng: Sampler,
+                        noise: Sampler) -> "LweKeySwitchKey":
+        """Seeded variant: every row ciphertext's ``a``-vector streams from
+        one replayable ``mask_rng`` (row order ``i`` outer, digit ``k``
+        inner), so the at-rest key is the ``N * d`` scalars ``b`` plus one
+        seed — the §III-C LWE key-switch key shrinks by ~``n_t``x."""
+        rows = []
+        for i in range(sk_in.dim):
+            row = []
+            for g in gadget.factors():
+                m = int(sk_in.coeffs[i]) * g % q
+                row.append(lwe_encrypt_seeded(m, sk_out, q, mask_rng, noise))
+            rows.append(row)
+        return cls(rows=rows, gadget=gadget)
+
+    def bodies(self) -> List[List[int]]:
+        """Stored half of the seed+``b`` form (row-major digit order)."""
+        return [[ct.b for ct in row] for row in self.rows]
+
     def num_ciphertexts(self) -> int:
         return sum(len(r) for r in self.rows)
+
+
+def expand_lwe_keyswitch_key(mask_rng: Sampler, bodies: List[List[int]],
+                             out_dim: int, q: int,
+                             gadget: GadgetVector) -> LweKeySwitchKey:
+    """Rebuild a seeded LWE key-switch key bit-identically from seed + ``b``s."""
+    eng = ModulusEngine(q)
+    rows = []
+    for row_bodies in bodies:
+        if len(row_bodies) != gadget.digits:
+            raise ParameterError("seeded LWE ksk body count does not match gadget digits")
+        rows.append([LweCiphertext(a=eng.asarray(mask_rng.uniform(out_dim, q)),
+                                   b=int(b), q=q)
+                     for b in row_bodies])
+    return LweKeySwitchKey(rows=rows, gadget=gadget)
 
 
 def lwe_keyswitch(ct: LweCiphertext, ksk: LweKeySwitchKey) -> LweCiphertext:

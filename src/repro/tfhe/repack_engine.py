@@ -113,19 +113,39 @@ class RepackEngine:
 
     def _key_tensor(self, t: int) -> List[np.ndarray]:
         """Per-limb ``(N, d, 2)`` eval tensors of the exponent-``t`` key
-        (column 0 the row masks, column 1 the row bodies)."""
+        (column 0 the row masks, column 1 the row bodies).
+
+        Lifted through the process-wide key registry (owner: the key
+        set), so merge and trace digit paths share one tensor per
+        exponent, the bytes are accounted centrally, and demoting a
+        streaming key to seed+``b`` form drops its lifted tensors too.
+        ``_keys_lifted`` mirrors the registry for cheap engine-local
+        lookups and is kept consistent by the registry's drop hook.
+        """
         cached = self._keys_lifted.get(t)
-        if cached is None:
+        if cached is not None:
+            return cached
+
+        def build() -> List[np.ndarray]:
             ksk = self.keys.key_for(t)
             if ksk.gadget != self.gadget:
                 raise ParameterError("automorphism keys disagree on the gadget")
-            cached = [e.zeros((self.n, self.d, 2)) for e in self.engines]
+            lifted = [e.zeros((self.n, self.d, 2)) for e in self.engines]
             for k, row in enumerate(ksk.rows):
                 row = row.to_eval()
                 for li in range(len(self.engines)):
-                    cached[li][:, k, 0] = row.mask[0].limbs[li]
-                    cached[li][:, k, 1] = row.body.limbs[li]
-            self._keys_lifted[t] = cached
+                    lifted[li][:, k, 0] = row.mask[0].limbs[li]
+                    lifted[li][:, k, 1] = row.body.limbs[li]
+            return lifted
+
+        from ..keyreg import get_key_registry
+
+        cached = get_key_registry().get_or_build(
+            self.keys, "repack_lift", t, build,
+            on_drop=lambda o, _t=t: getattr(
+                o, "_repack_engine", None) is not None
+            and o._repack_engine._keys_lifted.pop(_t, None))
+        self._keys_lifted[t] = cached
         return cached
 
     # -- execution ------------------------------------------------------------

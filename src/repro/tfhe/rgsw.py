@@ -22,7 +22,8 @@ from ..errors import ParameterError
 from ..math.gadget import GadgetVector
 from ..math.rns import RnsBasis, RnsPoly
 from ..math.sampling import Sampler
-from .glwe import GlweCiphertext, GlweSecretKey, glwe_encrypt
+from .glwe import (GlweCiphertext, GlweSecretKey, draw_uniform_masks,
+                   glwe_encrypt, glwe_encrypt_seeded)
 
 
 @dataclass
@@ -145,6 +146,67 @@ def rgsw_encrypt(m: int, sk: GlweSecretKey, basis: RnsBasis,
                 msg = RnsPoly.from_int_coeffs(n, basis, _constant_vec(n, payload))
                 ct = glwe_encrypt(msg, sk, sampler, error_std)
             comp_rows.append(ct.to_eval())
+        rows.append(comp_rows)
+    return RgswCiphertext(rows=rows, gadget=gadget)
+
+
+def rgsw_encrypt_seeded(m: int, sk: GlweSecretKey, basis: RnsBasis,
+                        gadget: GadgetVector, mask_rng: Sampler, noise: Sampler,
+                        error_std: Optional[float] = None) -> RgswCiphertext:
+    """Seeded RGSW: every mask polynomial comes from one replayable stream.
+
+    :func:`rgsw_encrypt` puts the payload ``g_k * m`` *into the mask* of
+    component rows (``c < h``), which would make those masks
+    non-derivable from a seed.  The seeded form keeps the identical phase
+    — ``g_k * m * s_c`` for mask rows, ``g_k * m`` for the body row — but
+    realises it through the body instead: all masks are uniform draws
+    from ``mask_rng`` (row order ``c`` outer, digit ``k`` inner; the draw
+    order of :func:`~repro.tfhe.glwe.draw_uniform_masks` within a row)
+    and the body absorbs the payload.  Only the ``(h+1)d`` body
+    polynomials plus the mask seed need to be stored — a ``(h+1)``-fold
+    compression of the at-rest key.
+    """
+    n = sk.n
+    h = sk.h
+    s_polys = sk.on_basis(basis)
+    rows: List[List[GlweCiphertext]] = []
+    factors = gadget.factors()
+    for c in range(h + 1):
+        comp_rows = []
+        for g in factors:
+            payload = (int(m) * g) % basis.product
+            const = RnsPoly.from_int_coeffs(n, basis, _constant_vec(n, payload)).to_eval()
+            msg = const * s_polys[c] if c < h else const
+            comp_rows.append(glwe_encrypt_seeded(msg, sk, mask_rng, noise, error_std))
+        rows.append(comp_rows)
+    return RgswCiphertext(rows=rows, gadget=gadget)
+
+
+def rgsw_bodies(rgsw: RgswCiphertext) -> List[RnsPoly]:
+    """Flat body list of a seeded RGSW, row order ``r = c*d + k`` (the
+    stored half of the seed+``b`` at-rest form)."""
+    return [row.body for comp in rgsw.rows for row in comp]
+
+
+def expand_rgsw(mask_rng: Sampler, bodies: List[RnsPoly], basis: RnsBasis,
+                gadget: GadgetVector, h: int) -> RgswCiphertext:
+    """Rebuild a seeded RGSW from its mask stream and stored bodies.
+
+    Replays exactly the draws :func:`rgsw_encrypt_seeded` made, so the
+    result is bit-identical to the ciphertext produced at keygen.  Pure
+    PRNG replay — masks are sampled directly in the evaluation domain, so
+    expansion costs no NTTs.
+    """
+    d = gadget.digits
+    if len(bodies) != (h + 1) * d:
+        raise ParameterError("seeded RGSW body count does not match gadget digits")
+    n = bodies[0].n
+    rows: List[List[GlweCiphertext]] = []
+    for c in range(h + 1):
+        comp_rows = []
+        for k in range(d):
+            mask = draw_uniform_masks(mask_rng, h, n, basis)
+            comp_rows.append(GlweCiphertext(mask=mask, body=bodies[c * d + k]))
         rows.append(comp_rows)
     return RgswCiphertext(rows=rows, gadget=gadget)
 

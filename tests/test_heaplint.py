@@ -214,6 +214,68 @@ class TestHl004SecretHygiene:
         assert analyze_source(src, COLD_PATH) == []
 
 
+class TestHl004SeedHygiene:
+    """Key seeds reconstruct the full key from the stored b-halves, so
+    HL004 treats them exactly like secret-key coefficients."""
+
+    def test_flags_mask_seed_fstring_leak(self):
+        src = ("def debug(mask_seed):\n"
+               "    return f'seed={mask_seed}'\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_flags_derive_seed_result_in_exception(self):
+        src = ("from repro.math.sampling import derive_seed\n\n"
+               "def gen(master, i):\n"
+               "    s = derive_seed(master, 'brk', i)\n"
+               "    raise ValueError('bad seed %d' % s)\n")
+        found = codes(analyze_source(src, COLD_PATH))
+        assert found and set(found) == {"HL004"}
+
+    def test_flags_key_seed_logging_leak(self):
+        src = ("import logging\n\n"
+               "def trace(key_seed):\n"
+               "    logging.info('expanding %s', key_seed)\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_plain_seed_name_clean(self):
+        # Samplers take public seeds everywhere; only key-scoped seed
+        # names are secrets.
+        src = ("def run(seed):\n"
+               "    return f'run with seed={seed}'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_flags_seed_field_dataclass_without_redaction(self):
+        src = ("from dataclasses import dataclass\n\n"
+               "@dataclass\n"
+               "class SwitchingMaterial:\n"
+               "    bodies: object\n"
+               "    key_seed: int = 0\n")
+        assert codes(analyze_source(src, COLD_PATH)) == ["HL004"]
+
+    def test_seed_field_with_repr_false_clean(self):
+        src = ("from dataclasses import dataclass, field\n\n"
+               "@dataclass\n"
+               "class SwitchingMaterial:\n"
+               "    bodies: object\n"
+               "    key_seed: int = field(default=0, repr=False)\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_seed_dataclass_with_custom_repr_clean(self):
+        src = ("from dataclasses import dataclass\n\n"
+               "@dataclass\n"
+               "class SwitchingMaterial:\n"
+               "    key_seed: int = 0\n\n"
+               "    def __repr__(self):\n"
+               "        return 'SwitchingMaterial(<redacted>)'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+    def test_seed_suppression_honored(self):
+        src = ("def debug(mask_seed):\n"
+               "    # heaplint: disable=HL004 fixture seed, not a real key\n"
+               "    return f'seed={mask_seed}'\n")
+        assert analyze_source(src, COLD_PATH) == []
+
+
 class TestHl005ParamConstruction:
     def test_flags_non_power_of_two_n(self):
         src = ("from repro.params import CkksParams\n\n"

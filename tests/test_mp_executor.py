@@ -323,3 +323,40 @@ class TestInjectorDeterminism:
         assert_bit_identical(reference, sim_out)
         assert_bit_identical(reference, pool_out)
         assert sim_trace.fanout_retries == pool_trace.fanout_retries
+
+
+class TestSeededKeyStreaming:
+    """ARK-style seeded publish: the pool ships seeds + b-halves and the
+    workers replay the mask streams locally."""
+
+    @pytest.fixture(scope="class")
+    def seeded_swk(self, stack):
+        ctx, sk, _, _ = stack
+        return SwitchingKeySet.generate_seeded(ctx, sk, key_seed=9901,
+                                               base_bits=4, error_std=0.8)
+
+    def test_seeded_pool_bit_identical(self, stack, level0_ct, seeded_swk):
+        ctx, _, _, _ = stack
+        reference = BootstrapPipeline(ctx, seeded_swk).run(level0_ct)
+        out = pool_bootstrap(ctx, seeded_swk, level0_ct)
+        assert_bit_identical(reference, out)
+
+    def test_seeded_publish_halves_shared_bytes(self, stack, seeded_swk):
+        ctx, _, _, swk = stack
+        with ProcessPoolFanoutExecutor.for_keys(ctx, swk,
+                                                num_workers=1) as eager_pool:
+            eager_bytes = eager_pool.shared_key_bytes
+        with ProcessPoolFanoutExecutor.for_keys(ctx, seeded_swk,
+                                                num_workers=1) as pool:
+            seeded_bytes = pool.shared_key_bytes
+        assert eager_bytes >= 1.9 * seeded_bytes
+
+    def test_seeded_pool_spawn_start_method(self, stack, level0_ct,
+                                            seeded_swk):
+        """Workers with no fork inheritance expand keys purely from the
+        manifest's seeds and bodies."""
+        ctx, _, _, _ = stack
+        reference = BootstrapPipeline(ctx, seeded_swk).run(level0_ct)
+        out = pool_bootstrap(ctx, seeded_swk, level0_ct,
+                             start_method="spawn")
+        assert_bit_identical(reference, out)

@@ -1,0 +1,363 @@
+"""Seeded key streaming: expansion bit-identity, streaming residency,
+demote/re-expand round-trips, and the key-cache byte accounting.
+
+The load-bearing property is *bit-identity*: a key expanded at runtime
+from ``seed + b`` must be indistinguishable — limb for limb — from the
+key produced at keygen, for every key type, level count and dnum.
+Anything less and the seeded path silently computes a different
+bootstrap.  Hypothesis drives the seeds and shape parameters; the
+fixed-size comparisons stay exact (``tolist()`` equality, never
+``allclose``).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksContext, CkksKeyGenerator
+from repro.ckks.keys import expand_ckks_switch_key
+from repro.math.gadget import GadgetVector
+from repro.math.modular import find_ntt_primes
+from repro.math.rns import RnsBasis
+from repro.math.sampling import Sampler, derive_seed, mask_stream
+from repro.params import make_toy_params
+from repro.service.key_cache import KeyCacheEntry, LruKeyCache
+from repro.switching.keys import (
+    StreamingSwitchingKeys,
+    SwitchingKeySet,
+    expand_switching_keys,
+)
+from repro.tfhe.glwe import GlweSecretKey
+from repro.tfhe.keyswitch import (
+    AutomorphismKeySet,
+    GlweKeySwitchKey,
+    expand_glwe_keyswitch_key,
+)
+from repro.tfhe.lwe import LweKeySwitchKey, LweSecretKey, expand_lwe_keyswitch_key
+from repro.tfhe.rgsw import expand_rgsw, rgsw_bodies, rgsw_encrypt_seeded
+
+N = 32
+Q = find_ntt_primes(28, N, 1)[0]
+BASIS = RnsBasis([Q])
+
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+def poly_eq(p, q):
+    if p.domain != q.domain:
+        q = q.to_eval() if p.domain == "eval" else q.to_coeff()
+    return all(a.tolist() == b.tolist() for a, b in zip(p.limbs, q.limbs))
+
+
+# -- derive_seed -------------------------------------------------------------
+
+
+class TestDeriveSeed:
+    @given(master=seeds, i=st.integers(0, 1 << 20))
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_and_path_separated(self, master, i):
+        assert derive_seed(master, "brk", i, "+") == \
+            derive_seed(master, "brk", i, "+")
+        assert derive_seed(master, "brk", i, "+") != \
+            derive_seed(master, "brk", i, "-")
+        assert derive_seed(master, "brk", i, "+") != \
+            derive_seed(master, "auto", i, "+")
+
+    def test_fits_in_int64(self):
+        for path in [("brk", 0, "+"), ("auto", 3), ("x",)]:
+            s = derive_seed(12345, *path)
+            assert 0 <= s < 2**63
+
+
+# -- primitive expansion bit-identity ----------------------------------------
+
+
+class TestLweKeySwitchExpansion:
+    @given(seed=seeds, base_bits=st.sampled_from([4, 7]))
+    @settings(max_examples=10, deadline=None)
+    def test_expansion_matches_keygen(self, seed, base_bits):
+        gadget = GadgetVector(q=Q, base_bits=base_bits,
+                              digits=-(-Q.bit_length() // base_bits))
+        sk_in = LweSecretKey.generate(24, Sampler(seed + 1))
+        sk_out = LweSecretKey.generate(16, Sampler(seed + 2))
+        ksk = LweKeySwitchKey.generate_seeded(
+            sk_in, sk_out, Q, gadget, mask_stream(seed), Sampler(seed + 3))
+        back = expand_lwe_keyswitch_key(mask_stream(seed), ksk.bodies(),
+                                        sk_out.dim, Q, gadget)
+        for row, row2 in zip(ksk.rows, back.rows):
+            for ct, ct2 in zip(row, row2):
+                assert ct.a.tolist() == ct2.a.tolist()
+                assert int(ct.b) == int(ct2.b)
+
+
+class TestGlweKeySwitchExpansion:
+    @given(seed=seeds, h=st.sampled_from([1, 2]))
+    @settings(max_examples=10, deadline=None)
+    def test_expansion_matches_keygen(self, seed, h):
+        gadget = GadgetVector(q=Q, base_bits=7, digits=4)
+        sk = GlweSecretKey.generate(N, h, Sampler(seed + 1))
+        payload = np.asarray(
+            [int(v) for v in np.random.default_rng(seed).integers(0, Q, N)],
+            dtype=object)
+        ksk = GlweKeySwitchKey.generate_seeded(
+            payload, sk, BASIS, gadget, mask_stream(seed), Sampler(seed + 2))
+        back = expand_glwe_keyswitch_key(mask_stream(seed), ksk.bodies(),
+                                         h, BASIS, gadget)
+        for row, row2 in zip(ksk.rows, back.rows):
+            assert poly_eq(row.body, row2.body)
+            for m1, m2 in zip(row.mask, row2.mask):
+                assert poly_eq(m1, m2)
+
+
+class TestRgswExpansion:
+    @given(seed=seeds, m=st.sampled_from([-1, 0, 1]), h=st.sampled_from([1, 2]))
+    @settings(max_examples=10, deadline=None)
+    def test_expansion_matches_keygen(self, seed, m, h):
+        gadget = GadgetVector(q=Q, base_bits=7, digits=4)
+        sk = GlweSecretKey.generate(N, h, Sampler(seed + 1))
+        ct = rgsw_encrypt_seeded(m, sk, BASIS, gadget, mask_stream(seed),
+                                 Sampler(seed + 2))
+        back = expand_rgsw(mask_stream(seed), rgsw_bodies(ct), BASIS,
+                           gadget, h)
+        for comp, comp2 in zip(ct.rows, back.rows):
+            for row, row2 in zip(comp, comp2):
+                assert poly_eq(row.body, row2.body)
+                for m1, m2 in zip(row.mask, row2.mask):
+                    assert poly_eq(m1, m2)
+
+
+class TestAutomorphismSetExpansion:
+    @given(key_seed=seeds)
+    @settings(max_examples=5, deadline=None)
+    def test_per_exponent_streams_are_independent(self, key_seed):
+        gadget = GadgetVector(q=Q, base_bits=7, digits=4)
+        sk = GlweSecretKey.generate(N, 1, Sampler(7))
+        exps = [3, 5, 9]
+        aks = AutomorphismKeySet.generate_seeded(
+            sk, exps, BASIS, gadget, key_seed, Sampler(8))
+        assert aks.mask_seeds is not None
+        # Each exponent expands alone from its derived seed — the order
+        # of expansion cannot matter for a streaming provider.
+        for t in reversed(exps):
+            ksk = aks.keys[t]
+            back = expand_glwe_keyswitch_key(
+                mask_stream(aks.mask_seeds[t]), ksk.bodies(), 1, BASIS, gadget)
+            for row, row2 in zip(ksk.rows, back.rows):
+                assert poly_eq(row.body, row2.body)
+                for m1, m2 in zip(row.mask, row2.mask):
+                    assert poly_eq(m1, m2)
+
+
+# -- CKKS hybrid switch keys -------------------------------------------------
+
+
+class TestCkksSwitchKeyExpansion:
+    @given(mask_seed=seeds, dnum=st.sampled_from([2, 4]))
+    @settings(max_examples=6, deadline=None)
+    def test_expansion_matches_keygen(self, mask_seed, dnum):
+        params = make_toy_params(n=16, limbs=4, limb_bits=28, scale_bits=22)
+        ctx = CkksContext(params.ckks, dnum=dnum)
+        gen = CkksKeyGenerator(ctx, Sampler(11))
+        sk1, sk2 = gen.secret_key(), gen.secret_key()
+        key = gen.switch_key(sk1, sk2, mask_seed=mask_seed)
+        assert key.mask_seed == mask_seed
+        back = expand_ckks_switch_key(mask_seed, key.bodies(),
+                                      ctx.extended_basis)
+        assert len(back.components) == len(key.components)
+        for (b1, a1), (b2, a2) in zip(key.components, back.components):
+            assert poly_eq(b1, b2)
+            assert poly_eq(a1, a2)
+
+
+# -- full switching key set: compress / expand / stream ----------------------
+
+
+PARAMS = make_toy_params(n=16, limbs=3, limb_bits=30, scale_bits=23,
+                         special_limbs=2)
+
+
+@pytest.fixture(scope="module")
+def seeded_stack():
+    ctx = CkksContext(PARAMS.ckks, dnum=2)
+    gen = CkksKeyGenerator(ctx, Sampler(501))
+    sk = gen.secret_key()
+    swk = SwitchingKeySet.generate_seeded(ctx, sk, key_seed=424242,
+                                          base_bits=4, error_std=0.8)
+    return ctx, sk, swk
+
+
+def assert_keyset_bit_identical(a, b):
+    for rgsw1, rgsw2 in zip(list(a.brk.plus) + list(a.brk.minus),
+                            list(b.brk.plus) + list(b.brk.minus)):
+        for comp1, comp2 in zip(rgsw1.rows, rgsw2.rows):
+            for row1, row2 in zip(comp1, comp2):
+                assert poly_eq(row1.body, row2.body)
+                for m1, m2 in zip(row1.mask, row2.mask):
+                    assert poly_eq(m1, m2)
+    assert sorted(a.auto_keys.keys) == sorted(b.auto_keys.keys)
+    for t in a.auto_keys.keys:
+        for row1, row2 in zip(a.auto_keys.keys[t].rows,
+                              b.auto_keys.keys[t].rows):
+            assert poly_eq(row1.body, row2.body)
+            for m1, m2 in zip(row1.mask, row2.mask):
+                assert poly_eq(m1, m2)
+
+
+class TestSwitchingKeyCompression:
+    def test_compress_expand_round_trip(self, seeded_stack):
+        _, _, swk = seeded_stack
+        material = swk.compress()
+        back = expand_switching_keys(material)
+        assert_keyset_bit_identical(swk, back)
+
+    def test_at_rest_compression_ratio(self, seeded_stack):
+        _, _, swk = seeded_stack
+        material = swk.compress()
+        assert swk.resident_bytes() / material.resident_bytes() >= 1.9
+
+    def test_eager_keys_refuse_compression(self, seeded_stack):
+        ctx, sk, _ = seeded_stack
+        from repro.errors import ParameterError
+        eager = SwitchingKeySet.generate(ctx, sk, Sampler(77), base_bits=4,
+                                         error_std=0.8)
+        with pytest.raises(ParameterError):
+            eager.compress()
+
+    def test_material_repr_redacts_seeds(self, seeded_stack):
+        _, _, swk = seeded_stack
+        material = swk.compress()
+        text = repr(material)
+        assert str(material.meta["key_seed"]) not in text
+
+
+class TestStreamingKeys:
+    def test_streaming_matches_eager_expansion(self, seeded_stack):
+        _, _, swk = seeded_stack
+        stream = StreamingSwitchingKeys(swk.compress())
+        assert_keyset_bit_identical(swk, stream)
+
+    def test_drop_and_reexpand_round_trip(self, seeded_stack):
+        _, _, swk = seeded_stack
+        stream = StreamingSwitchingKeys(swk.compress())
+        _ = stream.brk  # force expansion
+        resident_full = stream.resident_bytes()
+        freed = stream.drop_expanded()
+        assert freed > 0
+        assert stream.resident_bytes() < resident_full
+        assert stream.demotions == 1
+        assert_keyset_bit_identical(swk, stream)  # re-expands on demand
+
+    def test_resident_bytes_grow_with_expansion(self, seeded_stack):
+        _, _, swk = seeded_stack
+        stream = StreamingSwitchingKeys(swk.compress())
+        at_rest = stream.resident_bytes()
+        _ = stream.brk
+        assert stream.resident_bytes() > at_rest
+        assert stream.expansions > 0
+
+
+# -- key-cache accounting ----------------------------------------------------
+
+
+class _FakeStreamingKeys:
+    """Duck-typed stand-in: a compressed core plus droppable expansion."""
+
+    def __init__(self, core, expanded):
+        self.core = core
+        self.expanded = expanded
+        self.drops = 0
+
+    def resident_bytes(self):
+        return self.core + self.expanded
+
+    def drop_expanded(self):
+        freed, self.expanded = self.expanded, 0
+        self.drops += 1
+        return freed
+
+
+def _entry_for(keys):
+    class _Holder:
+        pass
+
+    holder = _Holder()
+    holder.keys = keys
+    return KeyCacheEntry(holder, executor=None, pipeline=None,
+                         nbytes=keys.resident_bytes(),
+                         nbytes_fn=keys.resident_bytes)
+
+
+class TestLruKeyCacheAccounting:
+    def _cache(self, sizes, capacity):
+        keys = {u: _FakeStreamingKeys(core, exp)
+                for u, (core, exp) in sizes.items()}
+        cache = LruKeyCache(lambda u: keys[u],
+                            lambda holder_keys: _entry_for(holder_keys),
+                            capacity_bytes=capacity)
+        # provider returns the fake keys object directly; the factory
+        # wraps it (LruKeyCache only ids the provider's return value).
+        return cache, keys
+
+    @given(st.lists(st.tuples(st.integers(0, 5),
+                              st.integers(0, 300), st.integers(0, 700)),
+                    min_size=1, max_size=30),
+           st.integers(500, 3000))
+    @settings(max_examples=30, deadline=None)
+    def test_running_total_matches_recount(self, accesses, capacity):
+        """The satellite fix: the running byte total must equal a full
+        re-walk after any interleaving of admissions, demotions,
+        evictions and size changes."""
+        sizes = {u: (100 + 50 * u, 400) for u in range(6)}
+        cache, keys = self._cache(sizes, capacity)
+        for user, shrink, grow in accesses:
+            cache.get(user)
+            # Simulate a pipeline run changing the streaming footprint;
+            # the cache folds the delta in on its next touch of the
+            # entry (hit refresh), never by re-walking everything.
+            keys[user].expanded = max(0, keys[user].expanded - shrink) + grow
+            assert cache.resident_bytes() == cache.recount_bytes()
+        assert cache.resident_bytes() == cache.recount_bytes()
+
+    def test_demote_tier_runs_before_eviction(self):
+        sizes = {0: (100, 900), 1: (100, 900), 2: (100, 900)}
+        # Two expanded entries fit; the third only fits if the coldest
+        # demotes.  Demotion must be tried before any executor is torn
+        # down.
+        cache, keys = self._cache(sizes, capacity=2200)
+        cache.get(0)
+        cache.get(1)
+        cache.get(2)
+        assert cache.demotions >= 1
+        assert cache.evictions == 0
+        assert keys[0].drops == 1  # coldest demoted, not evicted
+        assert len(cache) == 3
+        assert cache.resident_bytes() == cache.recount_bytes()
+
+    def test_eviction_still_fires_when_demotion_insufficient(self):
+        sizes = {u: (400, 200) for u in range(4)}
+        cache, _ = self._cache(sizes, capacity=1000)
+        for u in range(4):
+            cache.get(u)
+        assert cache.evictions >= 1
+        assert cache.resident_bytes() <= 1000
+        assert cache.resident_bytes() == cache.recount_bytes()
+
+    def test_pinned_entries_never_demoted(self):
+        sizes = {0: (100, 900), 1: (100, 900)}
+        cache, keys = self._cache(sizes, capacity=1100)
+        first = cache.get(0)
+        first.pin()
+        cache.get(1)
+        assert keys[0].drops == 0  # pinned: left alone
+        first.unpin()
+
+    def test_hit_refreshes_entry_size(self):
+        sizes = {0: (100, 0)}
+        cache, keys = self._cache(sizes, capacity=None)
+        cache.get(0)
+        assert cache.resident_bytes() == 100
+        keys[0].expanded = 5000  # grew between touches
+        cache.get(0)
+        assert cache.resident_bytes() == 5100
+        assert cache.peak_resident_bytes >= 5100
