@@ -185,6 +185,29 @@ def deserialize_glwe(blob: bytes):
     )
 
 
+# -- RnsPoly (standalone wire form: programmable LUT shipping) --------------------
+
+
+def serialize_rns_poly(poly: RnsPoly) -> bytes:
+    """Serialise one RNS polynomial as a standalone wire payload — the
+    form the cluster primary ships programmable-bootstrap test vectors
+    in (CRC-framed via :func:`frame_blob`, once per node per LUT)."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "kind": "rns_poly",
+        "poly": rns_poly_to_dict(poly),
+    }
+    return json.dumps(payload).encode()
+
+
+def deserialize_rns_poly(blob: bytes) -> RnsPoly:
+    """Inverse of :func:`serialize_rns_poly` (coefficient domain, ready
+    for :func:`~repro.tfhe.blind_rotate.blind_rotate_batch`)."""
+    payload = json.loads(blob.decode())
+    _check(payload, "rns_poly")
+    return rns_poly_from_dict(payload["poly"])
+
+
 # -- seeded key material (ARK-style seed + b-half at-rest form) -------------------
 
 

@@ -22,6 +22,7 @@ HOT_PATH_MODULES: Tuple[str, ...] = (
     "repro/math/automorphism.py",
     "repro/math/rns.py",
     "repro/ckks/keyswitch_engine.py",
+    "repro/switching/functional.py",
 )
 
 #: Comment marker that discharges an HL002 proof obligation.

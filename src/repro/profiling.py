@@ -68,6 +68,9 @@ class OpStats:
     fanout_pool_spinup_s: float = 0.0  # wall-clock spent spinning pools up
     fanout_worker_respawns: int = 0    # dead workers replaced mid-run
     fanout_shared_key_bytes: int = 0   # key bytes published to shared memory
+    # -- programmable-bootstrap LUT registry counters --------------------
+    lut_cache_hits: int = 0    # built LUT tensors served from the registry
+    lut_cache_misses: int = 0  # LUT tensor builds (one N-point NTT per limb)
     # -- bootstrap service counters (repro.service) ----------------------
     service_requests: int = 0       # requests accepted into the queue
     service_rejected: int = 0       # requests refused by backpressure
@@ -108,6 +111,12 @@ class OpStats:
         self.fanout_pool_spinup_s += pool_spinup_s
         self.fanout_worker_respawns += worker_respawns
         self.fanout_shared_key_bytes += shared_key_bytes
+
+    def record_lut_cache(self, hit: bool) -> None:
+        if hit:
+            self.lut_cache_hits += 1
+        else:
+            self.lut_cache_misses += 1
 
     def record_service(self, *, requests: int = 0, rejected: int = 0,
                        batch_fill: Optional[int] = None,
@@ -247,6 +256,13 @@ def record_fanout(*, dispatches: int = 0, retries: int = 0,
                               pool_spinup_s=pool_spinup_s,
                               worker_respawns=worker_respawns,
                               shared_key_bytes=shared_key_bytes)
+
+
+def record_lut_cache(hit: bool) -> None:
+    """Record a LUT-registry lookup: served from cache (hit) or built
+    fresh (miss)."""
+    if _ACTIVE is not None:
+        _ACTIVE.record_lut_cache(hit)
 
 
 def record_service(*, requests: int = 0, rejected: int = 0,

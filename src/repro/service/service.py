@@ -44,12 +44,16 @@ The moving parts:
   waived), in-flight batches complete, and cached executors are closed —
   worker pools release their processes and shared-memory key blocks.
 
-Two request granularities share the machinery: :meth:`~BootstrapService.
-submit` bootstraps one LWE ciphertext (one blind rotation — the
-programmable-bootstrap serving shape), and :meth:`~BootstrapService.
-submit_ciphertext` runs a full Algorithm-2 scheme-switching bootstrap
-whose N extracted LWEs ride the same coalesced fan-out via the
-pipeline's ``prepare``/``complete`` stage split.
+Three request granularities share the machinery: :meth:`~BootstrapService.
+submit` bootstraps one LWE ciphertext (one blind rotation),
+:meth:`~BootstrapService.submit_ciphertext` runs a full Algorithm-2
+scheme-switching bootstrap whose N extracted LWEs ride the same
+coalesced fan-out via the pipeline's ``prepare``/``complete`` stage
+split, and :meth:`~BootstrapService.submit_pbs` runs a programmable
+(LUT) bootstrap the same way.  PBS requests batch per ``(LUT, scale)``
+group — one fan-out tensor carries one test vector — so same-function
+traffic from different users under a shared key coalesces, while
+Algorithm-2 and different-LUT requests dispatch as separate batches.
 """
 
 from __future__ import annotations
@@ -90,6 +94,8 @@ class ServiceTrace:
     #: Wall-clock spent inside batch execution (prepare+fanout+complete).
     batch_seconds: float = 0.0
     peak_queue_depth: int = 0
+    #: Programmable-bootstrap (LUT) requests accepted.
+    pbs_requests: int = 0
     key_cache_hits: int = 0
     key_cache_misses: int = 0
     key_cache_evictions: int = 0
@@ -114,19 +120,28 @@ class _Request:
     """One queued bootstrap request (internal)."""
 
     __slots__ = ("user_id", "kind", "payload", "weight", "arrival",
-                 "future", "entry")
+                 "future", "entry", "lut", "group")
 
     def __init__(self, user_id: Any, kind: str, payload: Any, weight: int,
-                 future: "asyncio.Future[Any]", entry: KeyCacheEntry):
+                 future: "asyncio.Future[Any]", entry: KeyCacheEntry,
+                 lut: Any = None, group: Any = None):
         self.user_id = user_id
         self.kind = kind
         self.payload = payload
         #: LWE blind-rotates this request contributes to a batch (1 for
-        #: an LWE request, N for a full Algorithm-2 ciphertext).
+        #: an LWE request, N for a full Algorithm-2 ciphertext or PBS).
         self.weight = weight
         self.arrival = time.monotonic()
         self.future = future
         self.entry = entry
+        #: Resolved :class:`~repro.switching.luts.LutSpec` for PBS
+        #: requests (``None`` on the Algorithm-2 kinds).
+        self.lut = lut
+        #: Batch key within the key entry: requests coalesce only with
+        #: the same group, because one fan-out tensor carries exactly
+        #: one test vector — ``None`` for the Algorithm-2 kinds,
+        #: ``(lut name, scale)`` for PBS.
+        self.group = group
 
 
 def pool_executor_factory(num_workers: int = 2,
@@ -255,7 +270,19 @@ class BootstrapService:
         Requires the user's :class:`UserKeys` to carry a ``ctx``."""
         return await self._submit(user_id, "ckks", ct)
 
-    async def _submit(self, user_id: Any, kind: str, payload: Any) -> Any:
+    async def submit_pbs(self, user_id: Any, ct: CkksCiphertext,
+                         f: Any) -> CkksCiphertext:
+        """Programmable bootstrap: apply ``f`` (a callable,
+        :class:`~repro.switching.luts.LutSpec`, or workload name)
+        coefficient-wise to a level-0 ciphertext through the coalesced
+        fan-out.  Same-LUT requests (same function, same scale) batch
+        into one fan-out tensor; different LUTs never share a batch —
+        one tensor carries one test vector.  Requires the user's
+        :class:`UserKeys` to carry a ``ctx``."""
+        return await self._submit(user_id, "pbs", ct, f=f)
+
+    async def _submit(self, user_id: Any, kind: str, payload: Any,
+                      f: Any = None) -> Any:
         if self._closed or self._stopping or not self._started:
             raise ServiceClosedError(
                 "service is not accepting requests (not started, stopping, "
@@ -269,18 +296,32 @@ class BootstrapService:
                 retry_after=self._retry_after(depth))
         entry = self.cache.get(user_id)
         self._sync_cache_stats()
-        if kind == "ckks":
+        lut = None
+        group = None
+        if kind in ("ckks", "pbs"):
             if entry.pipeline is None:
                 raise ParameterError(
                     f"user {user_id!r} has no CKKS context: ciphertext "
                     f"requests need UserKeys built with ctx "
                     f"(UserKeys.from_switching)")
             weight = entry.pipeline.ctx.n
+            if kind == "pbs":
+                # Resolve to a named spec now (cheap — no LUT build);
+                # the N-point NTT build happens once, in the batch's
+                # worker thread, guarded by the registry's lock.
+                luts = getattr(entry.pipeline.keys, "luts", None)
+                if luts is None:
+                    raise ParameterError(
+                        f"user {user_id!r}: key set has no LUT registry")
+                lut = luts.spec_for(f)
+                group = (lut.name, float(payload.scale))
+                self.trace.pbs_requests += 1
         else:
             weight = 1
         future: "asyncio.Future[Any]" = \
             asyncio.get_running_loop().create_future()
-        req = _Request(user_id, kind, payload, weight, future, entry)
+        req = _Request(user_id, kind, payload, weight, future, entry,
+                       lut=lut, group=group)
         entry.pin()
         self._pending.append(req)
         self.trace.requests_accepted += 1
@@ -323,13 +364,16 @@ class BootstrapService:
 
     def _ready_groups(self, now: float
                       ) -> Tuple[List[List[_Request]], Optional[float]]:
-        """Group pending requests by key entry (arrival order preserved)
-        and split into groups ready to dispatch — full to ``max_batch``,
-        past the ``max_delay_s`` deadline, or draining — plus the
-        earliest deadline among the not-yet-ready rest."""
-        groups: Dict[int, List[_Request]] = {}
+        """Group pending requests by batch key — key entry plus LUT
+        group (arrival order preserved) — and split into groups ready to
+        dispatch — full to ``max_batch``, past the ``max_delay_s``
+        deadline, or draining — plus the earliest deadline among the
+        not-yet-ready rest.  Algorithm-2 traffic (group ``None``) and
+        each distinct PBS LUT batch separately: one fan-out tensor, one
+        test vector."""
+        groups: Dict[Tuple[int, Any], List[_Request]] = {}
         for req in self._pending:
-            groups.setdefault(id(req.entry), []).append(req)
+            groups.setdefault((id(req.entry), req.group), []).append(req)
         ready: List[List[_Request]] = []
         next_deadline: Optional[float] = None
         for reqs in groups.values():
@@ -404,23 +448,38 @@ class BootstrapService:
         """Compose the batch, run ONE fan-out, slice replies back (runs
         in a worker thread).  LWE requests map 1:1 onto accumulators;
         ciphertext requests are prepared here (ModSwitch + Extract) and
-        completed per request (Repack + Finish) on their own slice."""
+        completed per request (Repack + Finish) on their own slice.  A
+        PBS batch (all requests share one LUT group, by construction of
+        ``_ready_groups``) resolves its LUT id once and passes it to the
+        single fan-out call."""
         t0 = time.perf_counter()
         lwes: List[LweCiphertext] = []
         spans: List[Tuple[int, int]] = []
         preps: List[Any] = []
+        lut_id: Optional[str] = None
         for req in batch:
             if req.kind == "lwe":
                 spans.append((len(lwes), len(lwes) + 1))
                 preps.append(None)
                 lwes.append(req.payload)
             else:
-                prep = entry.pipeline.prepare(req.payload)
+                if req.kind == "pbs":
+                    prep = entry.pipeline.prepare_pbs(req.payload)
+                    if lut_id is None:
+                        lut_id = entry.pipeline.resolve_lut(
+                            req.lut, req.payload.scale)
+                else:
+                    prep = entry.pipeline.prepare(req.payload)
                 spans.append((len(lwes), len(lwes) + len(prep.lwes)))
                 preps.append(prep)
                 lwes.extend(prep.lwes)
         btrace = BootstrapTrace()
-        accs = entry.executor.fanout(lwes, btrace)
+        if lut_id is None:
+            # No lut kwarg on the default path: custom executors that
+            # predate the programmable protocol keep working.
+            accs = entry.executor.fanout(lwes, btrace)
+        else:
+            accs = entry.executor.fanout(lwes, btrace, lut=lut_id)
         results: List[Any] = []
         for req, (start, stop), prep in zip(batch, spans, preps):
             if req.kind == "lwe":

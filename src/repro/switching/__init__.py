@@ -4,6 +4,19 @@ from .bootstrap import BootstrapTrace, SchemeSwitchBootstrapper, expected_k_prim
 from .fanout import PRIMARY, CommLog, Fault, FaultInjector, FaultTolerantFanout
 from .functional import FunctionalEvaluator, relu_fn, sigmoid_fn, sign_fn
 from .keys import KeySizeAudit, SwitchingKeySet, conventional_bootstrap_key_bytes
+from .luts import (
+    ALGORITHM2,
+    RELU,
+    SIGMOID,
+    SIGN,
+    WORKLOADS,
+    LutRegistry,
+    LutSpec,
+    build_functional_lut,
+    functional_lut_g,
+    quantized,
+    threshold,
+)
 from .keyswitched import (
     KeySwitchedBootstrapper,
     KeySwitchedKeySet,
@@ -35,6 +48,17 @@ __all__ = [
     "relu_fn",
     "sigmoid_fn",
     "sign_fn",
+    "ALGORITHM2",
+    "LutRegistry",
+    "LutSpec",
+    "RELU",
+    "SIGMOID",
+    "SIGN",
+    "WORKLOADS",
+    "build_functional_lut",
+    "functional_lut_g",
+    "quantized",
+    "threshold",
     "KeySizeAudit",
     "KeySwitchedBootstrapper",
     "KeySwitchedKeySet",

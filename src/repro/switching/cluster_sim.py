@@ -43,9 +43,11 @@ from ..errors import ParameterError, WireFormatError
 from ..io import (
     deserialize_glwe,
     deserialize_lwe,
+    deserialize_rns_poly,
     frame_blob,
     serialize_glwe,
     serialize_lwe,
+    serialize_rns_poly,
     unframe_blob,
 )
 from ..tfhe.blind_rotate import blind_rotate_batch
@@ -53,7 +55,7 @@ from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext
 from .fanout import CommLog, Fault, FaultInjector, FaultTolerantFanout
 from .keys import SwitchingKeySet
-from .pipeline import BootstrapPipeline, BootstrapTrace
+from .pipeline import BootstrapPipeline, BootstrapTrace, _registry_vector
 
 __all__ = [
     "CommLog",
@@ -78,23 +80,41 @@ class SimulatedNode:
         self.keys = keys
         self.test_vector = test_vector
         self.processed = 0
+        #: Programmable LUTs installed over the wire, keyed by registry
+        #: id — a node only ever sees a LUT as a CRC-framed blob.
+        self._luts: Dict[str, object] = {}
+
+    def install_lut(self, lut_id: str, blob: bytes) -> None:
+        """Accept one CRC-framed serialized test vector from the primary
+        (shipped once per node per LUT; cached for every later batch)."""
+        self._luts[lut_id] = deserialize_rns_poly(unframe_blob(blob))
 
     def process(self, wire_lwes: List[bytes],
                 engine: str = "vectorized",
-                fail_after: Optional[int] = None) -> List[bytes]:
+                fail_after: Optional[int] = None,
+                lut: Optional[str] = None) -> List[bytes]:
         """Unframe and deserialize the assigned batch, BlindRotate it on
         the selected engine (the batched §IV-E schedule), and return
         CRC-framed serialized accumulators.  ``fail_after`` simulates a
         crash after that many BlindRotates (the work is spent — it counts
-        toward :attr:`processed` — but no reply is produced)."""
+        toward :attr:`processed` — but no reply is produced).  ``lut``
+        selects a previously :meth:`install_lut`-ed test vector instead
+        of the Algorithm-2 switching vector."""
+        if lut is None:
+            tv = self.test_vector
+        elif lut in self._luts:
+            tv = self._luts[lut]
+        else:
+            raise ParameterError(
+                f"node {self.node_id}: LUT {lut!r} was never installed")
         lwes = [deserialize_lwe(unframe_blob(b)) for b in wire_lwes]
         if fail_after is not None and fail_after < len(lwes):
             if fail_after:
-                blind_rotate_batch(self.test_vector, lwes[:fail_after],
+                blind_rotate_batch(tv, lwes[:fail_after],
                                    self.keys.brk, engine=engine)
                 self.processed += fail_after
             raise _NodeCrash(self.node_id)
-        accs = blind_rotate_batch(self.test_vector, lwes, self.keys.brk,
+        accs = blind_rotate_batch(tv, lwes, self.keys.brk,
                                   engine=engine)
         self.processed += len(accs)
         return [frame_blob(serialize_glwe(a)) for a in accs]
@@ -117,7 +137,8 @@ class ClusterExecutor(FaultTolerantFanout):
                  fault_injector: Optional[FaultInjector] = None,
                  blind_rotate_engine: str = "vectorized",
                  straggler_timeout: float = 30.0,
-                 max_retries: Optional[int] = None):
+                 max_retries: Optional[int] = None,
+                 keys: Optional[SwitchingKeySet] = None):
         self.nodes = list(nodes)
         self.comm = comm
         self.injector = fault_injector if fault_injector is not None \
@@ -126,6 +147,13 @@ class ClusterExecutor(FaultTolerantFanout):
         #: Simulated seconds after which a delayed node is presumed dead.
         self.straggler_timeout = straggler_timeout
         self.max_retries = max_retries
+        #: Key set whose LUT registry programmable batches resolve
+        #: against (defaults to the first node's copy).
+        self.keys = keys if keys is not None \
+            else (self.nodes[0].keys if self.nodes else None)
+        #: ``(node_id, lut_id)`` pairs already shipped — a LUT crosses
+        #: each link once, then lives in the node's cache.
+        self._lut_shipped: set = set()
 
     # -- FaultTolerantFanout contract -----------------------------------------
 
@@ -144,6 +172,16 @@ class ClusterExecutor(FaultTolerantFanout):
         accumulators into ``results``.  Returns False on any detected
         failure (the caller queues the slice for re-dispatch)."""
         nid = handle.node_id
+        lut = self._lut
+        if lut is not None and (nid, lut) not in self._lut_shipped:
+            # First use of this LUT on this node: ship the test vector
+            # CRC-framed, exactly like key material would travel.
+            lut_blob = frame_blob(serialize_rns_poly(
+                _registry_vector(self.keys, lut)))
+            if nid != 0:
+                self.comm.record(0, nid, lut_blob, retry=retry)
+            handle.install_lut(lut, lut_blob)
+            self._lut_shipped.add((nid, lut))
         wire_in = [frame_blob(serialize_lwe(lwe)) for lwe in lwes[start:stop]]
         if nid != 0:  # the primary's own slice never crosses the wire
             for blob in wire_in:
@@ -157,7 +195,8 @@ class ClusterExecutor(FaultTolerantFanout):
         try:
             wire_out = handle.process(wire_in,
                                       engine=self.blind_rotate_engine,
-                                      fail_after=crash.after if crash else None)
+                                      fail_after=crash.after if crash else None,
+                                      lut=lut)
         except _NodeCrash:
             self._add_time(trace, nid, time.perf_counter() - t0)
             self._mark_dead(nid, healthy, trace, "crashed mid-batch")
@@ -229,7 +268,8 @@ class SimulatedCluster:
         self.executor = ClusterExecutor(
             self.nodes, self.comm, fault_injector=fault_injector,
             blind_rotate_engine=blind_rotate_engine,
-            straggler_timeout=straggler_timeout, max_retries=max_retries)
+            straggler_timeout=straggler_timeout, max_retries=max_retries,
+            keys=keys)
         self.pipeline = BootstrapPipeline(ctx, keys, executor=self.executor,
                                           repack_engine=repack_engine)
 
@@ -243,6 +283,14 @@ class SimulatedCluster:
         single-node bootstrapper's, including runs with injected faults
         (recovery re-dispatches, the result is unchanged)."""
         return self.pipeline.run(ct, trace)
+
+    def pbs(self, ct: CkksCiphertext, f,
+            trace: Optional[BootstrapTrace] = None) -> CkksCiphertext:
+        """Distributed programmable bootstrap: ``f``'s LUT ships to each
+        node once (CRC-framed, logged on :attr:`comm`) and the fan-out
+        runs the same recovery loop as :meth:`bootstrap` — output
+        bit-identical to the local executor's."""
+        return self.pipeline.run_pbs(ct, f, trace)
 
     def utilisation(self) -> Dict[int, int]:
         """BlindRotates executed per node (includes work a node spent on

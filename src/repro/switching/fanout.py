@@ -266,6 +266,9 @@ class FaultTolerantFanout:
     #: Outcome buffer for the synchronous default transport; reset at
     #: the top of every :meth:`fanout`.
     _sync_outcomes: List[Tuple[int, bool]]
+    #: LUT id for the current batch (set by :meth:`fanout`; ``None``
+    #: selects the Algorithm-2 switching vector).
+    _lut: Optional[str] = None
 
     # -- subclass contract ---------------------------------------------------
 
@@ -313,12 +316,16 @@ class FaultTolerantFanout:
     # -- the one loop --------------------------------------------------------
 
     def fanout(self, lwes: Sequence[LweCiphertext],
-               trace: BootstrapTrace) -> List[GlweCiphertext]:
+               trace: BootstrapTrace,
+               lut: Optional[str] = None) -> List[GlweCiphertext]:
         healthy = self._workers()
         num_workers = len(healthy)
         schedule = make_schedule(len(lwes), num_workers)
         results: List[Optional[GlweCiphertext]] = [None] * len(lwes)
         self._sync_outcomes = []
+        # The batch-wide LUT selection, read by the transport's
+        # _dispatch/_send (None = the Algorithm-2 switching vector).
+        self._lut = lut
         pending: Dict[int, Tuple[int, int]] = {}  # wid -> slice in flight
         failed: List[Tuple[int, int, int]] = []  # (start, stop, failed id)
 

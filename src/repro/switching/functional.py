@@ -32,35 +32,144 @@ slot-packed ciphertext can be brought to coefficient packing with one
 SlotToCoeff linear transform (see :mod:`repro.ckks.bootstrap`'s
 matrices) and back afterwards, exactly as Pegasus [41] does; the tests
 and example here use coefficient packing directly.
+
+This module used to be a fork of the bootstrap: its own extract loop, its
+own LUT builder, its own repack call — bypassing the engine flags, the
+executors and the trace accounting.  It is now a thin shell over
+:class:`~repro.switching.pipeline.BootstrapPipeline` (stage kernels here,
+orchestration there): the LUT math lives in
+:mod:`~repro.switching.luts`, cached on the key set's registry, and the
+fan-out runs through any executor — local, simulated cluster, or the
+multiprocessing pool — with bit-identical results.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 import numpy as np
 
 from ..ckks.ciphertext import CkksCiphertext
 from ..ckks.context import CkksContext
 from ..errors import ParameterError
-from ..math.rns import RnsPoly
-from ..tfhe.blind_rotate import blind_rotate_batch, build_test_vector
 from ..tfhe.lwe import LweCiphertext
-from ..tfhe.repack import repack_with_counters
-from .bootstrap import BootstrapTrace
 from .keys import SwitchingKeySet
+from .luts import relu_fn, sigmoid_fn, sign_fn  # noqa: F401  (public API)
+from .pipeline import BootstrapPipeline, BootstrapTrace, Executor
+
+_U64_MAX = (1 << 64) - 1
+
+
+# -- the PBS ModSwitch+Extract kernel ---------------------------------------------
+
+
+def pbs_extract_reference(c0, c1, n: int, two_n: int,
+                          q: int) -> List[LweCiphertext]:
+    """Reference oracle for the PBS extraction: the original per-index
+    Python loop over arbitrary-precision integers.  Kept verbatim as the
+    bit-identity baseline for the vectorized kernel (and as the fallback
+    when ``q`` is too wide for the uint64 fast path)."""
+    c0 = np.asarray(c0, dtype=object)  # heaplint: disable=HL001 reference oracle, exact big-int arithmetic by design
+    c1 = np.asarray(c1, dtype=object)  # heaplint: disable=HL001 reference oracle, exact big-int arithmetic by design
+    lwes = []
+    for i in range(n):
+        head = c1[: i + 1][::-1]
+        tail = c1[i + 1:][::-1]
+        a_q = np.concatenate([head, (q - tail) % q]) % q
+        a_ms = ((a_q * two_n + q // 2) // q) % two_n
+        b_ms = ((int(c0[i]) * two_n + q // 2) // q) % two_n
+        lwes.append(LweCiphertext(a=a_ms.astype(np.int64), b=int(b_ms),
+                                  q=two_n))
+    return lwes
+
+
+def pbs_extract_vectorized(c0, c1, n: int, two_n: int,
+                           q: int) -> List[LweCiphertext]:
+    """One negacyclic gather + uint64 rounding modswitch for all ``N``
+    extractions at once.
+
+    Row ``i`` of the old loop is ``[c1[i], .., c1[0], -c1[n-1], ..,
+    -c1[i+1]]`` — i.e. ``a[i, j] = c1[(i - j) mod n]``, negated where
+    ``j > i``.  The modswitch ``(a*2N + q/2) // q`` stays inside uint64
+    as long as ``(q-1)*2N + q/2 <= 2^64 - 1`` (checked; callers fall
+    back to the reference kernel beyond that)."""
+    if (q - 1) * two_n + q // 2 > _U64_MAX:
+        raise ParameterError(
+            f"q={q} too wide for the uint64 PBS extract fast path")
+    c0_u = np.asarray(c0, dtype=np.uint64)
+    c1_u = np.asarray(c1, dtype=np.uint64)
+    idx = np.arange(n)
+    a_q = c1_u[(idx[:, None] - idx[None, :]) % n]
+    negate = idx[None, :] > idx[:, None]
+    a_q[negate] = (q - a_q[negate]) % q
+    a_ms = ((a_q * np.uint64(two_n) + np.uint64(q // 2)) // np.uint64(q)) \
+        % np.uint64(two_n)
+    b_ms = ((c0_u * np.uint64(two_n) + np.uint64(q // 2)) // np.uint64(q)) \
+        % np.uint64(two_n)
+    a64 = a_ms.astype(np.int64)
+    return [LweCiphertext(a=a64[i], b=int(b_ms[i]), q=two_n)
+            for i in range(n)]
+
+
+def pbs_extract(ct: CkksCiphertext,
+                engine: str = "vectorized") -> List[LweCiphertext]:
+    """The programmable path's ModSwitch + Extract for a level-0,
+    coefficient-packed ciphertext: the ``N`` dimension-``N`` LWEs with
+    phases ``round(2N * m_i / q) mod 2N``.
+
+    ``engine="vectorized"`` runs the uint64 gather kernel (falling back
+    to the reference loop when ``q`` exceeds its overflow guard);
+    ``engine="reference"`` forces the exact big-int loop.  Both are
+    bit-identical (tests assert it)."""
+    if engine not in ("vectorized", "reference"):
+        raise ParameterError(f"unknown pbs extract engine {engine!r}")
+    n = len(ct.c0.limbs[0])
+    two_n = 2 * n
+    q = ct.basis.moduli[0]
+    c0 = ct.c0.to_coeff().limbs[0]
+    c1 = ct.c1.to_coeff().limbs[0]
+    if engine == "vectorized" and (q - 1) * two_n + q // 2 <= _U64_MAX:
+        return pbs_extract_vectorized(c0, c1, n, two_n, q)
+    return pbs_extract_reference(c0, c1, n, two_n, q)
+
+
+# -- the evaluator ----------------------------------------------------------------
 
 
 class FunctionalEvaluator:
-    """Evaluate arbitrary real functions through the TFHE LUT path."""
+    """Evaluate arbitrary real functions through the TFHE LUT path.
+
+    A thin shell over :class:`~repro.switching.pipeline.BootstrapPipeline`:
+    construction picks the executor and engines exactly like the
+    scheme-switching bootstrap does (``executor=None`` builds the local
+    in-process fan-out on ``blind_rotate_engine``; pass a cluster or
+    process-pool executor for distributed PBS), and :meth:`evaluate` is
+    ``pipeline.run_pbs``.  LUTs are built once per
+    ``(function, N, q, Delta)`` and cached on the key set's
+    :class:`~repro.switching.luts.LutRegistry`.
+    """
 
     def __init__(self, ctx: CkksContext, keys: SwitchingKeySet,
-                 repack_engine: str = "vectorized"):
+                 executor: Optional[Executor] = None,
+                 blind_rotate_engine: str = "vectorized",
+                 repack_engine: str = "vectorized",
+                 extract_engine: str = "vectorized"):
         self.ctx = ctx
         self.keys = keys
         self.raised_basis = keys.raised_basis
-        self.repack_engine = repack_engine
+        self.extract_engine = extract_engine
+        self.pipeline = BootstrapPipeline(
+            ctx, keys, executor=executor,
+            blind_rotate_engine=blind_rotate_engine,
+            repack_engine=repack_engine)
+
+    @property
+    def repack_engine(self) -> str:
+        return self.pipeline.repack_engine
+
+    @property
+    def blind_rotate_engine(self) -> str:
+        return self.pipeline.blind_rotate_engine
 
     def max_abs_input(self) -> float:
         """Largest |v| the quantised phase can represent faithfully."""
@@ -79,90 +188,13 @@ class FunctionalEvaluator:
 
         Returns a fresh top-level coefficient-packed ciphertext of
         ``f(values)`` — the LUT evaluation refreshes noise as a side
-        effect (it *is* a programmable bootstrap).
+        effect (it *is* a programmable bootstrap).  ``f`` may be a plain
+        callable, a :class:`~repro.switching.luts.LutSpec`, or a
+        registered workload name (``"sign"``, ``"relu"``, ...).
         """
         if ct.level != 0:
             raise ParameterError(
                 "functional evaluation consumes a level-0 ciphertext "
                 "(drop_to_level first)")
-        n = self.ctx.n
-        two_n = 2 * n
-        q = ct.basis.moduli[0]
-        trace = trace if trace is not None else BootstrapTrace()
-        trace.reset()  # one trace records exactly one run (see BootstrapTrace)
-
-        c0 = np.asarray(ct.c0.to_coeff().limbs[0], dtype=object)
-        c1 = np.asarray(ct.c1.to_coeff().limbs[0], dtype=object)
-        # Extract + modulus switch in one step: round(2N * x / q) mod 2N.
-        lwes = []
-        for i in range(n):
-            head = c1[: i + 1][::-1]
-            tail = c1[i + 1:][::-1]
-            a_q = np.concatenate([head, (q - tail) % q]) % q
-            a_ms = ((a_q * two_n + q // 2) // q) % two_n
-            b_ms = ((int(c0[i]) * two_n + q // 2) // q) % two_n
-            lwes.append(LweCiphertext(a=a_ms.astype(np.int64), b=int(b_ms),
-                                      q=two_n))
-        trace.num_lwe = len(lwes)
-
-        tv = self._build_lut(f, ct.scale)
-        accs = blind_rotate_batch(tv, lwes, self.keys.brk)
-        trace.num_blind_rotates = len(accs)
-        packed, repack_ctr = repack_with_counters(accs, self.keys.auto_keys,
-                                                  engine=self.repack_engine)
-        trace.repack_merge_keyswitches = repack_ctr.merge_keyswitches
-        trace.repack_trace_keyswitches = repack_ctr.trace_keyswitches
-        trace.repack_keyswitches = repack_ctr.total_keyswitches
-
-        # Rescale by p: Delta * f(v) lands over the full basis Q.
-        body = packed.body.rescale_last_limb().to_eval()
-        mask = packed.mask[0].rescale_last_limb().to_eval()
-        return CkksCiphertext(c0=body, c1=mask, scale=ct.scale)
-
-    # -- internals ----------------------------------------------------------------
-
-    def _build_lut(self, f: Callable[[float], float], delta: float) -> RnsPoly:
-        """LUT over phase buckets: bucket ``t`` holds
-        ``p * Delta * f(t_signed * q / (2N * Delta)) * N^{-1} mod Qp``,
-        anti-periodically symmetrised (``g(t+N) = -g(t)``), which is exact
-        for odd functions and clamps others at the domain edge."""
-        n = self.ctx.n
-        two_n = 2 * n
-        q = self.ctx.full_basis.moduli[0]
-        p = self.raised_basis.moduli[-1]
-        big_qp = self.raised_basis.product
-        n_inv = pow(n, -1, big_qp)
-        step = float(q) / (two_n * delta)
-
-        def value(t_signed: int) -> int:
-            v = f(t_signed * step)
-            return int(round(v * delta)) * p
-
-        def g(t: int) -> int:
-            t = t % two_n
-            # Faithful range: t in [0, N/2) -> positive inputs,
-            # t in (3N/2, 2N) -> negative inputs; the middle is the
-            # anti-periodic image.
-            if t < n // 2:
-                val = value(t)
-            elif t < n:
-                val = -value(t - n)          # forced by anti-periodicity
-            elif t < 3 * n // 2:
-                val = -value(t - n)
-            else:
-                val = value(t - two_n)
-            return (val * n_inv) % big_qp
-
-        return build_test_vector(g, n, self.raised_basis)
-
-
-def sign_fn(x: float) -> float:
-    return 1.0 if x > 0 else (-1.0 if x < 0 else 0.0)
-
-
-def relu_fn(x: float) -> float:
-    return x if x > 0 else 0.0
-
-
-def sigmoid_fn(x: float) -> float:
-    return 1.0 / (1.0 + math.exp(-x))
+        return self.pipeline.run_pbs(ct, f, trace=trace,
+                                     extract_engine=self.extract_engine)

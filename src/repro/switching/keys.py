@@ -29,7 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import Dict, Iterator, Mapping, Optional
 
 import numpy as np
 
@@ -48,6 +48,7 @@ from ..tfhe.keyswitch import (AutomorphismKeySet, GlweKeySwitchKey,
 from ..tfhe.lwe import LweSecretKey
 from ..tfhe.repack import repack_exponents
 from ..tfhe.rgsw import expand_rgsw, rgsw_bodies
+from .luts import LutRegistry
 
 
 def rns_poly_bytes(poly: RnsPoly) -> int:
@@ -77,11 +78,17 @@ class SwitchingKeySet:
     glwe_sk_ref: Optional[GlweSecretKey] = None
     #: Master key seed when generated seeded; ``None`` for eager keys.
     key_seed: Optional[int] = field(default=None, repr=False, compare=False)
-    #: Cached Algorithm-2 test vectors keyed by ``(n, q)`` — built lazily
-    #: by :meth:`test_vector` and shared by every execution path (the
-    #: local pipeline and all simulated cluster nodes).
-    _test_vectors: Dict[Tuple[int, int], RnsPoly] = field(
-        default_factory=dict, repr=False, compare=False)
+    #: The per-key-set LUT registry: caches the Algorithm-2 test vector
+    #: (as the old ``(n, q)`` dict did) *and* every programmable LUT
+    #: built against this key set, shared by every execution path —
+    #: local pipeline, simulated cluster nodes, and the process pool's
+    #: shared-memory publisher.  Built in ``__post_init__``.
+    luts: Optional[LutRegistry] = field(default=None, repr=False,
+                                        compare=False)
+
+    def __post_init__(self) -> None:
+        if self.luts is None:
+            self.luts = LutRegistry(self.raised_basis)
 
     def resident_bytes(self) -> int:
         """Measured bytes of this key set's polynomial material — the
@@ -108,14 +115,11 @@ class SwitchingKeySet:
     def test_vector(self, n: int, q: int) -> RnsPoly:
         """The Algorithm-2 blind-rotate LUT over this key set's raised
         basis (``g(t) = q*t`` folded with ``N^{-1}``), built once per
-        ``(n, q)`` and reused."""
-        key = (n, q)
-        if key not in self._test_vectors:
-            from .pipeline import build_switching_test_vector
-
-            self._test_vectors[key] = build_switching_test_vector(
-                n, q, self.raised_basis)
-        return self._test_vectors[key]
+        ``(n, q)`` and reused.  Delegates to the :class:`LutRegistry` —
+        one thread-safe implementation for both key-set classes, where
+        each used to carry its own unlocked check-then-act dict (racy
+        under the service's batch threads)."""
+        return self.luts.switching_vector(n, q)
 
     @classmethod
     def generate(cls, ctx: CkksContext, sk: SecretKey,
@@ -373,7 +377,7 @@ class StreamingSwitchingKeys:
             mask_seeds={int(t): int(s) for t, s in zip(
                 material.meta["auto_exponents"],  # type: ignore[arg-type]
                 material.meta["auto_mask_seeds"])})  # type: ignore[arg-type]
-        self._test_vectors: Dict[Tuple[int, int], RnsPoly] = {}
+        self.luts = LutRegistry(basis)
         self._lock = threading.RLock()
         #: Component expansions performed (brk counts as one per entry).
         self.expansions = 0
@@ -406,15 +410,9 @@ class StreamingSwitchingKeys:
             return self._brk
 
     def test_vector(self, n: int, q: int) -> RnsPoly:
-        """Algorithm-2 LUT over the raised basis (cached per ``(n, q)``,
-        exactly as on :class:`SwitchingKeySet`)."""
-        key = (n, q)
-        if key not in self._test_vectors:
-            from .pipeline import build_switching_test_vector
-
-            self._test_vectors[key] = build_switching_test_vector(
-                n, q, self.raised_basis)
-        return self._test_vectors[key]
+        """Algorithm-2 LUT over the raised basis (served by the shared
+        :class:`LutRegistry`, exactly as on :class:`SwitchingKeySet`)."""
+        return self.luts.switching_vector(n, q)
 
     def resident_bytes(self) -> int:
         with self._lock:

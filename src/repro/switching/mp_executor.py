@@ -91,7 +91,7 @@ from ..tfhe.glwe import GlweCiphertext
 from ..tfhe.lwe import LweCiphertext
 from ..tfhe.rgsw import RgswCiphertext
 from .fanout import PRIMARY, CommLog, Fault, FaultInjector, FaultTolerantFanout
-from .pipeline import BootstrapTrace
+from .pipeline import BootstrapTrace, _registry_vector
 
 
 # -- key material <-> shared memory -----------------------------------------------
@@ -267,6 +267,11 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
     it is located by import, not inherited by fork.
     """
     block, brk, test_vector = _rebuild_key_material(manifest)
+    #: Programmable LUTs attached from shared memory, keyed by registry
+    #: id: ``lut_id -> (shm_block, RnsPoly view)``.  A respawned worker
+    #: starts empty and re-attaches on first use — the manifest rides in
+    #: every task message that names a LUT.
+    lut_cache: Dict[str, Tuple[object, RnsPoly]] = {}
     try:
         conn.send({"op": "ready", "worker": wid, "pid": os.getpid()})
         while True:
@@ -278,6 +283,21 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
                 break
             if msg.get("op") != "task":
                 continue
+            lut_id = msg.get("lut")
+            if lut_id is None:
+                tv = test_vector
+            elif lut_id in lut_cache:
+                tv = lut_cache[lut_id][1]
+            else:
+                lut_manifest: SharedBufferManifest = msg["lut_manifest"]
+                lblock, lviews = attach_shared_arrays(lut_manifest)
+                lmeta = lut_manifest.meta
+                lbasis = RnsBasis(lmeta["moduli"])
+                stack = lviews["lut"]
+                tv = RnsPoly(int(lmeta["n"]), lbasis,
+                             [stack[li] for li in range(len(lbasis))],
+                             str(lmeta["domain"]))
+                lut_cache[lut_id] = (lblock, tv)
             faults: List[Fault] = list(msg.get("faults") or ())
             kill = next((f for f in faults
                          if f.kind in ("kill_worker", "crash")), None)
@@ -293,12 +313,12 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
             if kill is not None and kill.after < len(lwes):
                 if kill.after:
                     # Burn the partial work like a real mid-batch death.
-                    blind_rotate_batch(test_vector, lwes[:kill.after], brk,
+                    blind_rotate_batch(tv, lwes[:kill.after], brk,
                                        engine=msg["engine"])
                 if kill.exit_code is not None:
                     os._exit(int(kill.exit_code))
                 os.kill(os.getpid(), signal.SIGKILL)
-            accs = blind_rotate_batch(test_vector, lwes, brk,
+            accs = blind_rotate_batch(tv, lwes, brk,
                                       engine=msg["engine"])
             if straggle is not None:
                 time.sleep(straggle.delay_seconds)
@@ -321,6 +341,11 @@ def _worker_main(conn, wid: int, manifest: SharedBufferManifest) -> None:
         try:
             conn.close()
         finally:
+            for lblock, _ in lut_cache.values():
+                try:
+                    lblock.close()
+                except OSError:  # pragma: no cover
+                    pass
             block.close()
 
 
@@ -386,6 +411,11 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
         self._mp = multiprocessing.get_context(start_method)
         self._closed = False
         self._block = None
+        #: Published programmable-LUT tensors:
+        #: ``lut_id -> (shm_block, manifest)``.  Like the key block,
+        #: each LUT is published once and attached zero-copy by every
+        #: worker (including respawns) on first use.
+        self._lut_blocks: Dict[str, Tuple[object, SharedBufferManifest]] = {}
         self._handles: Dict[int, _WorkerHandle] = {}
         #: Workers with a slice in flight (wid -> handle), mirrors the
         #: base loop's ``pending`` map on the transport side.
@@ -472,6 +502,13 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
             except OSError:
                 pass
         self._handles.clear()
+        for lblock, _ in self._lut_blocks.values():
+            try:
+                lblock.close()
+                lblock.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+        self._lut_blocks.clear()
         if self._block is not None:
             try:
                 self._block.close()
@@ -499,19 +536,38 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
 
     # -- FaultTolerantFanout contract -----------------------------------------
 
+    def _lut_manifest(self, lut_id: str) -> SharedBufferManifest:
+        """Publish one programmable LUT's coefficient limbs into its own
+        shared-memory block (idempotent per id); workers attach
+        zero-copy views from the manifest shipped with their tasks."""
+        if lut_id in self._lut_blocks:
+            return self._lut_blocks[lut_id][1]
+        poly = _registry_vector(self.keys, lut_id).to_coeff()
+        arrays = {"lut": np.stack([np.asarray(limb) for limb in poly.limbs])}
+        meta = {"n": poly.n, "moduli": list(poly.basis.moduli),
+                "domain": "coeff", "lut_id": lut_id}
+        block, manifest = publish_shared_arrays(arrays, meta)
+        self._lut_blocks[lut_id] = (block, manifest)
+        self.shared_key_bytes += manifest.total_bytes
+        record_fanout(shared_key_bytes=manifest.total_bytes)
+        return manifest
+
     def fanout(self, lwes: Sequence[LweCiphertext],
-               trace: BootstrapTrace) -> List[GlweCiphertext]:
+               trace: BootstrapTrace,
+               lut: Optional[str] = None) -> List[GlweCiphertext]:
         if self._closed:
             raise ClusterExecutionError("worker pool is closed")
         if not self._handles:
             raise ClusterExecutionError(
                 "no healthy worker remains in the pool")
+        if lut is not None:
+            self._lut_manifest(lut)  # published before any slice flies
         # A previous fan-out that raised may have left slices in flight;
         # their stale replies are rejected by the slice-id check below.
         self._inflight = {}
         trace.pool_spinup_seconds = self.spinup_seconds
         trace.shared_key_bytes = self.shared_key_bytes
-        return super().fanout(lwes, trace)
+        return super().fanout(lwes, trace, lut=lut)
 
     def _workers(self) -> Dict[int, _WorkerHandle]:
         return dict(self._handles)
@@ -535,11 +591,15 @@ class ProcessPoolFanoutExecutor(FaultTolerantFanout):
                               self.injector.take(wid, "drop_reply"),
                               self.injector.take(wid, "corrupt_reply"))
                   if f is not None]
+        lut = self._lut
         try:
             handle.conn.send({"op": "task", "slice_id": (start, stop),
                               "lwes": wire_in,
                               "engine": self.blind_rotate_engine,
-                              "faults": faults})
+                              "faults": faults,
+                              "lut": lut,
+                              "lut_manifest": self._lut_manifest(lut)
+                              if lut is not None else None})
         except (BrokenPipeError, OSError):
             self._fail_worker(handle, healthy, trace,
                               "died before dispatch (send failed)")

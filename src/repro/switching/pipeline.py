@@ -181,13 +181,31 @@ class Executor(Protocol):
     and return one accumulator per input LWE, in input order.  They must
     honour ``blind_rotate_engine`` and report per-node timing (plus any
     retry activity) on the trace.
+
+    ``lut`` selects the test vector for the whole batch: ``None`` is the
+    Algorithm-2 switching vector every executor is constructed with; a
+    string is a :class:`~repro.switching.luts.LutRegistry` id resolved
+    against the executor's key set (one fan-out tensor shares one test
+    vector, which is why the service batches PBS requests per LUT).
     """
 
     blind_rotate_engine: str
 
     def fanout(self, lwes: Sequence[LweCiphertext],
-               trace: BootstrapTrace) -> List[GlweCiphertext]:
+               trace: BootstrapTrace,
+               lut: Optional[str] = None) -> List[GlweCiphertext]:
         ...
+
+
+def _registry_vector(keys, lut_id: str) -> RnsPoly:
+    """Resolve a LUT id against a key set's registry (shared by every
+    executor's programmable path)."""
+    luts = getattr(keys, "luts", None)
+    if luts is None:
+        raise ParameterError(
+            "programmable bootstrapping needs a key set with a LUT "
+            "registry (SwitchingKeySet / StreamingSwitchingKeys)")
+    return luts.vector(lut_id)
 
 
 class LocalExecutor:
@@ -202,9 +220,12 @@ class LocalExecutor:
         self.blind_rotate_engine = blind_rotate_engine
 
     def fanout(self, lwes: Sequence[LweCiphertext],
-               trace: BootstrapTrace) -> List[GlweCiphertext]:
+               trace: BootstrapTrace,
+               lut: Optional[str] = None) -> List[GlweCiphertext]:
+        tv = self.test_vector if lut is None \
+            else _registry_vector(self.keys, lut)
         t0 = time.perf_counter()
-        accs = blind_rotate_batch(self.test_vector, lwes, self.keys.brk,
+        accs = blind_rotate_batch(tv, lwes, self.keys.brk,
                                   engine=self.blind_rotate_engine)
         trace.node_seconds[0] = time.perf_counter() - t0
         record_fanout(dispatches=1)
@@ -232,6 +253,16 @@ def finish(packed: GlweCiphertext, ms: ModSwitched, raised_basis: RnsBasis,
     return CkksCiphertext(c0=body, c1=mask, scale=scale)
 
 
+def finish_pbs(packed: GlweCiphertext, scale: float) -> CkksCiphertext:
+    """The programmable path's Finish: no step-4 addition, no ``w``
+    multiply — the LUT already encodes ``f`` at scale ``Delta * p``
+    (pre-divided by ``N`` for the repack factor), so finishing is just
+    the rescale by ``p`` that drops the raised limb."""
+    body = packed.body.rescale_last_limb().to_eval()
+    mask = packed.mask[0].rescale_last_limb().to_eval()
+    return CkksCiphertext(c0=body, c1=mask, scale=scale)
+
+
 # -- the pipeline -----------------------------------------------------------------
 
 
@@ -242,12 +273,18 @@ class PreparedRequest:
     requests' LWEs into a single executor batch (``repro.service``).
 
     ``seconds`` is the ModSwitch+Extract wall-clock (the trace's
-    ``extract`` share)."""
+    ``extract`` share).
 
-    ms: ModSwitched
+    ``kind`` selects the Finish stage: ``"switching"`` is Algorithm 2
+    (step-4 addition against ``ms`` then the ``w``-multiply rescale);
+    ``"pbs"`` is the programmable path, whose rounding ModSwitch keeps
+    no remainder — ``ms`` is ``None`` and Finish is the bare rescale."""
+
+    ms: Optional[ModSwitched]
     lwes: List[LweCiphertext]
     scale: float
     seconds: float
+    kind: str = "switching"
 
 
 class BootstrapPipeline:
@@ -299,12 +336,42 @@ class BootstrapPipeline:
         return PreparedRequest(ms=ms, lwes=lwes, scale=ct.scale,
                                seconds=time.perf_counter() - t0)
 
+    def prepare_pbs(self, ct: CkksCiphertext,
+                    extract_engine: str = "vectorized") -> PreparedRequest:
+        """The programmable path's ModSwitch + Extract: the ``N``
+        coefficient-wise LWEs of ``ct`` under the *rounding* modswitch to
+        ``Z_2N`` (``(a*2N + q/2) // q``), which keeps no mod-``q``
+        remainder — the LUT's Finish has no step-4 addition to make."""
+        if ct.level != 0:
+            raise ParameterError(
+                f"programmable bootstrap consumes a level-0 ciphertext, "
+                f"got level {ct.level}")
+        from .functional import pbs_extract
+        t0 = time.perf_counter()
+        lwes = pbs_extract(ct, engine=extract_engine)
+        return PreparedRequest(ms=None, lwes=lwes, scale=ct.scale,
+                               seconds=time.perf_counter() - t0, kind="pbs")
+
+    def resolve_lut(self, f, scale: float) -> str:
+        """Resolve a function / :class:`~repro.switching.luts.LutSpec` /
+        workload name into a built-and-cached LUT id on this pipeline's
+        key registry (ready for ``executor.fanout(..., lut=id)``)."""
+        luts = getattr(self.keys, "luts", None)
+        if luts is None:
+            raise ParameterError(
+                "programmable bootstrapping needs a key set with a LUT "
+                "registry (SwitchingKeySet / StreamingSwitchingKeys)")
+        return luts.resolve(f, self.ctx.n, self.ctx.full_basis.moduli[0],
+                            scale)
+
     def complete(self, prep: PreparedRequest, accs: Sequence[GlweCiphertext],
                  trace: BootstrapTrace) -> CkksCiphertext:
         """Stages Repack + Finish (steps 3c-5) for one prepared request's
         own accumulators (exactly ``len(prep.lwes)`` of them, in extract
         order).  Counters and step timings *accumulate* onto ``trace`` so
-        several completions can share one coalesced-run trace."""
+        several completions can share one coalesced-run trace.  The
+        Finish stage follows ``prep.kind`` — switching and PBS requests
+        can ride through the same coalesced fan-out."""
         n = self.ctx.n
         t2 = time.perf_counter()
         packed, repack_ctr = repack_with_counters(list(accs),
@@ -314,8 +381,11 @@ class BootstrapPipeline:
         trace.repack_trace_keyswitches += repack_ctr.trace_keyswitches
         trace.repack_keyswitches += repack_ctr.total_keyswitches
         t3 = time.perf_counter()
-        out = finish(packed, prep.ms, self.raised_basis, n, 2 * n,
-                     prep.scale, trace)
+        if prep.kind == "pbs":
+            out = finish_pbs(packed, prep.scale)
+        else:
+            out = finish(packed, prep.ms, self.raised_basis, n, 2 * n,
+                         prep.scale, trace)
         t4 = time.perf_counter()
         step = trace.step_seconds
         step["repack"] = step.get("repack", 0.0) + (t3 - t2)
@@ -345,6 +415,31 @@ class BootstrapPipeline:
         trace.step_seconds["blind_rotate"] = time.perf_counter() - t1
 
         # Stages Repack + Finish (steps 3c-5).
+        return self.complete(prep, accs, trace)
+
+    def run_pbs(self, ct: CkksCiphertext, f,
+                trace: Optional[BootstrapTrace] = None,
+                extract_engine: str = "vectorized") -> CkksCiphertext:
+        """Programmable bootstrap: evaluate ``f`` coefficient-wise on a
+        level-0 ciphertext through the SAME staged pipeline as Algorithm 2
+        — only the ModSwitch/Extract kernel, the fan-out's test vector
+        (``f``'s LUT, resolved on the key registry) and the Finish stage
+        differ.  ``f`` may be a plain callable, a
+        :class:`~repro.switching.luts.LutSpec`, or a workload name."""
+        trace = trace if trace is not None else BootstrapTrace()
+        trace.reset()
+        lut_id = self.resolve_lut(f, ct.scale)
+
+        prep = self.prepare_pbs(ct, extract_engine=extract_engine)
+        trace.modswitch_ops = 2 * self.ctx.n
+        trace.num_lwe = len(prep.lwes)
+        trace.step_seconds["extract"] = prep.seconds
+
+        t1 = time.perf_counter()
+        accs = self.executor.fanout(prep.lwes, trace, lut=lut_id)
+        trace.num_blind_rotates = len(accs)
+        trace.step_seconds["blind_rotate"] = time.perf_counter() - t1
+
         return self.complete(prep, accs, trace)
 
     def run_many(self, cts: Sequence[CkksCiphertext],

@@ -10,12 +10,14 @@ from repro.io import (
     attach_shared_arrays,
     deserialize_ciphertext,
     deserialize_lwe,
+    deserialize_rns_poly,
     frame_blob,
     publish_shared_arrays,
     rns_poly_from_dict,
     rns_poly_to_dict,
     serialize_ciphertext,
     serialize_lwe,
+    serialize_rns_poly,
     unframe_blob,
 )
 from repro.math.modular import find_ntt_primes
@@ -52,6 +54,39 @@ class TestRnsPolyRoundtrip:
         p = RnsPoly.from_int_coeffs(16, basis, np.arange(16, dtype=object)).to_eval()
         back = rns_poly_from_dict(rns_poly_to_dict(p))
         assert back == p  # equality compares coefficient domains
+
+    def test_blob_roundtrip_coeff_domain(self):
+        """The standalone wire form (used to ship programmable-bootstrap
+        test vectors) survives a framed round trip."""
+        basis = RnsBasis(find_ntt_primes(30, 16, 3))
+        rng = np.random.default_rng(2)
+        p = RnsPoly.from_int_coeffs(
+            16, basis,
+            np.asarray([int(v) for v in rng.integers(0, 2**60, 16)], dtype=object))
+        back = deserialize_rns_poly(unframe_blob(frame_blob(serialize_rns_poly(p))))
+        assert back == p
+
+    def test_blob_roundtrip_eval_domain(self):
+        basis = RnsBasis(find_ntt_primes(30, 16, 2))
+        p = RnsPoly.from_int_coeffs(16, basis, np.arange(16, dtype=object)).to_eval()
+        back = deserialize_rns_poly(serialize_rns_poly(p))
+        assert back == p
+
+    def test_blob_rejects_wrong_kind(self):
+        basis = RnsBasis(find_ntt_primes(30, 16, 1))
+        s = Sampler(77)
+        sk = LweSecretKey.generate(8, s)
+        lwe_blob = serialize_lwe(lwe_encrypt(3, sk, 32, s, error_std=0.5))
+        with pytest.raises(ParameterError, match="rns_poly"):
+            deserialize_rns_poly(lwe_blob)
+
+    def test_framed_blob_corruption_detected(self):
+        basis = RnsBasis(find_ntt_primes(30, 16, 1))
+        p = RnsPoly.from_int_coeffs(16, basis, np.arange(16, dtype=object))
+        framed = bytearray(frame_blob(serialize_rns_poly(p)))
+        framed[len(framed) // 2] ^= 0xFF
+        with pytest.raises(WireFormatError):
+            unframe_blob(bytes(framed))
 
 
 class TestCkksCiphertextRoundtrip:

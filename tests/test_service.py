@@ -27,7 +27,7 @@ from repro.profiling import count_ops
 from repro.service import (BootstrapService, KeyCacheEntry, LruKeyCache,
                            UserKeys, pool_executor_factory)
 from repro.service.key_cache import rns_poly_bytes
-from repro.switching import SwitchingKeySet
+from repro.switching import RELU, SIGN, SwitchingKeySet
 from repro.switching.pipeline import BootstrapPipeline, BootstrapTrace, LocalExecutor
 from repro.tfhe.blind_rotate import BlindRotateKey, build_test_vector
 from repro.tfhe.glwe import GlweSecretKey
@@ -559,3 +559,109 @@ class TestTrajectoryStamp:
         # The bench output itself must still be written.
         assert bench_path.exists()
         assert _timing.git_commit() is None
+
+
+class TestProgrammableBootstrapRequests:
+    """submit_pbs routes through the same coalescing loop as Algorithm-2
+    traffic, but batches are keyed by (LUT, scale) — one fan-out tensor
+    carries exactly one test vector."""
+
+    def _encrypt(self, ckks_stack, values, seed):
+        ctx, _, ev, _ = ckks_stack
+        vals = np.zeros(ctx.n // 2)
+        vals[:len(values)] = values
+        return ev.drop_to_level(ev.encrypt_coeffs(vals), 0)
+
+    def test_pbs_request_matches_pipeline(self, ckks_stack):
+        ctx, _, ev, swk = ckks_stack
+        ct = self._encrypt(ckks_stack, [0.5, -0.9, 0.05], 3)
+        reference = BootstrapPipeline(ctx, swk).run_pbs(ct, SIGN)
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk, max_batch=ctx.n,
+                                   max_delay_s=0.005)
+            async with svc:
+                out = await svc.submit_pbs("tenant", ct, SIGN)
+            return out, svc.trace
+
+        got, trace = asyncio.run(main())
+        assert_ct_equal(reference, got)
+        assert trace.pbs_requests == 1
+
+    def test_same_lut_requests_coalesce(self, ckks_stack):
+        """Two users' sign() bootstraps share ONE fan-out batch and still
+        equal their solo pipeline runs byte for byte."""
+        ctx, _, ev, swk = ckks_stack
+        cts = [self._encrypt(ckks_stack, [0.4, -0.6], 5),
+               self._encrypt(ckks_stack, [-0.2, 0.8], 6)]
+        pipe = BootstrapPipeline(ctx, swk)
+        reference = [pipe.run_pbs(ct, SIGN) for ct in cts]
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk, max_batch=2 * ctx.n,
+                                   max_delay_s=0.05)
+            async with svc:
+                results = await asyncio.gather(
+                    svc.submit_pbs("alice", cts[0], SIGN),
+                    svc.submit_pbs("bob", cts[1], SIGN))
+            return results, svc.trace
+
+        got, trace = asyncio.run(main())
+        for ref, out in zip(reference, got):
+            assert_ct_equal(ref, out)
+        assert trace.batch_fill == {2 * ctx.n: 1}
+        assert trace.pbs_requests == 2
+
+    def test_different_luts_never_share_a_batch(self, ckks_stack):
+        """sign and relu requests arrive together but dispatch as two
+        separate fan-out batches — a tensor carries one test vector."""
+        ctx, _, ev, swk = ckks_stack
+        cts = [self._encrypt(ckks_stack, [0.4, -0.6], 7),
+               self._encrypt(ckks_stack, [0.3, -0.7], 8)]
+        pipe = BootstrapPipeline(ctx, swk)
+        ref_sign = pipe.run_pbs(cts[0], SIGN)
+        ref_relu = pipe.run_pbs(cts[1], RELU)
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk, max_batch=4 * ctx.n,
+                                   max_delay_s=0.05)
+            async with svc:
+                results = await asyncio.gather(
+                    svc.submit_pbs("alice", cts[0], SIGN),
+                    svc.submit_pbs("bob", cts[1], RELU))
+            return results, svc.trace
+
+        got, trace = asyncio.run(main())
+        assert_ct_equal(ref_sign, got[0])
+        assert_ct_equal(ref_relu, got[1])
+        assert trace.batch_fill == {ctx.n: 2}
+
+    def test_mixed_algorithm2_and_pbs_split_batches(self, ckks_stack):
+        """Algorithm-2 and PBS traffic from the same key group coexist
+        in one service but never ride the same tensor."""
+        ctx, _, ev, swk = ckks_stack
+        z = np.random.default_rng(9).uniform(-1, 1, ctx.slots)
+        ct_a2 = ev.encrypt(z, level=0)
+        ct_pbs = self._encrypt(ckks_stack, [0.5, -0.5], 10)
+        pipe = BootstrapPipeline(ctx, swk)
+        ref_a2 = pipe.run(ct_a2)
+        ref_pbs = pipe.run_pbs(ct_pbs, SIGN)
+        uk = UserKeys.from_switching(ctx, swk)
+
+        async def main():
+            svc = BootstrapService(lambda uid: uk, max_batch=4 * ctx.n,
+                                   max_delay_s=0.05)
+            async with svc:
+                results = await asyncio.gather(
+                    svc.submit_ciphertext("alice", ct_a2),
+                    svc.submit_pbs("bob", ct_pbs, SIGN))
+            return results, svc.trace
+
+        got, trace = asyncio.run(main())
+        assert_ct_equal(ref_a2, got[0])
+        assert_ct_equal(ref_pbs, got[1])
+        assert trace.batch_fill == {ctx.n: 2}
+        assert trace.pbs_requests == 1
